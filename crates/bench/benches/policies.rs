@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the clustering policy engines (the paper's
+//! contribution in isolation): these run millions of times per simulated
+//! second in the hot `getpage`/`putpage` paths, so their host-side cost
+//! bounds simulation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clufs::{BmapCache, DelayedWrite, ExtentTuple, ReadAhead};
+
+fn bench_readahead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("readahead");
+    for maxcontig in [1u32, 7, 15] {
+        g.bench_function(format!("sequential_scan_mc{maxcontig}"), |b| {
+            b.iter(|| {
+                let mut ra = ReadAhead::new();
+                let mut planned = 0u64;
+                for lbn in 0..1000u64 {
+                    let plan = ra.on_access(
+                        black_box(lbn),
+                        lbn % maxcontig as u64 != 0,
+                        |p| {
+                            if p < 1000 {
+                                maxcontig
+                            } else {
+                                0
+                            }
+                        },
+                        0,
+                    );
+                    if plan.readahead.is_some() {
+                        planned += 1;
+                    }
+                }
+                planned
+            })
+        });
+    }
+    g.bench_function("random_access", |b| {
+        b.iter(|| {
+            let mut ra = ReadAhead::new();
+            let mut seq = 0u64;
+            for i in 0..1000u64 {
+                let lbn = (i * 7919) % 4096;
+                let plan = ra.on_access(black_box(lbn), false, |_| 8, 0);
+                if plan.sequential {
+                    seq += 1;
+                }
+            }
+            seq
+        })
+    });
+    g.finish();
+}
+
+fn bench_delayed_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delayed_write");
+    g.bench_function("sequential_mc15", |b| {
+        b.iter(|| {
+            let mut dw = DelayedWrite::new();
+            let mut pushes = 0u64;
+            for off in 0..1000u64 {
+                if !matches!(dw.on_putpage(black_box(off), 15), clufs::WriteAction::Delay) {
+                    pushes += 1;
+                }
+            }
+            pushes
+        })
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| {
+            let mut dw = DelayedWrite::new();
+            let mut pushes = 0u64;
+            for i in 0..1000u64 {
+                let off = (i * 6151) % 2048;
+                if !matches!(dw.on_putpage(black_box(off), 15), clufs::WriteAction::Delay) {
+                    pushes += 1;
+                }
+            }
+            pushes
+        })
+    });
+    g.finish();
+}
+
+fn bench_bmap_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bmap_cache");
+    g.bench_function("hit_heavy", |b| {
+        let mut cache = BmapCache::new(8);
+        cache.insert(ExtentTuple {
+            lbn: 0,
+            pbn: 1000,
+            len: 2048,
+        });
+        b.iter(|| {
+            let mut found = 0u64;
+            for i in 0..1000u64 {
+                if cache.lookup(black_box(i % 2048)).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    g.bench_function("churn", |b| {
+        b.iter(|| {
+            let mut cache = BmapCache::new(8);
+            for i in 0..1000u64 {
+                cache.insert(ExtentTuple {
+                    lbn: i * 16,
+                    pbn: 5000 + i * 16,
+                    len: 16,
+                });
+                black_box(cache.lookup(i * 16));
+            }
+            cache.stats()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_readahead, bench_delayed_write, bench_bmap_cache);
+criterion_main!(benches);

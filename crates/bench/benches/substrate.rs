@@ -1,0 +1,142 @@
+//! Micro-benchmarks of the simulation substrates: executor throughput,
+//! disk mechanism service rate, and page cache operations. These bound how
+//! much virtual time the reproduction can simulate per host second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use diskmodel::{Disk, DiskParams};
+use pagecache::{PageCache, PageCacheParams, PageKey};
+use simkit::{Sim, SimDuration};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkit");
+    g.bench_function("spawn_join_1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.run_until(async move {
+                let mut sum = 0u64;
+                for i in 0..1000u64 {
+                    sum += s.spawn(async move { i }).await;
+                }
+                sum
+            })
+        })
+    });
+    g.bench_function("timer_wheel_1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..1000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_micros(black_box(i % 97))).await;
+                });
+            }
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_disk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diskmodel");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("sequential_track_reads", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let disk = Disk::new(&sim, DiskParams::small_test());
+            let d = disk.clone();
+            sim.run_until(async move {
+                for i in 0..64u64 {
+                    d.read(i * 32, 32).await;
+                }
+            });
+            disk.stats().sectors_read
+        })
+    });
+    g.bench_function("random_queued_reads", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let disk = Disk::new(&sim, DiskParams::small_test());
+            let d = disk.clone();
+            sim.run_until(async move {
+                let handles: Vec<_> = (0..64u64)
+                    .map(|i| d.submit_read((i * 6151) % 16000, 8))
+                    .collect();
+                for h in handles {
+                    h.wait().await;
+                }
+            });
+            disk.stats().seeks
+        })
+    });
+    g.finish();
+}
+
+fn bench_pagecache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagecache");
+    g.bench_function("create_free_cycle", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let pc = PageCache::new(&sim, PageCacheParams::small_test());
+            let pc2 = pc.clone();
+            sim.run_until(async move {
+                for round in 0..8u64 {
+                    let mut ids = Vec::new();
+                    for i in 0..32u64 {
+                        let id = pc2
+                            .create(PageKey {
+                                vnode: round,
+                                offset: i * 8192,
+                            })
+                            .await;
+                        pc2.unbusy(id);
+                        ids.push(id);
+                    }
+                    for id in ids {
+                        pc2.free_page(id);
+                    }
+                }
+            });
+            pc.stats().creates
+        })
+    });
+    g.bench_function("lookup_hit", |b| {
+        let sim = Sim::new();
+        let pc = PageCache::new(&sim, PageCacheParams::small_test());
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            for i in 0..32u64 {
+                let id = pc2
+                    .create(PageKey {
+                        vnode: 1,
+                        offset: i * 8192,
+                    })
+                    .await;
+                pc2.unbusy(id);
+            }
+        });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1000u64 {
+                if pc
+                    .lookup(PageKey {
+                        vnode: 1,
+                        offset: black_box((i % 32) * 8192),
+                    })
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_disk, bench_pagecache);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Per-inode cache of `<logical, physical, length>` extent tuples
+//! (the paper's Further Work "Bmap cache" / "Extents vs blocks" ideas).
+//!
+//! "The translation from logical location to physical location is done
+//! frequently and gets more expensive for large files because of indirect
+//! blocks. A small cache in the inode could reduce the cost of bmap
+//! substantially." Because the clustered file system allocates mostly
+//! contiguous files, one tuple covers a long run of blocks, so a handful of
+//! entries cover most files.
+
+/// One cached translation: `len` logical blocks starting at `lbn` map to
+/// physical blocks starting at `pbn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtentTuple {
+    /// First logical block covered.
+    pub lbn: u64,
+    /// Physical block of `lbn`.
+    pub pbn: u64,
+    /// Blocks covered.
+    pub len: u32,
+}
+
+/// A small LRU cache of extent tuples.
+#[derive(Clone, Debug)]
+pub struct BmapCache {
+    /// Most-recently-used last.
+    entries: Vec<ExtentTuple>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BmapCache {
+    /// Creates a cache holding at most `capacity` tuples.
+    pub fn new(capacity: usize) -> Self {
+        BmapCache {
+            entries: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `lbn`; on a hit returns the physical block and how many
+    /// blocks (including `lbn`) remain in the cached extent.
+    pub fn lookup(&mut self, lbn: u64) -> Option<(u64, u32)> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| lbn >= e.lbn && lbn < e.lbn + e.len as u64);
+        match pos {
+            Some(i) => {
+                let e = self.entries.remove(i);
+                let off = lbn - e.lbn;
+                let result = (e.pbn + off, e.len - off as u32);
+                self.entries.push(e); // Move to MRU position.
+                self.hits += 1;
+                Some(result)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation learned from a real `bmap` call. Overlapping
+    /// stale entries are dropped; the LRU entry is evicted at capacity.
+    pub fn insert(&mut self, tuple: ExtentTuple) {
+        if tuple.len == 0 {
+            return;
+        }
+        self.entries.retain(|e| {
+            e.lbn + e.len as u64 <= tuple.lbn || tuple.lbn + tuple.len as u64 <= e.lbn
+        });
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(tuple);
+    }
+
+    /// Drops every entry at or beyond `lbn` (truncate) — or everything,
+    /// with `lbn = 0` (block reallocation).
+    pub fn invalidate_from(&mut self, lbn: u64) {
+        self.entries.retain(|e| e.lbn + e.len as u64 <= lbn);
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_offset_translation() {
+        let mut c = BmapCache::new(4);
+        c.insert(ExtentTuple {
+            lbn: 10,
+            pbn: 1000,
+            len: 8,
+        });
+        assert_eq!(c.lookup(10), Some((1000, 8)));
+        assert_eq!(c.lookup(14), Some((1004, 4)));
+        assert_eq!(c.lookup(17), Some((1007, 1)));
+        assert_eq!(c.lookup(18), None);
+        assert_eq!(c.lookup(9), None);
+        assert_eq!(c.stats(), (3, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = BmapCache::new(2);
+        c.insert(ExtentTuple {
+            lbn: 0,
+            pbn: 100,
+            len: 1,
+        });
+        c.insert(ExtentTuple {
+            lbn: 10,
+            pbn: 200,
+            len: 1,
+        });
+        // Touch 0 so 10 becomes LRU.
+        assert!(c.lookup(0).is_some());
+        c.insert(ExtentTuple {
+            lbn: 20,
+            pbn: 300,
+            len: 1,
+        });
+        assert!(c.lookup(10).is_none(), "LRU entry evicted");
+        assert!(c.lookup(0).is_some());
+        assert!(c.lookup(20).is_some());
+    }
+
+    #[test]
+    fn insert_replaces_overlapping_entries() {
+        let mut c = BmapCache::new(4);
+        c.insert(ExtentTuple {
+            lbn: 0,
+            pbn: 100,
+            len: 8,
+        });
+        // File reallocated: blocks 4..12 now live elsewhere.
+        c.insert(ExtentTuple {
+            lbn: 4,
+            pbn: 500,
+            len: 8,
+        });
+        assert_eq!(c.lookup(4), Some((500, 8)));
+        assert_eq!(c.lookup(0), None, "stale overlapping entry dropped");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_from_truncates() {
+        let mut c = BmapCache::new(4);
+        c.insert(ExtentTuple {
+            lbn: 0,
+            pbn: 100,
+            len: 4,
+        });
+        c.insert(ExtentTuple {
+            lbn: 8,
+            pbn: 200,
+            len: 4,
+        });
+        c.invalidate_from(8);
+        assert!(c.lookup(8).is_none());
+        assert!(c.lookup(2).is_some());
+        c.invalidate_from(0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_length_insert_ignored() {
+        let mut c = BmapCache::new(4);
+        c.insert(ExtentTuple {
+            lbn: 0,
+            pbn: 0,
+            len: 0,
+        });
+        assert!(c.is_empty());
+    }
+}

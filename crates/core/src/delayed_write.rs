@@ -1,0 +1,228 @@
+//! The delayed-write accumulator (the paper's Figures 7 and 8).
+//!
+//! `ufs_putpage` "handles writes by assuming sequential I/O and pretending
+//! that the I/O completed immediately". The state lives in two inode
+//! fields, `delayoff` and `delaylen`; this module models them as a pure
+//! state machine over page offsets, returning what the caller must push to
+//! disk, if anything.
+//!
+//! Unlike Peacock's System V clustering, which waits for the buffer cache to
+//! fill, this design "starts a write each time a cluster boundary is
+//! crossed", keeping the disks uniformly busy — so accumulating the
+//! `maxcontig`-th page flushes immediately (Figure 7's `push 0,1,2` happens
+//! at page 2, not page 3).
+
+use std::ops::Range;
+
+/// What `putpage` must do for one offered page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Pretend the I/O completed; the page stays dirty in the page cache.
+    Delay,
+    /// Push this range of pages (which includes the offered page) as one or
+    /// more cluster writes.
+    Push(Range<u64>),
+    /// Non-sequential pattern: push the previously delayed range, then the
+    /// offered page starts a new delayed run.
+    PushThenDelay(Range<u64>),
+}
+
+/// Per-file delayed-write state (`delayoff`/`delaylen`, in pages).
+#[derive(Clone, Debug, Default)]
+pub struct DelayedWrite {
+    delayoff: u64,
+    delaylen: u64,
+    active: bool,
+}
+
+impl DelayedWrite {
+    /// Fresh state with nothing delayed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any pages are currently delayed.
+    pub fn has_pending(&self) -> bool {
+        self.active && self.delaylen > 0
+    }
+
+    /// The currently delayed range, if any.
+    pub fn pending(&self) -> Option<Range<u64>> {
+        if self.has_pending() {
+            Some(self.delayoff..self.delayoff + self.delaylen)
+        } else {
+            None
+        }
+    }
+
+    /// Offers page `off` for writing; `maxcontig` is the cluster size in
+    /// pages.
+    ///
+    /// Mirrors Figure 8:
+    ///
+    /// ```text
+    /// if (delaylen < maxcontig && delayoff + delaylen == off) {
+    ///     delaylen += PAGESIZE
+    ///     return                       // (flushing when the cluster fills)
+    /// }
+    /// find all pages from delayoff to delayoff + delaylen ... push
+    /// ```
+    pub fn on_putpage(&mut self, off: u64, maxcontig: u32) -> WriteAction {
+        let maxcontig = maxcontig.max(1) as u64;
+        if !self.active {
+            self.active = true;
+            self.delayoff = off;
+            self.delaylen = 1;
+            return self.maybe_complete(maxcontig);
+        }
+        if self.delaylen < maxcontig && self.delayoff + self.delaylen == off {
+            self.delaylen += 1;
+            return self.maybe_complete(maxcontig);
+        }
+        // "If we do detect random writes, we write out the old pages between
+        // delayoff and delayoff + delaylen before restarting the algorithm
+        // with the current page."
+        let old = self.delayoff..self.delayoff + self.delaylen;
+        self.delayoff = off;
+        self.delaylen = 1;
+        // With maxcontig == 1 every page completes its "cluster" on arrival
+        // (handled above), so a delayed range can only exist when
+        // maxcontig > 1 — the new single page cannot itself be complete.
+        debug_assert!(maxcontig > 1, "delayed range impossible at maxcontig=1");
+        WriteAction::PushThenDelay(old)
+    }
+
+    fn maybe_complete(&mut self, maxcontig: u64) -> WriteAction {
+        if self.delaylen >= maxcontig {
+            let range = self.delayoff..self.delayoff + self.delaylen;
+            self.active = false;
+            self.delaylen = 0;
+            WriteAction::Push(range)
+        } else {
+            WriteAction::Delay
+        }
+    }
+
+    /// Flushes any delayed range (fsync, close, inode deactivation, or the
+    /// pageout daemon forcing the issue). Returns the range to push.
+    pub fn flush(&mut self) -> Option<Range<u64>> {
+        if self.has_pending() {
+            let range = self.delayoff..self.delayoff + self.delaylen;
+            self.active = false;
+            self.delaylen = 0;
+            Some(range)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_trace() {
+        // maxcontig = 3: pages 0,1 lie; page 2 pushes 0,1,2; pages 3,4 lie;
+        // page 5 pushes 3,4,5.
+        let mut dw = DelayedWrite::new();
+        assert_eq!(dw.on_putpage(0, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(1, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(2, 3), WriteAction::Push(0..3));
+        assert_eq!(dw.on_putpage(3, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(4, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(5, 3), WriteAction::Push(3..6));
+        assert!(!dw.has_pending());
+    }
+
+    #[test]
+    fn maxcontig_one_pushes_every_page() {
+        let mut dw = DelayedWrite::new();
+        for off in 0..5u64 {
+            assert_eq!(dw.on_putpage(off, 1), WriteAction::Push(off..off + 1));
+        }
+    }
+
+    #[test]
+    fn random_writes_flush_old_run() {
+        let mut dw = DelayedWrite::new();
+        assert_eq!(dw.on_putpage(10, 4), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(11, 4), WriteAction::Delay);
+        // Jump away: the old run [10,12) is pushed, 50 starts a new run.
+        assert_eq!(dw.on_putpage(50, 4), WriteAction::PushThenDelay(10..12));
+        assert_eq!(dw.pending(), Some(50..51));
+    }
+
+    #[test]
+    fn backwards_write_is_random_too() {
+        let mut dw = DelayedWrite::new();
+        dw.on_putpage(10, 4);
+        assert_eq!(dw.on_putpage(9, 4), WriteAction::PushThenDelay(10..11));
+        assert_eq!(dw.pending(), Some(9..10));
+    }
+
+    #[test]
+    fn rewriting_same_page_is_not_sequential() {
+        // delayoff + delaylen == off fails for a rewrite of the same page.
+        let mut dw = DelayedWrite::new();
+        dw.on_putpage(5, 4);
+        assert_eq!(dw.on_putpage(5, 4), WriteAction::PushThenDelay(5..6));
+    }
+
+    #[test]
+    fn flush_drains_pending() {
+        let mut dw = DelayedWrite::new();
+        dw.on_putpage(0, 8);
+        dw.on_putpage(1, 8);
+        dw.on_putpage(2, 8);
+        assert_eq!(dw.flush(), Some(0..3));
+        assert_eq!(dw.flush(), None);
+        assert!(!dw.has_pending());
+    }
+
+    #[test]
+    fn sequence_resumes_after_flush() {
+        let mut dw = DelayedWrite::new();
+        dw.on_putpage(0, 3);
+        dw.flush();
+        // After a flush the engine restarts cleanly at any offset.
+        assert_eq!(dw.on_putpage(1, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(2, 3), WriteAction::Delay);
+        assert_eq!(dw.on_putpage(3, 3), WriteAction::Push(1..4));
+    }
+
+    /// Every page offered is eventually pushed exactly once, and every push
+    /// is at most `maxcontig` long — checked over a structured mixed
+    /// workload.
+    #[test]
+    fn pushes_partition_offered_pages() {
+        for maxcontig in [1u32, 2, 3, 7, 15] {
+            let mut dw = DelayedWrite::new();
+            let mut offered = Vec::new();
+            let mut pushed = Vec::new();
+            // Three sequential runs at scattered offsets, then interleaved
+            // jumps.
+            let pattern: Vec<u64> = (0..20)
+                .chain(100..113)
+                .chain([500, 7, 501, 8, 502].into_iter())
+                .collect();
+            for &off in &pattern {
+                offered.push(off);
+                match dw.on_putpage(off, maxcontig) {
+                    WriteAction::Delay => {}
+                    WriteAction::Push(r) => pushed.extend(r),
+                    WriteAction::PushThenDelay(r) => pushed.extend(r),
+                }
+            }
+            if let Some(r) = dw.flush() {
+                pushed.extend(r);
+            }
+            offered.sort_unstable();
+            pushed.sort_unstable();
+            assert_eq!(
+                offered, pushed,
+                "maxcontig={maxcontig}: every offered page pushed exactly once"
+            );
+        }
+    }
+}

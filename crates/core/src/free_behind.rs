@@ -1,0 +1,89 @@
+//! The free-behind policy (the paper's "Page thrashing" fix).
+//!
+//! Large sequential reads would otherwise turn all of memory into a buffer
+//! cache for pages that will never be reused, evicting every other user's
+//! working set through the pageout daemon. "The compromise is inelegant":
+//! turn on *free behind* — the reading process frees the page it just
+//! consumed — but only when all of the following hold:
+//!
+//! 1. the file is in sequential read mode,
+//! 2. the read offset is large enough (small files should still cache), and
+//! 3. free memory is close to the low-water mark that turns on the pager.
+//!
+//! "Free behind has the desired attribute that the process that is causing
+//! the problem is the process finding the solution."
+
+/// Free-behind policy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FreeBehindPolicy {
+    /// Master switch (Figure 9's "free behind" column).
+    pub enabled: bool,
+    /// Minimum file offset (bytes) before free-behind may trigger; reads
+    /// below this always cache.
+    pub min_offset: u64,
+    /// Headroom multiplier over the pager's low-water mark: free-behind
+    /// triggers when `freemem < lowater * headroom`.
+    pub headroom: f64,
+}
+
+impl FreeBehindPolicy {
+    /// The SunOS 4.1.1-style defaults: trigger past 256 KB into the file
+    /// when free memory is within 2x of the pageout low-water mark.
+    pub fn sunos_411(enabled: bool) -> FreeBehindPolicy {
+        FreeBehindPolicy {
+            enabled,
+            min_offset: 256 * 1024,
+            headroom: 2.0,
+        }
+    }
+
+    /// Decides whether `rdwr` should free the page it just unmapped.
+    ///
+    /// * `sequential` — the inode is in sequential read mode.
+    /// * `offset` — byte offset of the page being unmapped.
+    /// * `freemem` / `lowater` — current free page count and the pageout
+    ///   daemon's low-water mark, in pages.
+    pub fn should_free(&self, sequential: bool, offset: u64, freemem: usize, lowater: usize) -> bool {
+        self.enabled
+            && sequential
+            && offset >= self.min_offset
+            && (freemem as f64) < lowater as f64 * self.headroom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> FreeBehindPolicy {
+        FreeBehindPolicy::sunos_411(true)
+    }
+
+    #[test]
+    fn triggers_only_under_memory_pressure() {
+        let p = policy();
+        // Plenty of memory: cache normally.
+        assert!(!p.should_free(true, 1 << 20, 1000, 64));
+        // Near the low-water mark: free behind.
+        assert!(p.should_free(true, 1 << 20, 100, 64));
+    }
+
+    #[test]
+    fn small_files_still_cache() {
+        let p = policy();
+        assert!(!p.should_free(true, 8 * 1024, 10, 64));
+        assert!(p.should_free(true, 512 * 1024, 10, 64));
+    }
+
+    #[test]
+    fn random_reads_never_freed() {
+        let p = policy();
+        assert!(!p.should_free(false, 1 << 20, 10, 64));
+    }
+
+    #[test]
+    fn disabled_policy_never_frees() {
+        let p = FreeBehindPolicy::sunos_411(false);
+        assert!(!p.should_free(true, 1 << 20, 10, 64));
+    }
+}

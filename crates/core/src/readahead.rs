@@ -1,0 +1,370 @@
+//! The sequential read predictor and cluster read-ahead engine
+//! (the paper's Figures 2, 3 and 6).
+//!
+//! The engine is a pure state machine over logical block numbers: `ufs_getpage`
+//! feeds it each access plus a way to learn the contiguous cluster length at
+//! a given block (`bmap`'s new length return), and it answers with the I/O
+//! plan — which cluster to read synchronously and which to prefetch.
+//!
+//! The inode fields it models:
+//!
+//! - `nextr` — predicted next read, for sequential detection. Initialized
+//!   to 0: "Starting read ahead at the beginning of the file turns out to be
+//!   a beneficial heuristic."
+//! - `nextrio` — where the next cluster read-ahead should trigger (the new
+//!   code path). Set to "the current location plus the size of the current
+//!   cluster".
+//!
+//! With `maxcontig = 1` the cluster algorithm degenerates to exactly the old
+//! per-block read-ahead of Figure 3, which is how the old code path is
+//! reproduced.
+
+/// One planned read: a run of logically contiguous blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadRun {
+    /// First logical block.
+    pub lbn: u64,
+    /// Number of blocks (≥ 1).
+    pub blocks: u32,
+}
+
+/// The engine's answer for one access.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// Cluster to read synchronously (the faulting block's cluster); `None`
+    /// when the block is already cached.
+    pub sync: Option<ReadRun>,
+    /// Cluster to read ahead asynchronously.
+    pub readahead: Option<ReadRun>,
+    /// Whether this access was judged sequential.
+    pub sequential: bool,
+}
+
+/// Per-file read-ahead state (lives in the in-core inode).
+#[derive(Clone, Debug)]
+pub struct ReadAhead {
+    nextr: u64,
+    nextrio: u64,
+    enabled: bool,
+}
+
+impl Default for ReadAhead {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadAhead {
+    /// Fresh state for a newly activated inode: `nextr = 0` predicts the
+    /// first read at the start of the file.
+    pub fn new() -> Self {
+        ReadAhead {
+            nextr: 0,
+            nextrio: 0,
+            enabled: true,
+        }
+    }
+
+    /// Disables read-ahead entirely (ablation).
+    pub fn disabled() -> Self {
+        ReadAhead {
+            enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// The predicted next sequential block (`nextr`).
+    pub fn predicted_next(&self) -> u64 {
+        self.nextr
+    }
+
+    /// Computes the I/O plan for an access to `lbn`.
+    ///
+    /// * `cached` — whether the requested block is already in the page cache.
+    /// * `cluster_len(lbn)` — effective cluster length in blocks starting at
+    ///   `lbn`: the contiguous-on-disk run length from `bmap`, capped by
+    ///   `maxcontig` and clipped at end of file. Returning 0 means "nothing
+    ///   there" (at/past EOF) and suppresses the read.
+    /// * `size_hint_blocks` — Further Work "random clustering": the request
+    ///   size passed down from `rdwr`, in blocks (0 = no hint). When the
+    ///   access is *not* sequential but the hint is large, the sync read is
+    ///   still clustered.
+    pub fn on_access(
+        &mut self,
+        lbn: u64,
+        cached: bool,
+        mut cluster_len: impl FnMut(u64) -> u32,
+        size_hint_blocks: u32,
+    ) -> ReadPlan {
+        let sequential = lbn == self.nextr;
+        self.nextr = lbn + 1;
+
+        let mut plan = ReadPlan {
+            sequential,
+            ..ReadPlan::default()
+        };
+        if !self.enabled {
+            if !cached {
+                let len = cluster_len(lbn).min(1);
+                if len > 0 {
+                    plan.sync = Some(ReadRun { lbn, blocks: 1 });
+                }
+            }
+            return plan;
+        }
+
+        // The synchronous read: the whole cluster when sequential (the new
+        // code path reads clusters; with maxcontig=1 this is one block), or
+        // when a large request-size hint turns on "random clustering".
+        let mut sync_len = 0u32;
+        if !cached {
+            let avail = cluster_len(lbn);
+            sync_len = if sequential {
+                avail
+            } else if size_hint_blocks > 1 {
+                avail.min(size_hint_blocks)
+            } else {
+                avail.min(1)
+            };
+            if sync_len > 0 {
+                plan.sync = Some(ReadRun {
+                    lbn,
+                    blocks: sync_len,
+                });
+            }
+        }
+
+        if !sequential {
+            // Mispredicted: fall back to waiting for the pattern to
+            // re-establish. The next sequential hit will restart read-ahead.
+            self.nextrio = lbn + sync_len.max(1) as u64;
+            return plan;
+        }
+
+        // Sequential. Trigger a cluster read-ahead when this access begins a
+        // new cluster region (lbn == nextrio), or when it performed a
+        // synchronous cluster read (cold start / first touch).
+        let trigger = lbn == self.nextrio || plan.sync.is_some();
+        if trigger {
+            // The cluster we are inside starts at `lbn` for planning
+            // purposes; its length comes from bmap.
+            let cur_len = if sync_len > 0 { sync_len } else { cluster_len(lbn) };
+            if cur_len > 0 {
+                let ra_start = lbn + cur_len as u64;
+                let ra_len = cluster_len(ra_start);
+                if ra_len > 0 {
+                    plan.readahead = Some(ReadRun {
+                        lbn: ra_start,
+                        blocks: ra_len,
+                    });
+                }
+                // "Setting the nextrio inode field to the current location
+                // plus the size of the current cluster."
+                self.nextrio = lbn + cur_len as u64;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform clustering: every block is in an extent of length
+    /// `maxcontig` (aligned to the access), EOF at `eof` blocks.
+    fn uniform(maxcontig: u32, eof: u64) -> impl FnMut(u64) -> u32 {
+        move |lbn| {
+            if lbn >= eof {
+                0
+            } else {
+                maxcontig.min((eof - lbn) as u32)
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_block_mode_trace() {
+        // maxcontig = 1 reproduces Figure 3 exactly:
+        // fault 0: sync read 0, async read 1, nextr = 1
+        // fault 1 (cached via RA): async read 2, nextr = 2
+        // fault 2 (cached): async read 3, nextr = 3
+        let mut ra = ReadAhead::new();
+        let p0 = ra.on_access(0, false, uniform(1, 100), 0);
+        assert_eq!(p0.sync, Some(ReadRun { lbn: 0, blocks: 1 }));
+        assert_eq!(p0.readahead, Some(ReadRun { lbn: 1, blocks: 1 }));
+        assert_eq!(ra.predicted_next(), 1);
+
+        let p1 = ra.on_access(1, true, uniform(1, 100), 0);
+        assert_eq!(p1.sync, None);
+        assert_eq!(p1.readahead, Some(ReadRun { lbn: 2, blocks: 1 }));
+        assert_eq!(ra.predicted_next(), 2);
+
+        let p2 = ra.on_access(2, true, uniform(1, 100), 0);
+        assert_eq!(p2.readahead, Some(ReadRun { lbn: 3, blocks: 1 }));
+    }
+
+    #[test]
+    fn figure6_cluster_mode_trace() {
+        // maxcontig = 3 reproduces Figure 6:
+        // fault 0: sync 0,1,2; async 3,4,5; nextrio = 3
+        // faults 1,2: nothing
+        // fault 3: async 6,7,8; nextrio = 6
+        // faults 4,5: nothing
+        // fault 6: async 9,10,11; nextrio = 9
+        let mut ra = ReadAhead::new();
+        let mut len = uniform(3, 1000);
+
+        let p0 = ra.on_access(0, false, &mut len, 0);
+        assert_eq!(p0.sync, Some(ReadRun { lbn: 0, blocks: 3 }));
+        assert_eq!(p0.readahead, Some(ReadRun { lbn: 3, blocks: 3 }));
+
+        for lbn in [1u64, 2] {
+            let p = ra.on_access(lbn, true, &mut len, 0);
+            assert_eq!(p.sync, None, "page {lbn} is prefetched");
+            assert_eq!(p.readahead, None, "page {lbn} triggers nothing");
+        }
+
+        let p3 = ra.on_access(3, true, &mut len, 0);
+        assert_eq!(p3.sync, None, "page 3 was prefetched");
+        assert_eq!(p3.readahead, Some(ReadRun { lbn: 6, blocks: 3 }));
+
+        for lbn in [4u64, 5] {
+            let p = ra.on_access(lbn, true, &mut len, 0);
+            assert_eq!(p.readahead, None);
+        }
+
+        let p6 = ra.on_access(6, true, &mut len, 0);
+        assert_eq!(p6.readahead, Some(ReadRun { lbn: 9, blocks: 3 }));
+    }
+
+    #[test]
+    fn random_access_reads_single_block_without_readahead() {
+        let mut ra = ReadAhead::new();
+        // Touch 50 first (not the predicted 0): random.
+        let p = ra.on_access(50, false, uniform(4, 1000), 0);
+        assert!(!p.sequential);
+        assert_eq!(p.sync, Some(ReadRun { lbn: 50, blocks: 1 }));
+        assert_eq!(p.readahead, None);
+    }
+
+    #[test]
+    fn sequentiality_reestablishes_after_miss() {
+        let mut ra = ReadAhead::new();
+        ra.on_access(50, false, uniform(2, 1000), 0); // Random.
+        let p = ra.on_access(51, false, uniform(2, 1000), 0); // 51 == nextr.
+        assert!(p.sequential);
+        assert_eq!(p.sync, Some(ReadRun { lbn: 51, blocks: 2 }));
+        assert_eq!(
+            p.readahead,
+            Some(ReadRun {
+                lbn: 53,
+                blocks: 2
+            })
+        );
+    }
+
+    #[test]
+    fn readahead_clipped_at_eof() {
+        let mut ra = ReadAhead::new();
+        // 4-block file, maxcontig 3: sync reads [0..3), readahead gets
+        // only block 3.
+        let p0 = ra.on_access(0, false, uniform(3, 4), 0);
+        assert_eq!(p0.sync, Some(ReadRun { lbn: 0, blocks: 3 }));
+        assert_eq!(p0.readahead, Some(ReadRun { lbn: 3, blocks: 1 }));
+        // At the last cluster start, nothing lies beyond EOF.
+        let p3 = ra.on_access(3, true, uniform(3, 4), 0);
+        assert_eq!(p3.readahead, None);
+    }
+
+    #[test]
+    fn varying_cluster_lengths_from_fragmentation() {
+        // "The code that sets up the next read bases its calculations on the
+        // returned rather than desired cluster size."
+        let mut ra = ReadAhead::new();
+        // bmap says: at 0 a 2-block extent, at 2 a 3-block extent, at 5...
+        let mut len = |lbn: u64| match lbn {
+            0 => 2u32,
+            2 => 3,
+            5 => 1,
+            _ => 0,
+        };
+        let p0 = ra.on_access(0, false, &mut len, 0);
+        assert_eq!(p0.sync, Some(ReadRun { lbn: 0, blocks: 2 }));
+        assert_eq!(p0.readahead, Some(ReadRun { lbn: 2, blocks: 3 }));
+        // nextrio = 2: the next trigger is at the start of that 3-block
+        // cluster.
+        let p1 = ra.on_access(1, true, &mut len, 0);
+        assert_eq!(p1.readahead, None);
+        let p2 = ra.on_access(2, true, &mut len, 0);
+        assert_eq!(p2.readahead, Some(ReadRun { lbn: 5, blocks: 1 }));
+    }
+
+    #[test]
+    fn old_filesystem_degenerates_to_block_at_a_time() {
+        // "An old file system will always send back a cluster of one block
+        // because of the rotational delays between each block."
+        let mut ra = ReadAhead::new();
+        let mut len = uniform(1, 1000);
+        for lbn in 0..10u64 {
+            let p = ra.on_access(lbn, lbn != 0, &mut len, 0);
+            if lbn == 0 {
+                assert_eq!(p.sync.unwrap().blocks, 1);
+            }
+            assert_eq!(
+                p.readahead,
+                Some(ReadRun {
+                    lbn: lbn + 1,
+                    blocks: 1
+                }),
+                "block mode prefetches one block every fault"
+            );
+        }
+    }
+
+    #[test]
+    fn size_hint_clusters_random_reads() {
+        // Further Work: "random reads of 20KB segments ... the request size
+        // could be passed down ... as a hint to turn on clustering".
+        let mut ra = ReadAhead::new();
+        let p = ra.on_access(77, false, uniform(8, 1000), 3);
+        assert!(!p.sequential);
+        assert_eq!(
+            p.sync,
+            Some(ReadRun {
+                lbn: 77,
+                blocks: 3
+            }),
+            "hint expands the sync read"
+        );
+        assert_eq!(p.readahead, None, "hint does not enable read-ahead");
+    }
+
+    #[test]
+    fn disabled_engine_reads_one_block_only() {
+        let mut ra = ReadAhead::disabled();
+        let p = ra.on_access(0, false, uniform(8, 100), 0);
+        assert_eq!(p.sync, Some(ReadRun { lbn: 0, blocks: 1 }));
+        assert_eq!(p.readahead, None);
+    }
+
+    #[test]
+    fn cached_sequential_run_inside_cluster_is_quiet() {
+        // Once a cluster and its successor are in memory, intermediate
+        // faults generate zero I/O — the CPU-saving claim.
+        let mut ra = ReadAhead::new();
+        let mut len = uniform(4, 1000);
+        ra.on_access(0, false, &mut len, 0);
+        let mut io_count = 0;
+        for lbn in 1..4u64 {
+            let p = ra.on_access(lbn, true, &mut len, 0);
+            if p.sync.is_some() {
+                io_count += 1;
+            }
+            if p.readahead.is_some() {
+                io_count += 1;
+            }
+        }
+        assert_eq!(io_count, 0, "pages 1..3 are covered by the prefetch");
+    }
+}

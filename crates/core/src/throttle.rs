@@ -1,0 +1,212 @@
+//! The per-file write limit ("Write limits or fairness").
+//!
+//! Asynchronous writes let one process dirty every page in the machine —
+//! "a large process dumping core can cause the system to be temporarily
+//! unusable". The fix is "essentially a counting semaphore in the inode":
+//! each writer acquires permits for the bytes it queues to the disk and the
+//! I/O completion returns them; a writer that would exceed the limit sleeps
+//! until earlier writes finish.
+//!
+//! The limit must be large enough to keep the I/O pipeline free of bubbles
+//! (more than two or three outstanding writes) and to give `disksort`
+//! something to sort — hence the paper's fairly large 240 KB default.
+
+use simkit::{Semaphore, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+struct ThrottleInner {
+    sem: Semaphore,
+    limit: u64,
+    /// Total virtual time writers spent blocked on the limit.
+    stalled: Cell<SimDuration>,
+    stall_count: Cell<u64>,
+}
+
+/// Per-file write throttle. Clones share the same limit.
+#[derive(Clone)]
+pub struct WriteThrottle {
+    inner: Option<Rc<ThrottleInner>>,
+    clock: Rc<RefCell<Option<simkit::Sim>>>,
+}
+
+impl WriteThrottle {
+    /// Creates a throttle admitting at most `limit` bytes of queued writes;
+    /// `None` disables throttling (config "D").
+    pub fn new(sim: &simkit::Sim, limit: Option<u32>) -> WriteThrottle {
+        WriteThrottle {
+            inner: limit.map(|l| {
+                Rc::new(ThrottleInner {
+                    sem: Semaphore::new(l as u64),
+                    limit: l as u64,
+                    stalled: Cell::new(SimDuration::ZERO),
+                    stall_count: Cell::new(0),
+                })
+            }),
+            clock: Rc::new(RefCell::new(Some(sim.clone()))),
+        }
+    }
+
+    /// Reserves `bytes` of queue space, sleeping if the file already has
+    /// the limit's worth of writes in flight. Returns a token that must be
+    /// passed to [`WriteThrottle::complete`] when the I/O finishes.
+    ///
+    /// Requests larger than the whole limit are clamped (they could never
+    /// be admitted otherwise).
+    pub async fn begin_write(&self, bytes: u64) -> WriteToken {
+        let Some(inner) = &self.inner else {
+            return WriteToken { bytes: 0 };
+        };
+        let ask = bytes.min(inner.limit);
+        if ask == 0 {
+            return WriteToken { bytes: 0 };
+        }
+        let sim = self
+            .clock
+            .borrow()
+            .clone()
+            .expect("throttle clock present");
+        let before = sim.now();
+        let permit = inner.sem.acquire(ask).await;
+        let waited = sim.now().duration_since(before);
+        if !waited.is_zero() {
+            inner.stalled.set(inner.stalled.get() + waited);
+            inner.stall_count.set(inner.stall_count.get() + 1);
+        }
+        // The permit outlives this future: the disk interrupt releases it.
+        permit.forget();
+        WriteToken { bytes: ask }
+    }
+
+    /// Releases the queue space held by `token` (call from the write
+    /// completion path).
+    pub fn complete(&self, token: WriteToken) {
+        if token.bytes > 0 {
+            if let Some(inner) = &self.inner {
+                inner.sem.release(token.bytes);
+            }
+        }
+    }
+
+    /// Bytes currently admitted to the disk queue.
+    pub fn in_flight(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.limit - inner.sem.available(),
+            None => 0,
+        }
+    }
+
+    /// Total time writers spent blocked, and how many blocking acquisitions
+    /// occurred.
+    pub fn stall_stats(&self) -> (SimDuration, u64) {
+        match &self.inner {
+            Some(inner) => (inner.stalled.get(), inner.stall_count.get()),
+            None => (SimDuration::ZERO, 0),
+        }
+    }
+
+    /// Whether a limit is configured.
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+/// Receipt for queue space reserved by [`WriteThrottle::begin_write`].
+#[derive(Debug)]
+#[must_use = "pass the token to WriteThrottle::complete when the I/O finishes"]
+pub struct WriteToken {
+    bytes: u64,
+}
+
+impl WriteToken {
+    /// Bytes reserved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Sim;
+    use std::cell::RefCell;
+
+    #[test]
+    fn unlimited_never_blocks() {
+        let sim = Sim::new();
+        let t = WriteThrottle::new(&sim, None);
+        let t2 = t.clone();
+        sim.run_until(async move {
+            for _ in 0..100 {
+                let tok = t2.begin_write(1 << 20).await;
+                // Never completed; still must not block.
+                assert_eq!(tok.bytes(), 0);
+            }
+        });
+        assert_eq!(sim.now(), simkit::SimTime::ZERO);
+    }
+
+    #[test]
+    fn writer_blocks_at_limit_until_completion() {
+        let sim = Sim::new();
+        let t = WriteThrottle::new(&sim, Some(16 * 1024));
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let pending: Rc<RefCell<Vec<WriteToken>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let t = t.clone();
+            let log = Rc::clone(&log);
+            let pending = Rc::clone(&pending);
+            let s = sim.clone();
+            sim.spawn(async move {
+                // Two 8 KB writes fill the 16 KB limit.
+                pending.borrow_mut().push(t.begin_write(8192).await);
+                pending.borrow_mut().push(t.begin_write(8192).await);
+                log.borrow_mut().push("filled");
+                // Third write must wait for a completion.
+                let tok = t.begin_write(8192).await;
+                log.borrow_mut().push("third-admitted");
+                assert_eq!(s.now().as_nanos(), 5_000_000);
+                t.complete(tok);
+            });
+        }
+        {
+            let t = t.clone();
+            let pending = Rc::clone(&pending);
+            let s = sim.clone();
+            sim.spawn(async move {
+                // "Disk": completes one write at t = 5 ms.
+                s.sleep(simkit::SimDuration::from_millis(5)).await;
+                let tok = pending.borrow_mut().remove(0);
+                t.complete(tok);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["filled", "third-admitted"]);
+        let (stalled, count) = t.stall_stats();
+        assert_eq!(count, 1);
+        assert_eq!(stalled, simkit::SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn oversized_write_is_clamped_not_deadlocked() {
+        let sim = Sim::new();
+        let t = WriteThrottle::new(&sim, Some(4096));
+        let t2 = t.clone();
+        sim.run_until(async move {
+            let tok = t2.begin_write(1 << 20).await;
+            assert_eq!(tok.bytes(), 4096, "clamped to the whole limit");
+            t2.complete(tok);
+        });
+    }
+
+    #[test]
+    fn in_flight_tracks_admissions() {
+        let sim = Sim::new();
+        let t = WriteThrottle::new(&sim, Some(32 * 1024));
+        let t2 = t.clone();
+        let tok = sim.run_until(async move { t2.begin_write(8192).await });
+        assert_eq!(t.in_flight(), 8192);
+        t.complete(tok);
+        assert_eq!(t.in_flight(), 0);
+    }
+}

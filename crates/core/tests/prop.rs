@@ -1,0 +1,187 @@
+//! Property-based tests for the clustering policy engines.
+
+use clufs::{DelayedWrite, ReadAhead, WriteAction};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Drives a full sequential scan of an `eof`-block file through the
+/// read-ahead engine and returns every block read (sync or async) and how
+/// many I/O operations were issued.
+fn scan_file(maxcontig: u32, eof: u64) -> (BTreeSet<u64>, usize) {
+    let mut ra = ReadAhead::new();
+    let mut resident: BTreeSet<u64> = BTreeSet::new();
+    let mut ios = 0usize;
+    let cluster_len = |lbn: u64| -> u32 {
+        if lbn >= eof {
+            0
+        } else {
+            maxcontig.min((eof - lbn) as u32)
+        }
+    };
+    let mut read_blocks = BTreeSet::new();
+    for lbn in 0..eof {
+        let cached = resident.contains(&lbn);
+        let plan = ra.on_access(lbn, cached, cluster_len, 0);
+        for run in [plan.sync, plan.readahead].into_iter().flatten() {
+            ios += 1;
+            for b in run.lbn..run.lbn + run.blocks as u64 {
+                assert!(
+                    read_blocks.insert(b),
+                    "block {b} read twice during a sequential scan (maxcontig={maxcontig})"
+                );
+                resident.insert(b);
+            }
+        }
+        assert!(
+            resident.contains(&lbn),
+            "block {lbn} not resident after its own fault"
+        );
+    }
+    (read_blocks, ios)
+}
+
+proptest! {
+    /// A sequential scan reads every block exactly once, regardless of
+    /// cluster size, and covers nothing past EOF.
+    #[test]
+    fn sequential_scan_reads_each_block_once(
+        maxcontig in 1u32..32,
+        eof in 1u64..500,
+    ) {
+        let (read, _ios) = scan_file(maxcontig, eof);
+        let expect: BTreeSet<u64> = (0..eof).collect();
+        prop_assert_eq!(read, expect);
+    }
+
+    /// Clustering divides the number of I/O operations by ~maxcontig: the
+    /// CPU-amortization claim. (Block mode issues one I/O per block; cluster
+    /// mode roughly one per cluster.)
+    #[test]
+    fn clustering_reduces_io_count(
+        maxcontig in 2u32..32,
+        clusters in 2u64..20,
+    ) {
+        let eof = maxcontig as u64 * clusters;
+        let (_read_blk, ios_blk) = scan_file(1, eof);
+        let (_read_cl, ios_cl) = scan_file(maxcontig, eof);
+        // Block mode: ~eof+1 operations. Cluster mode: ~clusters+1.
+        prop_assert!(ios_cl <= (clusters as usize + 2));
+        prop_assert!(ios_blk >= eof as usize);
+        prop_assert!(ios_cl * (maxcontig as usize) <= ios_blk + 2 * maxcontig as usize);
+    }
+
+    /// Read-ahead never plans a block below the faulting block during a
+    /// sequential scan (it always runs ahead, never behind).
+    #[test]
+    fn readahead_is_always_ahead(
+        maxcontig in 1u32..16,
+        eof in 1u64..300,
+    ) {
+        let mut ra = ReadAhead::new();
+        let cluster_len = |lbn: u64| -> u32 {
+            if lbn >= eof { 0 } else { maxcontig.min((eof - lbn) as u32) }
+        };
+        let mut resident = BTreeSet::new();
+        for lbn in 0..eof {
+            let cached = resident.contains(&lbn);
+            let plan = ra.on_access(lbn, cached, cluster_len, 0);
+            if let Some(run) = plan.sync {
+                prop_assert_eq!(run.lbn, lbn);
+                resident.extend(run.lbn..run.lbn + run.blocks as u64);
+            }
+            if let Some(run) = plan.readahead {
+                prop_assert!(run.lbn > lbn, "readahead at {} behind fault {}", run.lbn, lbn);
+                resident.extend(run.lbn..run.lbn + run.blocks as u64);
+            }
+        }
+    }
+
+    /// Random (non-sequential) single faults never trigger read-ahead and
+    /// read exactly one block, wherever they land.
+    #[test]
+    fn isolated_random_faults_stay_single_block(
+        lbns in proptest::collection::vec(0u64..10_000, 1..50),
+        maxcontig in 1u32..16,
+    ) {
+        let mut ra = ReadAhead::new();
+        let cluster_len = |_lbn: u64| -> u32 { maxcontig };
+        let mut prev: Option<u64> = None;
+        for &lbn in &lbns {
+            let sequential_expected =
+                prev.map(|p| p + 1 == lbn).unwrap_or(lbn == 0);
+            let plan = ra.on_access(lbn, false, cluster_len, 0);
+            prop_assert_eq!(plan.sequential, sequential_expected);
+            if !plan.sequential {
+                let run = plan.sync.unwrap();
+                prop_assert_eq!(run.blocks, 1, "random fault reads one block");
+                prop_assert!(plan.readahead.is_none());
+            }
+            prev = Some(lbn);
+        }
+    }
+
+    /// Delayed-write: for ANY offset pattern, the pushed ranges exactly
+    /// partition the offered pages (with a final flush), and no push exceeds
+    /// maxcontig pages except merged sequential runs at a boundary flush.
+    #[test]
+    fn delayed_write_partitions_any_pattern(
+        offs in proptest::collection::vec(0u64..200, 1..200),
+        maxcontig in 1u32..20,
+    ) {
+        let mut dw = DelayedWrite::new();
+        let mut offered = offs.clone();
+        let mut pushed: Vec<u64> = Vec::new();
+        for &off in &offs {
+            match dw.on_putpage(off, maxcontig) {
+                WriteAction::Delay => {}
+                WriteAction::Push(r) => {
+                    prop_assert!(r.end - r.start <= maxcontig as u64);
+                    pushed.extend(r);
+                }
+                WriteAction::PushThenDelay(r) => {
+                    prop_assert!(r.end - r.start <= maxcontig as u64);
+                    pushed.extend(r);
+                }
+            }
+        }
+        if let Some(r) = dw.flush() {
+            pushed.extend(r);
+        }
+        offered.sort_unstable();
+        pushed.sort_unstable();
+        prop_assert_eq!(offered, pushed);
+    }
+
+    /// Delayed-write never delays more than maxcontig pages.
+    #[test]
+    fn delayed_write_bounded_pending(
+        offs in proptest::collection::vec(0u64..100, 1..100),
+        maxcontig in 1u32..20,
+    ) {
+        let mut dw = DelayedWrite::new();
+        for &off in &offs {
+            let _ = dw.on_putpage(off, maxcontig);
+            if let Some(r) = dw.pending() {
+                prop_assert!(r.end - r.start < maxcontig.max(1) as u64 + 1);
+            }
+        }
+    }
+
+    /// Pure sequential writes push exactly at every cluster boundary.
+    #[test]
+    fn sequential_writes_push_at_boundaries(
+        pages in 1u64..300,
+        maxcontig in 1u32..16,
+    ) {
+        let mut dw = DelayedWrite::new();
+        let mut pushes = Vec::new();
+        for off in 0..pages {
+            if let WriteAction::Push(r) = dw.on_putpage(off, maxcontig) {
+                prop_assert_eq!(r.end, off + 1, "push happens AT the boundary page");
+                prop_assert_eq!(r.end - r.start, maxcontig as u64);
+                pushes.push(r);
+            }
+        }
+        prop_assert_eq!(pushes.len() as u64, pages / maxcontig as u64);
+    }
+}

@@ -1,0 +1,542 @@
+//! The drive mechanism: a single server that seeks, waits for rotation, and
+//! transfers, advancing the virtual clock through each phase.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simkit::{Notify, Sim, SimDuration};
+
+use crate::geometry::Geometry;
+use crate::queue::{DiskQueue, Queued};
+use crate::request::{new_handle, DiskOp, DiskRequest, IoHandle, IoResult};
+use crate::store::SectorStore;
+use crate::trackbuf::{BufProbe, TrackBuf};
+
+/// Seek time model: `min + factor * sqrt(distance_in_cylinders)` ms.
+#[derive(Clone, Copy, Debug)]
+pub struct SeekModel {
+    /// Settle + single-track seek, milliseconds.
+    pub min_ms: f64,
+    /// Multiplies the square root of the cylinder distance, milliseconds.
+    pub factor_ms: f64,
+}
+
+impl SeekModel {
+    /// A 1990-vintage drive: ~3 ms track-to-track, ~25 ms full stroke.
+    pub fn vintage_1990() -> SeekModel {
+        SeekModel {
+            min_ms: 2.5,
+            factor_ms: 0.6,
+        }
+    }
+
+    /// Seek duration for a move of `distance` cylinders (0 → zero).
+    pub fn time(&self, distance: u32) -> SimDuration {
+        if distance == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis_f64(self.min_ms + self.factor_ms * (distance as f64).sqrt())
+        }
+    }
+}
+
+/// Full configuration of a simulated drive.
+#[derive(Clone, Debug)]
+pub struct DiskParams {
+    /// Physical layout.
+    pub geometry: Geometry,
+    /// Arm movement model.
+    pub seek: SeekModel,
+    /// Time to switch between heads on the same cylinder.
+    pub head_switch: SimDuration,
+    /// Fixed controller/command overhead per request batch.
+    pub controller_overhead: SimDuration,
+    /// Whether the controller has a one-track read buffer.
+    pub track_buffer: bool,
+    /// Host transfer rate for track-buffer hits, bytes per second.
+    pub bus_rate: f64,
+    /// When set, the driver coalesces physically contiguous queued requests
+    /// into one transfer of at most this many sectors ("driver clustering").
+    pub coalesce_limit: Option<u32>,
+    /// When `false`, requests are serviced strictly in submission order
+    /// (no `disksort`) — some drivers "depend on intelligent controllers"
+    /// instead; modeled as FIFO here.
+    pub use_disksort: bool,
+}
+
+impl DiskParams {
+    /// The paper's measurement drive: 400 MB SCSI with a track buffer.
+    pub fn sun0424() -> DiskParams {
+        DiskParams {
+            geometry: Geometry::sun_scsi_400mb(),
+            seek: SeekModel::vintage_1990(),
+            head_switch: SimDuration::from_micros(700),
+            controller_overhead: SimDuration::from_micros(800),
+            track_buffer: true,
+            bus_rate: 5.0e6, // Synchronous SCSI-1 host transfer.
+            coalesce_limit: None,
+            use_disksort: true,
+        }
+    }
+
+    /// Same drive without a track buffer ("not all drives have track
+    /// buffers").
+    pub fn sun0424_no_track_buffer() -> DiskParams {
+        DiskParams {
+            track_buffer: false,
+            ..Self::sun0424()
+        }
+    }
+
+    /// A small, fast-to-simulate drive for unit tests.
+    pub fn small_test() -> DiskParams {
+        DiskParams {
+            geometry: Geometry::small_test(),
+            seek: SeekModel::vintage_1990(),
+            head_switch: SimDuration::from_millis(1),
+            controller_overhead: SimDuration::from_micros(500),
+            track_buffer: true,
+            bus_rate: 4.0e6,
+            coalesce_limit: None,
+            use_disksort: true,
+        }
+    }
+}
+
+/// Aggregate drive statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskStats {
+    /// Read requests completed (after any coalescing).
+    pub reads: u64,
+    /// Write requests completed (after any coalescing).
+    pub writes: u64,
+    /// Sectors transferred from media or buffer to host.
+    pub sectors_read: u64,
+    /// Sectors transferred to media.
+    pub sectors_written: u64,
+    /// Total arm seek time.
+    pub seek_time: SimDuration,
+    /// Number of non-zero seeks.
+    pub seeks: u64,
+    /// Rotational latency waited (excludes transfer).
+    pub rot_wait: SimDuration,
+    /// Media/bus transfer time.
+    pub transfer_time: SimDuration,
+    /// Reads fully served from the track buffer.
+    pub trackbuf_hits: u64,
+    /// Reads that had to touch the media.
+    pub trackbuf_misses: u64,
+    /// Requests merged away by driver clustering.
+    pub coalesced: u64,
+    /// Total time requests spent queued before service began.
+    pub queue_wait: SimDuration,
+    /// Time the mechanism was busy (any service phase).
+    pub busy: SimDuration,
+}
+
+struct DiskInner {
+    sim: Sim,
+    params: DiskParams,
+    store: RefCell<SectorStore>,
+    queue: RefCell<DiskQueue>,
+    notify: Notify,
+    cur_cyl: Cell<u32>,
+    cur_head: Cell<u32>,
+    trackbuf: RefCell<TrackBuf>,
+    stats: RefCell<DiskStats>,
+    shutdown: Cell<bool>,
+}
+
+/// A simulated drive. Cloning shares the device.
+#[derive(Clone)]
+pub struct Disk {
+    inner: Rc<DiskInner>,
+}
+
+impl Disk {
+    /// Creates the drive and spawns its service task on `sim`.
+    pub fn new(sim: &Sim, params: DiskParams) -> Disk {
+        params.geometry.validate();
+        let store = SectorStore::new(params.geometry.sector_size, params.geometry.total_sectors());
+        let disk = Disk {
+            inner: Rc::new(DiskInner {
+                sim: sim.clone(),
+                params,
+                store: RefCell::new(store),
+                queue: RefCell::new(DiskQueue::new()),
+                notify: Notify::new(),
+                cur_cyl: Cell::new(0),
+                cur_head: Cell::new(0),
+                trackbuf: RefCell::new(TrackBuf::new()),
+                stats: RefCell::new(DiskStats::default()),
+                shutdown: Cell::new(false),
+            }),
+        };
+        let d = disk.clone();
+        sim.spawn(async move { d.service_loop().await });
+        disk
+    }
+
+    /// The drive's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.inner.params.geometry
+    }
+
+    /// The drive's configuration.
+    pub fn params(&self) -> &DiskParams {
+        &self.inner.params
+    }
+
+    /// Snapshot of accumulated statistics.
+    pub fn stats(&self) -> DiskStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = DiskStats::default();
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Stops the service task once the queue drains.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.set(true);
+        self.inner.notify.notify_all();
+    }
+
+    /// Submits a read of `nsect` sectors at `lba`.
+    pub fn submit_read(&self, lba: u64, nsect: u32) -> IoHandle {
+        self.submit(DiskRequest {
+            op: DiskOp::Read,
+            lba,
+            nsect,
+            data: None,
+            ordered: false,
+        })
+    }
+
+    /// Submits a write of `data` (exactly `nsect` sectors) at `lba`.
+    pub fn submit_write(&self, lba: u64, nsect: u32, data: Vec<u8>) -> IoHandle {
+        self.submit(DiskRequest {
+            op: DiskOp::Write,
+            lba,
+            nsect,
+            data: Some(data),
+            ordered: false,
+        })
+    }
+
+    /// Submits an arbitrary request (including `ordered` barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-length requests, out-of-range sectors, or write
+    /// payload length mismatches.
+    pub fn submit(&self, req: DiskRequest) -> IoHandle {
+        assert!(req.nsect > 0, "zero-length disk request");
+        assert!(
+            req.lba + req.nsect as u64 <= self.inner.params.geometry.total_sectors(),
+            "request beyond end of device"
+        );
+        if let Some(data) = &req.data {
+            assert_eq!(
+                data.len(),
+                req.nsect as usize * self.inner.params.geometry.sector_size as usize,
+                "write payload length mismatch"
+            );
+        } else {
+            assert_eq!(req.op, DiskOp::Read, "write without payload");
+        }
+        let (handle, event, slot) = new_handle();
+        self.inner
+            .queue
+            .borrow_mut()
+            .push(req, event, slot, self.inner.sim.now());
+        self.inner.notify.notify_all();
+        handle
+    }
+
+    /// Convenience: read and wait.
+    pub async fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
+        self.submit_read(lba, nsect)
+            .wait()
+            .await
+            .data
+            .expect("read returns data")
+    }
+
+    /// Convenience: write and wait.
+    pub async fn write(&self, lba: u64, nsect: u32, data: Vec<u8>) {
+        self.submit_write(lba, nsect, data).wait().await;
+    }
+
+    async fn service_loop(&self) {
+        loop {
+            let batch: Option<Vec<Queued>> = {
+                let head_lba = self.current_head_lba();
+                let mut q = self.inner.queue.borrow_mut();
+                if !self.inner.params.use_disksort {
+                    // FIFO: emulate by always taking the lowest sequence.
+                    q.take_fifo().map(|item| vec![item])
+                } else if let Some(limit) = self.inner.params.coalesce_limit {
+                    q.take_next_coalesced(head_lba, limit)
+                } else {
+                    q.take_next(head_lba).map(|item| vec![item])
+                }
+            };
+            match batch {
+                Some(batch) => self.service_batch(batch).await,
+                None => {
+                    if self.inner.shutdown.get() {
+                        return;
+                    }
+                    self.inner.notify.wait().await;
+                }
+            }
+        }
+    }
+
+    /// LBA corresponding to the arm's current track (sector 0), used as the
+    /// elevator position.
+    fn current_head_lba(&self) -> u64 {
+        let g = &self.inner.params.geometry;
+        g.chs_to_lba(crate::geometry::Chs {
+            cyl: self.inner.cur_cyl.get(),
+            head: self.inner.cur_head.get(),
+            sector: 0,
+        })
+    }
+
+    async fn service_batch(&self, batch: Vec<Queued>) {
+        let started = self.inner.sim.now();
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.coalesced += (batch.len() as u64).saturating_sub(1);
+            for q in &batch {
+                stats.queue_wait += started.duration_since(q.submitted_at);
+            }
+        }
+        let op = batch[0].req.op;
+        let span_lba = batch[0].req.lba;
+        let span_sectors: u32 = batch.iter().map(|q| q.req.nsect).sum();
+        debug_assert!(
+            batch
+                .windows(2)
+                .all(|w| w[0].req.lba + w[0].req.nsect as u64 == w[1].req.lba),
+            "batch must be contiguous"
+        );
+
+        self.inner
+            .sim
+            .sleep(self.inner.params.controller_overhead)
+            .await;
+
+        let span_data = match op {
+            DiskOp::Read => {
+                let data = self.media_read(span_lba, span_sectors).await;
+                Some(data)
+            }
+            DiskOp::Write => {
+                let mut payload = Vec::with_capacity(
+                    span_sectors as usize * self.inner.params.geometry.sector_size as usize,
+                );
+                for q in &batch {
+                    payload.extend_from_slice(q.req.data.as_ref().expect("write payload"));
+                }
+                self.media_write(span_lba, span_sectors, &payload).await;
+                None
+            }
+        };
+
+        let finished_at = self.inner.sim.now();
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.busy += finished_at.duration_since(started);
+            match op {
+                DiskOp::Read => {
+                    stats.reads += 1;
+                    stats.sectors_read += span_sectors as u64;
+                }
+                DiskOp::Write => {
+                    stats.writes += 1;
+                    stats.sectors_written += span_sectors as u64;
+                }
+            }
+        }
+        // Complete every sub-request, slicing read data per requester.
+        let ssz = self.inner.params.geometry.sector_size as usize;
+        for q in batch {
+            let data = span_data.as_ref().map(|d| {
+                let off = (q.req.lba - span_lba) as usize * ssz;
+                d[off..off + q.req.nsect as usize * ssz].to_vec()
+            });
+            q.slot.borrow_mut().result = Some(IoResult { data, finished_at });
+            q.event.signal();
+        }
+    }
+
+    /// Rotational positioning: time until the leading edge of angular
+    /// `slot` arrives on a track with `spt` sectors.
+    ///
+    /// Uses the *effective* revolution `spt * sector_time` so the angular
+    /// clock is exactly consistent with transfer durations (which advance
+    /// in whole sector times); otherwise integer truncation of the sector
+    /// time would drift a few ns per revolution and turn every
+    /// back-to-back transfer into a full-revolution miss.
+    fn rot_wait_to_slot(&self, slot: u32, spt: u32, sector_ns: u64) -> SimDuration {
+        let rev_eff = sector_ns * spt as u64;
+        let now_in_rev = self.inner.sim.now().as_nanos() % rev_eff;
+        let target = slot as u64 * sector_ns;
+        let wait = (target + rev_eff - now_in_rev) % rev_eff;
+        SimDuration::from_nanos(wait)
+    }
+
+    /// Positions the arm for the track holding `chs`, charging seek and
+    /// head-switch time and aborting any in-progress buffer fill.
+    async fn position(&self, chs: crate::geometry::Chs) {
+        let g = &self.inner.params.geometry;
+        let moved_cyl = chs.cyl != self.inner.cur_cyl.get();
+        let moved_head = chs.head != self.inner.cur_head.get();
+        if moved_cyl || moved_head {
+            // Leaving the current track ends any fill in progress.
+            let leaving = self
+                .inner
+                .trackbuf
+                .borrow()
+                .buffered_track()
+                .map(|t| {
+                    t == g.track_index(crate::geometry::Chs {
+                        cyl: self.inner.cur_cyl.get(),
+                        head: self.inner.cur_head.get(),
+                        sector: 0,
+                    })
+                })
+                .unwrap_or(false);
+            if leaving {
+                self.inner
+                    .trackbuf
+                    .borrow_mut()
+                    .arm_left_track(self.inner.sim.now());
+            }
+        }
+        if moved_cyl {
+            let dist = chs.cyl.abs_diff(self.inner.cur_cyl.get());
+            let t = self.inner.params.seek.time(dist);
+            self.inner.sim.sleep(t).await;
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.seek_time += t;
+            stats.seeks += 1;
+            drop(stats);
+            self.inner.cur_cyl.set(chs.cyl);
+        }
+        if moved_head || moved_cyl {
+            self.inner.sim.sleep(self.inner.params.head_switch).await;
+            self.inner.cur_head.set(chs.head);
+        }
+    }
+
+    async fn media_read(&self, lba: u64, nsect: u32) -> Vec<u8> {
+        let g = self.inner.params.geometry.clone();
+        let mut remaining = nsect;
+        let mut cur = lba;
+        // Host (bus) transfers from the track buffer overlap the
+        // mechanism's further motion (DMA): they only delay the request's
+        // completion, not subsequent media runs.
+        let mut host_until = self.inner.sim.now();
+        while remaining > 0 {
+            let chs = g.lba_to_chs(cur);
+            let run = remaining.min(g.sectors_to_track_end(chs));
+            let track = g.track_index(chs);
+            let spt = g.spt(chs.cyl);
+            let sector_ns = g.sector_time_ns(chs.cyl);
+
+            let probe = if self.inner.params.track_buffer {
+                let slots = (0..run).map(|i| {
+                    g.angular_slot(crate::geometry::Chs {
+                        sector: chs.sector + i,
+                        ..chs
+                    })
+                });
+                self.inner.trackbuf.borrow().probe(track, slots)
+            } else {
+                BufProbe::Miss
+            };
+
+            match probe {
+                BufProbe::Hit { ready_at } => {
+                    self.inner.stats.borrow_mut().trackbuf_hits += 1;
+                    if ready_at > self.inner.sim.now() {
+                        self.inner.sim.sleep_until(ready_at).await;
+                    }
+                    // Host transfer from buffer over the bus (overlapped).
+                    let bytes = run as u64 * g.sector_size as u64;
+                    let bus =
+                        SimDuration::from_secs_f64(bytes as f64 / self.inner.params.bus_rate);
+                    let start = host_until.max(self.inner.sim.now());
+                    host_until = start + bus;
+                    self.inner.stats.borrow_mut().transfer_time += bus;
+                }
+                BufProbe::Miss => {
+                    if self.inner.params.track_buffer {
+                        self.inner.stats.borrow_mut().trackbuf_misses += 1;
+                    }
+                    self.position(chs).await;
+                    let start_slot = g.angular_slot(chs);
+                    let rot = self.rot_wait_to_slot(start_slot, spt, sector_ns);
+                    self.inner.sim.sleep(rot).await;
+                    self.inner.stats.borrow_mut().rot_wait += rot;
+                    let fill_start = self.inner.sim.now();
+                    let xfer = SimDuration::from_nanos(run as u64 * sector_ns);
+                    self.inner.sim.sleep(xfer).await;
+                    self.inner.stats.borrow_mut().transfer_time += xfer;
+                    if self.inner.params.track_buffer {
+                        self.inner.trackbuf.borrow_mut().begin_fill(
+                            track, fill_start, start_slot, spt, sector_ns,
+                        );
+                    }
+                }
+            }
+            cur += run as u64;
+            remaining -= run;
+        }
+        // Wait out any remaining host transfer before completing.
+        if host_until > self.inner.sim.now() {
+            self.inner.sim.sleep_until(host_until).await;
+        }
+        self.inner.store.borrow().read(lba, nsect)
+    }
+
+    async fn media_write(&self, lba: u64, nsect: u32, data: &[u8]) {
+        let g = self.inner.params.geometry.clone();
+        let mut remaining = nsect;
+        let mut cur = lba;
+        while remaining > 0 {
+            let chs = g.lba_to_chs(cur);
+            let run = remaining.min(g.sectors_to_track_end(chs));
+            let track = g.track_index(chs);
+            let spt = g.spt(chs.cyl);
+            let sector_ns = g.sector_time_ns(chs.cyl);
+
+            // Write-through: a write to the buffered track invalidates it.
+            if self.inner.trackbuf.borrow().buffered_track() == Some(track) {
+                self.inner.trackbuf.borrow_mut().invalidate();
+            }
+            self.position(chs).await;
+            let start_slot = g.angular_slot(chs);
+            let rot = self.rot_wait_to_slot(start_slot, spt, sector_ns);
+            self.inner.sim.sleep(rot).await;
+            self.inner.stats.borrow_mut().rot_wait += rot;
+            let xfer = SimDuration::from_nanos(run as u64 * sector_ns);
+            self.inner.sim.sleep(xfer).await;
+            self.inner.stats.borrow_mut().transfer_time += xfer;
+
+            cur += run as u64;
+            remaining -= run;
+        }
+        self.inner.store.borrow_mut().write(lba, nsect, data);
+    }
+}

@@ -1,0 +1,457 @@
+//! Disk geometry: cylinders, heads, sectors, zones, and skew.
+//!
+//! Logical block addresses (LBAs, in sectors) map onto a physical
+//! (cylinder, head, sector) triple. Variable-geometry ("zoned") drives put
+//! more sectors on outer tracks — the paper cites them as a reason users
+//! cannot pick a "right" extent size, so the model supports them.
+
+/// One zone of a variable-geometry drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Zone {
+    /// First cylinder of the zone (inclusive).
+    pub start_cyl: u32,
+    /// Sectors per track within this zone.
+    pub sectors_per_track: u32,
+}
+
+/// Physical layout of a drive.
+#[derive(Clone, Debug)]
+pub struct Geometry {
+    /// Bytes per sector (512 on the drives the paper measures).
+    pub sector_size: u32,
+    /// Sectors per track for a uniform drive; ignored when `zones` is set.
+    pub sectors_per_track: u32,
+    /// Tracks per cylinder (number of heads).
+    pub heads: u32,
+    /// Cylinder count.
+    pub cylinders: u32,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Sectors of angular offset added per successive track within a
+    /// cylinder, so that a head switch during a sequential transfer lands
+    /// just *before* the next logical sector instead of just after it.
+    pub track_skew: u32,
+    /// Additional angular offset applied when crossing to the next
+    /// cylinder, covering the track-to-track seek (which is longer than a
+    /// head switch).
+    pub cyl_skew: u32,
+    /// Zones for a variable-geometry drive, ordered by `start_cyl`
+    /// (which must start at 0). `None` means uniform geometry.
+    pub zones: Option<Vec<Zone>>,
+}
+
+/// A physical sector address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chs {
+    /// Cylinder index.
+    pub cyl: u32,
+    /// Head (track within cylinder) index.
+    pub head: u32,
+    /// Sector index within the track.
+    pub sector: u32,
+}
+
+impl Geometry {
+    /// A model of the paper's drive: a 1990-vintage ~400 MB 3.5" SCSI disk.
+    ///
+    /// 3600 RPM (16.67 ms/rev) and 64 × 512-byte sectors per track give a
+    /// 2 MB/s media rate, so one 8 KB file system block is 16 sectors
+    /// ≈ 4.2 ms — matching the paper's "rotational delay of one block time
+    /// ... 4 milliseconds" and "almost a full rotation (about 16
+    /// milliseconds)".
+    pub fn sun_scsi_400mb() -> Geometry {
+        Geometry {
+            sector_size: 512,
+            sectors_per_track: 64,
+            heads: 9,
+            cylinders: 1400, // 1400 × 9 × 64 × 512 B ≈ 412 MB
+            rpm: 3600,
+            track_skew: 4, // ≈1 ms: covers the head-switch time.
+            cyl_skew: 16,  // ≈4.2 ms: covers a track-to-track seek.
+            zones: None,
+        }
+    }
+
+    /// A small uniform drive for fast unit tests (≈8 MB).
+    pub fn small_test() -> Geometry {
+        Geometry {
+            sector_size: 512,
+            sectors_per_track: 32,
+            heads: 4,
+            cylinders: 128,
+            rpm: 3600,
+            track_skew: 4,
+            cyl_skew: 10,
+            zones: None,
+        }
+    }
+
+    /// A three-zone variable-geometry drive used by the extent-size
+    /// discussion tests.
+    pub fn zoned_example() -> Geometry {
+        Geometry {
+            sector_size: 512,
+            sectors_per_track: 0, // Unused when zoned.
+            heads: 4,
+            cylinders: 300,
+            rpm: 3600,
+            track_skew: 4,
+            cyl_skew: 10,
+            zones: Some(vec![
+                Zone {
+                    start_cyl: 0,
+                    sectors_per_track: 80,
+                },
+                Zone {
+                    start_cyl: 100,
+                    sectors_per_track: 64,
+                },
+                Zone {
+                    start_cyl: 200,
+                    sectors_per_track: 48,
+                },
+            ]),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed geometry (zero dimensions, bad zone table).
+    pub fn validate(&self) {
+        assert!(self.sector_size > 0, "sector_size must be positive");
+        assert!(self.heads > 0, "heads must be positive");
+        assert!(self.cylinders > 0, "cylinders must be positive");
+        assert!(self.rpm > 0, "rpm must be positive");
+        match &self.zones {
+            None => assert!(
+                self.sectors_per_track > 0,
+                "sectors_per_track must be positive for uniform geometry"
+            ),
+            Some(zones) => {
+                assert!(!zones.is_empty(), "zone table must not be empty");
+                assert_eq!(zones[0].start_cyl, 0, "first zone must start at cyl 0");
+                for w in zones.windows(2) {
+                    assert!(
+                        w[0].start_cyl < w[1].start_cyl,
+                        "zones must be ordered by start_cyl"
+                    );
+                }
+                for z in zones {
+                    assert!(z.sectors_per_track > 0, "zone SPT must be positive");
+                    assert!(z.start_cyl < self.cylinders, "zone beyond last cylinder");
+                }
+            }
+        }
+    }
+
+    /// One full revolution, in nanoseconds.
+    pub fn rev_time_ns(&self) -> u64 {
+        60_000_000_000 / self.rpm as u64
+    }
+
+    /// Sectors per track on cylinder `cyl`.
+    pub fn spt(&self, cyl: u32) -> u32 {
+        match &self.zones {
+            None => self.sectors_per_track,
+            Some(zones) => {
+                let mut spt = zones[0].sectors_per_track;
+                for z in zones {
+                    if cyl >= z.start_cyl {
+                        spt = z.sectors_per_track;
+                    } else {
+                        break;
+                    }
+                }
+                spt
+            }
+        }
+    }
+
+    /// Time for one sector to pass under the head on cylinder `cyl`, ns.
+    pub fn sector_time_ns(&self, cyl: u32) -> u64 {
+        self.rev_time_ns() / self.spt(cyl) as u64
+    }
+
+    /// Total capacity in sectors.
+    pub fn total_sectors(&self) -> u64 {
+        match &self.zones {
+            None => self.sectors_per_track as u64 * self.heads as u64 * self.cylinders as u64,
+            Some(zones) => {
+                let mut total = 0u64;
+                for (i, z) in zones.iter().enumerate() {
+                    let end = zones
+                        .get(i + 1)
+                        .map(|n| n.start_cyl)
+                        .unwrap_or(self.cylinders);
+                    total +=
+                        (end - z.start_cyl) as u64 * self.heads as u64 * z.sectors_per_track as u64;
+                }
+                total
+            }
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_sectors() * self.sector_size as u64
+    }
+
+    /// Maps an LBA (sector index) to its physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is beyond the last sector.
+    pub fn lba_to_chs(&self, lba: u64) -> Chs {
+        assert!(
+            lba < self.total_sectors(),
+            "lba {lba} beyond capacity {}",
+            self.total_sectors()
+        );
+        match &self.zones {
+            None => {
+                let spc = self.sectors_per_track as u64 * self.heads as u64;
+                let cyl = (lba / spc) as u32;
+                let within = lba % spc;
+                Chs {
+                    cyl,
+                    head: (within / self.sectors_per_track as u64) as u32,
+                    sector: (within % self.sectors_per_track as u64) as u32,
+                }
+            }
+            Some(zones) => {
+                let mut base = 0u64;
+                for (i, z) in zones.iter().enumerate() {
+                    let end = zones
+                        .get(i + 1)
+                        .map(|n| n.start_cyl)
+                        .unwrap_or(self.cylinders);
+                    let spc = z.sectors_per_track as u64 * self.heads as u64;
+                    let zone_sectors = (end - z.start_cyl) as u64 * spc;
+                    if lba < base + zone_sectors {
+                        let in_zone = lba - base;
+                        let cyl = z.start_cyl + (in_zone / spc) as u32;
+                        let within = in_zone % spc;
+                        return Chs {
+                            cyl,
+                            head: (within / z.sectors_per_track as u64) as u32,
+                            sector: (within % z.sectors_per_track as u64) as u32,
+                        };
+                    }
+                    base += zone_sectors;
+                }
+                unreachable!("lba bounds checked above")
+            }
+        }
+    }
+
+    /// Maps a physical address back to its LBA.
+    pub fn chs_to_lba(&self, chs: Chs) -> u64 {
+        match &self.zones {
+            None => {
+                let spc = self.sectors_per_track as u64 * self.heads as u64;
+                chs.cyl as u64 * spc
+                    + chs.head as u64 * self.sectors_per_track as u64
+                    + chs.sector as u64
+            }
+            Some(zones) => {
+                let mut base = 0u64;
+                for (i, z) in zones.iter().enumerate() {
+                    let end = zones
+                        .get(i + 1)
+                        .map(|n| n.start_cyl)
+                        .unwrap_or(self.cylinders);
+                    let spc = z.sectors_per_track as u64 * self.heads as u64;
+                    if chs.cyl < end {
+                        return base
+                            + (chs.cyl - z.start_cyl) as u64 * spc
+                            + chs.head as u64 * z.sectors_per_track as u64
+                            + chs.sector as u64;
+                    }
+                    base += (end - z.start_cyl) as u64 * spc;
+                }
+                unreachable!("cylinder beyond zone table")
+            }
+        }
+    }
+
+    /// Global track index (used to accumulate skew).
+    pub fn track_index(&self, chs: Chs) -> u64 {
+        chs.cyl as u64 * self.heads as u64 + chs.head as u64
+    }
+
+    /// Angular slot (0..spt) at which logical `sector` of this track sits,
+    /// after applying accumulated track and cylinder skew.
+    pub fn angular_slot(&self, chs: Chs) -> u32 {
+        let spt = self.spt(chs.cyl);
+        // Each head switch within a cylinder adds track_skew; each
+        // cylinder crossing adds cyl_skew (covering the seek).
+        let switches = chs.cyl as u64 * (self.heads as u64 - 1) + chs.head as u64;
+        let skew = (switches * self.track_skew as u64 + chs.cyl as u64 * self.cyl_skew as u64)
+            % spt as u64;
+        ((chs.sector as u64 + skew) % spt as u64) as u32
+    }
+
+    /// Number of sectors remaining on the track starting at `chs`
+    /// (including `chs.sector` itself).
+    pub fn sectors_to_track_end(&self, chs: Chs) -> u32 {
+        self.spt(chs.cyl) - chs.sector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_roundtrip() {
+        let g = Geometry::small_test();
+        g.validate();
+        for lba in [0u64, 1, 31, 32, 127, 128, 4095, g.total_sectors() - 1] {
+            let chs = g.lba_to_chs(lba);
+            assert_eq!(g.chs_to_lba(chs), lba, "roundtrip for {lba}");
+        }
+    }
+
+    #[test]
+    fn uniform_mapping_values() {
+        let g = Geometry::small_test(); // 32 spt, 4 heads
+        assert_eq!(
+            g.lba_to_chs(0),
+            Chs {
+                cyl: 0,
+                head: 0,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.lba_to_chs(32),
+            Chs {
+                cyl: 0,
+                head: 1,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.lba_to_chs(32 * 4),
+            Chs {
+                cyl: 1,
+                head: 0,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.lba_to_chs(32 * 4 + 33),
+            Chs {
+                cyl: 1,
+                head: 1,
+                sector: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zoned_roundtrip_and_spt() {
+        let g = Geometry::zoned_example();
+        g.validate();
+        assert_eq!(g.spt(0), 80);
+        assert_eq!(g.spt(99), 80);
+        assert_eq!(g.spt(100), 64);
+        assert_eq!(g.spt(250), 48);
+        for lba in [
+            0u64,
+            79,
+            80,
+            100 * 4 * 80 - 1,
+            100 * 4 * 80,
+            100 * 4 * 80 + 100 * 4 * 64,
+            g.total_sectors() - 1,
+        ] {
+            let chs = g.lba_to_chs(lba);
+            assert_eq!(g.chs_to_lba(chs), lba, "roundtrip for {lba}");
+        }
+    }
+
+    #[test]
+    fn zoned_capacity() {
+        let g = Geometry::zoned_example();
+        let expect = 100u64 * 4 * 80 + 100 * 4 * 64 + 100 * 4 * 48;
+        assert_eq!(g.total_sectors(), expect);
+        assert_eq!(g.capacity_bytes(), expect * 512);
+    }
+
+    #[test]
+    fn paper_drive_parameters() {
+        let g = Geometry::sun_scsi_400mb();
+        g.validate();
+        // ≈16.7 ms revolution.
+        assert_eq!(g.rev_time_ns(), 16_666_666);
+        // 8 KB block = 16 sectors ≈ 4.2 ms — the paper's "4 ms" block time.
+        let block_ns = 16 * g.sector_time_ns(0);
+        assert!((4_000_000..4_400_000).contains(&block_ns), "{block_ns}");
+        // Capacity ≈ 400 MB.
+        let mb = g.capacity_bytes() / (1 << 20);
+        assert!((380..=420).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    fn skew_accumulates_per_track() {
+        let g = Geometry::small_test(); // skew 4, spt 32
+        let t0s0 = g.angular_slot(Chs {
+            cyl: 0,
+            head: 0,
+            sector: 0,
+        });
+        let t1s0 = g.angular_slot(Chs {
+            cyl: 0,
+            head: 1,
+            sector: 0,
+        });
+        let t2s0 = g.angular_slot(Chs {
+            cyl: 0,
+            head: 2,
+            sector: 0,
+        });
+        assert_eq!(t0s0, 0);
+        assert_eq!(t1s0, 4);
+        assert_eq!(t2s0, 8);
+        // Sector offsets within a track are preserved.
+        assert_eq!(
+            g.angular_slot(Chs {
+                cyl: 0,
+                head: 1,
+                sector: 10
+            }),
+            14
+        );
+    }
+
+    #[test]
+    fn sectors_to_track_end() {
+        let g = Geometry::small_test();
+        assert_eq!(
+            g.sectors_to_track_end(Chs {
+                cyl: 0,
+                head: 0,
+                sector: 0
+            }),
+            32
+        );
+        assert_eq!(
+            g.sectors_to_track_end(Chs {
+                cyl: 0,
+                head: 0,
+                sector: 31
+            }),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn lba_out_of_range_panics() {
+        let g = Geometry::small_test();
+        g.lba_to_chs(g.total_sectors());
+    }
+}

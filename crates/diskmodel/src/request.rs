@@ -1,0 +1,86 @@
+//! Disk request and completion types.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simkit::{Event, SimTime};
+
+/// Direction of a transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskOp {
+    /// Transfer from media to memory.
+    Read,
+    /// Transfer from memory to media.
+    Write,
+}
+
+/// A request as submitted to the drive.
+#[derive(Debug)]
+pub struct DiskRequest {
+    /// Direction.
+    pub op: DiskOp,
+    /// Starting sector.
+    pub lba: u64,
+    /// Sector count (must be positive).
+    pub nsect: u32,
+    /// Payload for writes (exactly `nsect` sectors); `None` for reads.
+    pub data: Option<Vec<u8>>,
+    /// The paper's proposed `B_ORDER` flag: this request may not be
+    /// reordered with respect to any other request by `disksort`, the
+    /// driver, or the controller.
+    pub ordered: bool,
+}
+
+/// Completion record delivered when a request finishes.
+#[derive(Debug)]
+pub struct IoResult {
+    /// Data read from media (reads only).
+    pub data: Option<Vec<u8>>,
+    /// Virtual time at which the transfer completed.
+    pub finished_at: SimTime,
+}
+
+#[derive(Default)]
+pub(crate) struct IoSlot {
+    pub(crate) result: Option<IoResult>,
+}
+
+/// Handle used to await a submitted request's completion.
+pub struct IoHandle {
+    pub(crate) event: Event,
+    pub(crate) slot: Rc<RefCell<IoSlot>>,
+}
+
+impl IoHandle {
+    /// Waits for the transfer to complete and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same handle is awaited twice (the result is consumed).
+    pub async fn wait(self) -> IoResult {
+        self.event.wait().await;
+        self.slot
+            .borrow_mut()
+            .result
+            .take()
+            .expect("IoHandle::wait consumed twice")
+    }
+
+    /// Returns `true` once the request has completed.
+    pub fn is_done(&self) -> bool {
+        self.event.is_signaled()
+    }
+}
+
+pub(crate) fn new_handle() -> (IoHandle, Event, Rc<RefCell<IoSlot>>) {
+    let event = Event::new();
+    let slot = Rc::new(RefCell::new(IoSlot::default()));
+    (
+        IoHandle {
+            event: event.clone(),
+            slot: Rc::clone(&slot),
+        },
+        event,
+        slot,
+    )
+}

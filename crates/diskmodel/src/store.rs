@@ -1,0 +1,153 @@
+//! Sparse byte storage behind the simulated platters.
+//!
+//! The disk stores *real data* so the file system above it round-trips
+//! metadata and file contents for real (and `fsck` can check genuinely
+//! written state). Storage is sparse: untouched regions read back as zeros
+//! without occupying host memory.
+
+use std::collections::HashMap;
+
+const CHUNK_SECTORS: u64 = 128; // 64 KB chunks at 512 B sectors.
+
+/// Sparse sector-addressed storage.
+pub struct SectorStore {
+    sector_size: usize,
+    total_sectors: u64,
+    chunks: HashMap<u64, Vec<u8>>,
+}
+
+impl SectorStore {
+    /// Creates a zero-filled store of `total_sectors` sectors.
+    pub fn new(sector_size: u32, total_sectors: u64) -> Self {
+        SectorStore {
+            sector_size: sector_size as usize,
+            total_sectors,
+            chunks: HashMap::new(),
+        }
+    }
+
+    /// Bytes per sector.
+    pub fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    /// Total capacity in sectors.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Number of materialized (written-to) chunks, for memory accounting.
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn check_range(&self, lba: u64, nsect: u32) {
+        assert!(
+            lba + nsect as u64 <= self.total_sectors,
+            "sector range {lba}+{nsect} beyond capacity {}",
+            self.total_sectors
+        );
+    }
+
+    /// Reads `nsect` sectors starting at `lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    pub fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
+        self.check_range(lba, nsect);
+        let mut out = vec![0u8; nsect as usize * self.sector_size];
+        for i in 0..nsect as u64 {
+            let sector = lba + i;
+            let chunk_idx = sector / CHUNK_SECTORS;
+            if let Some(chunk) = self.chunks.get(&chunk_idx) {
+                let within = (sector % CHUNK_SECTORS) as usize * self.sector_size;
+                let dst = i as usize * self.sector_size;
+                out[dst..dst + self.sector_size]
+                    .copy_from_slice(&chunk[within..within + self.sector_size]);
+            }
+        }
+        out
+    }
+
+    /// Writes `data` (must be exactly `nsect` sectors) starting at `lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity or `data` has the wrong length.
+    pub fn write(&mut self, lba: u64, nsect: u32, data: &[u8]) {
+        self.check_range(lba, nsect);
+        assert_eq!(
+            data.len(),
+            nsect as usize * self.sector_size,
+            "write data length mismatch"
+        );
+        let sector_size = self.sector_size;
+        for i in 0..nsect as u64 {
+            let sector = lba + i;
+            let chunk_idx = sector / CHUNK_SECTORS;
+            let chunk = self
+                .chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| vec![0u8; CHUNK_SECTORS as usize * sector_size]);
+            let within = (sector % CHUNK_SECTORS) as usize * sector_size;
+            let src = i as usize * sector_size;
+            chunk[within..within + sector_size].copy_from_slice(&data[src..src + sector_size]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = SectorStore::new(512, 100);
+        let data = s.read(10, 4);
+        assert_eq!(data.len(), 4 * 512);
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_chunks(), 0, "reads do not materialize chunks");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = SectorStore::new(512, 1000);
+        let data: Vec<u8> = (0..3 * 512).map(|i| (i % 251) as u8).collect();
+        s.write(42, 3, &data);
+        assert_eq!(s.read(42, 3), data);
+        // Partial overlap.
+        assert_eq!(s.read(43, 1), data[512..1024].to_vec());
+    }
+
+    #[test]
+    fn write_crossing_chunk_boundary() {
+        let mut s = SectorStore::new(512, 1000);
+        let data: Vec<u8> = (0..4 * 512).map(|i| (i % 17) as u8).collect();
+        s.write(126, 4, &data); // Chunk size is 128 sectors.
+        assert_eq!(s.read(126, 4), data);
+        assert_eq!(s.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SectorStore::new(512, 100);
+        s.write(5, 1, &[1u8; 512]);
+        s.write(5, 1, &[2u8; 512]);
+        assert_eq!(s.read(5, 1), vec![2u8; 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn read_past_end_panics() {
+        let s = SectorStore::new(512, 10);
+        s.read(8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn short_write_panics() {
+        let mut s = SectorStore::new(512, 10);
+        s.write(0, 2, &[0u8; 512]);
+    }
+}

@@ -1,0 +1,205 @@
+//! The controller's one-track read buffer.
+//!
+//! "A track buffer is a memory cache the size of one track commonly found on
+//! newer disks ... When a read request for a block is sent to the disk, the
+//! entire track is read into the buffer. If successive blocks are on the
+//! same track, they are serviced immediately from the track buffer."
+//!
+//! The model: when a media read transfers sectors on track `T`, the
+//! controller keeps capturing everything that streams under the head, so
+//! each sector of `T` is *deposited* into the buffer at the moment it passes
+//! under the head, starting from the transfer start, for at most one full
+//! revolution. Moving the arm off the track aborts the fill; sectors already
+//! deposited stay valid. The buffer acts as a write-through cache for
+//! writes: data goes to the media, and a write to the buffered track
+//! invalidates the buffer (conservative model).
+
+use simkit::SimTime;
+
+/// Fill state of the track buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TrackBuf {
+    state: Option<Fill>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fill {
+    /// Global track index being captured.
+    track: u64,
+    /// When the capture began (start of the triggering media transfer).
+    fill_start: SimTime,
+    /// Angular slot under the head at `fill_start`.
+    start_slot: u32,
+    /// Sectors per track / sector time for this track.
+    spt: u32,
+    sector_time_ns: u64,
+    /// Set when the arm left the track; deposits after this instant never
+    /// happened.
+    aborted_at: Option<SimTime>,
+}
+
+/// Outcome of probing the buffer for a read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BufProbe {
+    /// Not buffered; go to the media.
+    Miss,
+    /// Every requested sector is (or will be) in the buffer; data is fully
+    /// available at the given instant (which may be in the future while the
+    /// fill is still streaming by).
+    Hit { ready_at: SimTime },
+}
+
+impl TrackBuf {
+    pub(crate) fn new() -> Self {
+        TrackBuf { state: None }
+    }
+
+    /// Begins capturing `track` from `start_slot` at `fill_start`.
+    pub(crate) fn begin_fill(
+        &mut self,
+        track: u64,
+        fill_start: SimTime,
+        start_slot: u32,
+        spt: u32,
+        sector_time_ns: u64,
+    ) {
+        self.state = Some(Fill {
+            track,
+            fill_start,
+            start_slot,
+            spt,
+            sector_time_ns,
+            aborted_at: None,
+        });
+    }
+
+    /// Notes that the arm moved off the buffered track at `now`.
+    pub(crate) fn arm_left_track(&mut self, now: SimTime) {
+        if let Some(f) = &mut self.state {
+            // Only the first departure matters; a completed fill (one full
+            // revolution) is unaffected by later moves.
+            let fill_end = f.fill_start + crate::ns(f.spt as u64 * f.sector_time_ns);
+            if f.aborted_at.is_none() && now < fill_end {
+                f.aborted_at = Some(now);
+            }
+        }
+    }
+
+    /// Invalidates the buffer entirely (a write touched the buffered track).
+    pub(crate) fn invalidate(&mut self) {
+        self.state = None;
+    }
+
+    /// Global track index currently buffered, if any.
+    pub(crate) fn buffered_track(&self) -> Option<u64> {
+        self.state.map(|f| f.track)
+    }
+
+    /// Instant at which the sector at angular slot `slot` is deposited.
+    fn deposit_time(f: &Fill, slot: u32) -> SimTime {
+        let delta = (slot as u64 + f.spt as u64 - f.start_slot as u64) % f.spt as u64;
+        // `+1`: the sector is usable once it has fully passed the head.
+        f.fill_start + crate::ns((delta + 1) * f.sector_time_ns)
+    }
+
+    /// Probes the buffer for a run of sectors on `track` whose angular
+    /// slots are `slots`.
+    pub(crate) fn probe(&self, track: u64, slots: impl Iterator<Item = u32>) -> BufProbe {
+        let Some(f) = &self.state else {
+            return BufProbe::Miss;
+        };
+        if f.track != track {
+            return BufProbe::Miss;
+        }
+        let mut ready_at = SimTime::ZERO;
+        for slot in slots {
+            let dep = Self::deposit_time(f, slot);
+            if let Some(aborted) = f.aborted_at {
+                if dep > aborted {
+                    return BufProbe::Miss;
+                }
+            }
+            if dep > ready_at {
+                ready_at = dep;
+            }
+        }
+        BufProbe::Hit { ready_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_buffer_misses() {
+        let b = TrackBuf::new();
+        assert_eq!(b.probe(0, [0u32].into_iter()), BufProbe::Miss);
+    }
+
+    #[test]
+    fn hit_after_deposit() {
+        let mut b = TrackBuf::new();
+        // 10 slots, 1 ms per sector, fill starts at t=0 from slot 2.
+        b.begin_fill(7, t(0), 2, 10, 1_000_000);
+        // Slot 2 is deposited at 1 ms, slot 5 at 4 ms, slot 1 at 10 ms (wrap).
+        match b.probe(7, [2u32].into_iter()) {
+            BufProbe::Hit { ready_at } => assert_eq!(ready_at, t(1)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match b.probe(7, [5u32, 2].into_iter()) {
+            BufProbe::Hit { ready_at } => assert_eq!(ready_at, t(4)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match b.probe(7, [1u32].into_iter()) {
+            BufProbe::Hit { ready_at } => assert_eq!(ready_at, t(10)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_track_misses() {
+        let mut b = TrackBuf::new();
+        b.begin_fill(7, t(0), 0, 10, 1_000_000);
+        assert_eq!(b.probe(8, [0u32].into_iter()), BufProbe::Miss);
+    }
+
+    #[test]
+    fn abort_limits_deposits() {
+        let mut b = TrackBuf::new();
+        b.begin_fill(7, t(0), 0, 10, 1_000_000);
+        b.arm_left_track(t(5));
+        // Slot 3 deposited at 4 ms (before abort): still valid.
+        assert!(matches!(
+            b.probe(7, [3u32].into_iter()),
+            BufProbe::Hit { .. }
+        ));
+        // Slot 7 would deposit at 8 ms (after abort): lost.
+        assert_eq!(b.probe(7, [7u32].into_iter()), BufProbe::Miss);
+    }
+
+    #[test]
+    fn abort_after_full_rev_is_harmless() {
+        let mut b = TrackBuf::new();
+        b.begin_fill(7, t(0), 0, 10, 1_000_000);
+        b.arm_left_track(t(11)); // Fill completed at 10 ms.
+        assert!(matches!(
+            b.probe(7, [9u32].into_iter()),
+            BufProbe::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut b = TrackBuf::new();
+        b.begin_fill(7, t(0), 0, 10, 1_000_000);
+        b.invalidate();
+        assert_eq!(b.probe(7, [0u32].into_iter()), BufProbe::Miss);
+        assert_eq!(b.buffered_track(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for geometry address mapping, including zoned drives.
+
+use diskmodel::{Geometry, Zone};
+use proptest::prelude::*;
+
+fn uniform_geometry() -> impl Strategy<Value = Geometry> {
+    (8u32..128, 1u32..16, 4u32..256, 0u32..16).prop_map(|(spt, heads, cyls, skew)| Geometry {
+        sector_size: 512,
+        sectors_per_track: spt,
+        heads,
+        cylinders: cyls,
+        rpm: 3600,
+        track_skew: skew,
+        cyl_skew: skew * 2,
+        zones: None,
+    })
+}
+
+fn zoned_geometry() -> impl Strategy<Value = Geometry> {
+    (
+        1u32..16,
+        proptest::collection::vec(8u32..128, 1..5),
+        10u32..50,
+    )
+        .prop_map(|(heads, spts, cyls_per_zone)| {
+            let zones: Vec<Zone> = spts
+                .iter()
+                .enumerate()
+                .map(|(i, &spt)| Zone {
+                    start_cyl: i as u32 * cyls_per_zone,
+                    sectors_per_track: spt,
+                })
+                .collect();
+            let cylinders = spts.len() as u32 * cyls_per_zone;
+            Geometry {
+                sector_size: 512,
+                sectors_per_track: 0,
+                heads,
+                cylinders,
+                rpm: 3600,
+                track_skew: 4,
+                cyl_skew: 8,
+                zones: Some(zones),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// LBA → CHS → LBA is the identity for every sector of any uniform
+    /// drive (sampled), and CHS components are always in range.
+    #[test]
+    fn uniform_roundtrip(g in uniform_geometry(), frac in 0.0f64..1.0) {
+        g.validate();
+        let total = g.total_sectors();
+        let lba = ((total - 1) as f64 * frac) as u64;
+        let chs = g.lba_to_chs(lba);
+        prop_assert!(chs.cyl < g.cylinders);
+        prop_assert!(chs.head < g.heads);
+        prop_assert!(chs.sector < g.spt(chs.cyl));
+        prop_assert_eq!(g.chs_to_lba(chs), lba);
+    }
+
+    /// Same for zoned drives, plus: zone capacities sum to the total, and
+    /// the angular slot is always within the track.
+    #[test]
+    fn zoned_roundtrip(g in zoned_geometry(), frac in 0.0f64..1.0) {
+        g.validate();
+        let total = g.total_sectors();
+        let lba = ((total - 1) as f64 * frac) as u64;
+        let chs = g.lba_to_chs(lba);
+        prop_assert!(chs.sector < g.spt(chs.cyl));
+        prop_assert_eq!(g.chs_to_lba(chs), lba);
+        prop_assert!(g.angular_slot(chs) < g.spt(chs.cyl));
+    }
+
+    /// Consecutive LBAs are physically consecutive: same track and +1
+    /// sector, or the start of the next track.
+    #[test]
+    fn lba_adjacency_maps_to_track_order(g in uniform_geometry(), frac in 0.0f64..1.0) {
+        let total = g.total_sectors();
+        if total < 2 { return Ok(()); }
+        let lba = ((total - 2) as f64 * frac) as u64;
+        let a = g.lba_to_chs(lba);
+        let b = g.lba_to_chs(lba + 1);
+        if a.sector + 1 < g.spt(a.cyl) {
+            prop_assert_eq!((b.cyl, b.head, b.sector), (a.cyl, a.head, a.sector + 1));
+        } else {
+            prop_assert_eq!(b.sector, 0);
+            prop_assert_eq!(g.track_index(b), g.track_index(a) + 1);
+        }
+    }
+}

@@ -1,0 +1,1070 @@
+//! # extentfs — the comparator the paper argues against
+//!
+//! A small extent-based file system: file data lives in large, physically
+//! contiguous, **preallocated** extents whose size the *user* chooses per
+//! mount (the paper: "Typically, the user can control the size of these
+//! extents... it is unlikely that a user will be able to choose the 'right'
+//! extent size"). I/O is performed in extent-sized units, so per-call CPU
+//! overhead is amortized exactly as in an extent file system.
+//!
+//! This crate exists for the title claim: clustered UFS should match
+//! extent-based throughput *without* the on-disk format change and without
+//! exposing extent sizing to users. The ablation benches mount this next to
+//! UFS on identical hardware.
+//!
+//! The format is deliberately simple (and incompatible with UFS — that is
+//! the point): a header block, a fixed inode table with names stored in the
+//! inodes (flat namespace), an allocation bitmap, then data. The inode
+//! table and bitmap are held in core; only the data path is simulated in
+//! full, because only the data path is measured.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use clufs::{DelayedWrite, ReadAhead, WriteAction};
+use diskmodel::Disk;
+use pagecache::{PageCache, PageId, PageKey};
+use simkit::{Cpu, Notify, Sim};
+use ufs::CpuCosts;
+use vfs::{AccessMode, FileSystem, FsError, FsResult, Vnode, VnodeId};
+
+/// Bytes per file system block (same as UFS for apples-to-apples).
+pub const BLOCK_SIZE: usize = 8192;
+const SECTORS_PER_BLOCK: u32 = (BLOCK_SIZE / 512) as u32;
+/// Maximum extents per file.
+pub const MAX_EXTENTS: usize = 40;
+/// Maximum file name length (stored in the inode).
+pub const NAME_MAX: usize = 59;
+
+/// One contiguous run of blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// First physical block.
+    pub pbn: u32,
+    /// Length in blocks.
+    pub len: u32,
+}
+
+/// Mount parameters.
+#[derive(Clone)]
+pub struct ExtentFsParams {
+    /// The user-chosen extent size, in blocks — the knob the paper says
+    /// users cannot choose correctly.
+    pub extent_blocks: u32,
+    /// CPU cost model (use the same as the UFS mount being compared).
+    pub costs: CpuCosts,
+    /// Sequential read-ahead of the next I/O unit.
+    pub readahead: bool,
+    /// Page-cache identity namespace.
+    pub mount_id: u64,
+}
+
+impl ExtentFsParams {
+    /// A mount with the given extent size and SPARCstation costs.
+    pub fn with_extent_blocks(extent_blocks: u32) -> ExtentFsParams {
+        ExtentFsParams {
+            extent_blocks: extent_blocks.max(1),
+            costs: CpuCosts::sparcstation_1(),
+            readahead: true,
+            mount_id: 0x0e,
+        }
+    }
+}
+
+struct ExtInode {
+    name: String,
+    size: u64,
+    extents: Vec<Extent>,
+}
+
+struct OpenState {
+    ra: RefCell<ReadAhead>,
+    dw: RefCell<DelayedWrite>,
+    pending_io: Cell<u32>,
+    quiesce: Notify,
+}
+
+struct Inner {
+    sim: Sim,
+    cpu: Cpu,
+    disk: Disk,
+    cache: PageCache,
+    params: ExtentFsParams,
+    data_start: u64,
+    bitmap: RefCell<Vec<bool>>, // One per data block.
+    inodes: RefCell<Vec<Option<ExtInode>>>,
+    open: RefCell<HashMap<u32, Rc<OpenState>>>,
+    stats: RefCell<ExtentFsStats>,
+}
+
+/// Mount-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtentFsStats {
+    /// Extent-unit reads issued.
+    pub unit_reads: u64,
+    /// Extent-unit writes issued.
+    pub unit_writes: u64,
+    /// Blocks moved by reads.
+    pub blocks_read: u64,
+    /// Blocks moved by writes.
+    pub blocks_written: u64,
+    /// Preallocation attempts that had to settle for a shorter extent.
+    pub short_extents: u64,
+}
+
+/// A mounted extent file system. Clones share the mount.
+#[derive(Clone)]
+pub struct ExtentFs {
+    inner: Rc<Inner>,
+}
+
+/// An open file.
+pub struct ExtFile {
+    fs: ExtentFs,
+    ino: u32,
+    state: Rc<OpenState>,
+}
+
+impl ExtentFs {
+    /// Formats `disk` and mounts a fresh, empty volume.
+    ///
+    /// `ninodes` bounds the file count. Header/inode-table/bitmap blocks
+    /// are reserved at the front of the device so data placement is
+    /// comparable with UFS.
+    pub fn format(
+        sim: &Sim,
+        cpu: &Cpu,
+        cache: &PageCache,
+        disk: &Disk,
+        ninodes: u32,
+        params: ExtentFsParams,
+    ) -> FsResult<ExtentFs> {
+        assert_eq!(cache.page_size(), BLOCK_SIZE);
+        let total_blocks = disk.geometry().total_sectors() / SECTORS_PER_BLOCK as u64;
+        let inode_blocks = (ninodes as u64 * 512).div_ceil(BLOCK_SIZE as u64);
+        let bitmap_blocks = total_blocks.div_ceil(BLOCK_SIZE as u64 * 8);
+        let data_start = 1 + inode_blocks + bitmap_blocks;
+        if data_start >= total_blocks {
+            return Err(FsError::Invalid);
+        }
+        let data_blocks = (total_blocks - data_start) as usize;
+        Ok(ExtentFs {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                cpu: cpu.clone(),
+                disk: disk.clone(),
+                cache: cache.clone(),
+                params,
+                data_start,
+                bitmap: RefCell::new(vec![false; data_blocks]),
+                inodes: RefCell::new((0..ninodes).map(|_| None).collect()),
+                open: RefCell::new(HashMap::new()),
+                stats: RefCell::new(ExtentFsStats::default()),
+            }),
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ExtentFsStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Blocks currently allocated to `ino` (tests and experiments).
+    pub fn allocated_blocks(&self, ino: u32) -> u64 {
+        let inodes = self.inner.inodes.borrow();
+        inodes[ino as usize]
+            .as_ref()
+            .map(|i| i.extents.iter().map(|e| e.len as u64).sum())
+            .unwrap_or(0)
+    }
+
+    async fn charge(&self, tag: &'static str, d: simkit::SimDuration) {
+        self.inner.cpu.charge(tag, d).await;
+    }
+
+    fn vid(&self, ino: u32) -> VnodeId {
+        (self.inner.params.mount_id << 32) | ino as u64
+    }
+
+    /// First-fit allocation of a contiguous run of up to `want` blocks,
+    /// settling for the longest run available (at least 1).
+    fn alloc_extent(&self, want: u32) -> FsResult<Extent> {
+        let bitmap = self.inner.bitmap.borrow();
+        let n = bitmap.len();
+        let mut best: Option<(usize, u32)> = None;
+        let mut i = 0usize;
+        while i < n {
+            if bitmap[i] {
+                i += 1;
+                continue;
+            }
+            let mut len = 0u32;
+            while i + (len as usize) < n && !bitmap[i + len as usize] && len < want {
+                len += 1;
+            }
+            if len == want {
+                best = Some((i, len));
+                break;
+            }
+            if best.map(|(_, l)| len > l).unwrap_or(true) {
+                best = Some((i, len));
+            }
+            i += len as usize + 1;
+        }
+        drop(bitmap);
+        let (start, len) = best.ok_or(FsError::NoSpace)?;
+        if len < want {
+            self.inner.stats.borrow_mut().short_extents += 1;
+        }
+        let mut bitmap = self.inner.bitmap.borrow_mut();
+        for b in &mut bitmap[start..start + len as usize] {
+            *b = true;
+        }
+        Ok(Extent {
+            pbn: (self.inner.data_start + start as u64) as u32,
+            len,
+        })
+    }
+
+    fn free_extent(&self, e: Extent) {
+        let mut bitmap = self.inner.bitmap.borrow_mut();
+        let start = e.pbn as u64 - self.inner.data_start;
+        for b in &mut bitmap[start as usize..(start + e.len as u64) as usize] {
+            assert!(*b, "double free in extent bitmap");
+            *b = false;
+        }
+    }
+
+    /// Translates `lbn` to `(pbn, contiguous len)` within the file's
+    /// extents. An extent file system's bmap is a tiny table walk — that is
+    /// its CPU advantage, reflected by charging only the base bmap cost.
+    fn translate(&self, ino: u32, lbn: u64) -> Option<(u32, u32)> {
+        let inodes = self.inner.inodes.borrow();
+        let inode = inodes[ino as usize].as_ref()?;
+        let mut base = 0u64;
+        for e in &inode.extents {
+            if lbn < base + e.len as u64 {
+                let off = (lbn - base) as u32;
+                return Some((e.pbn + off, e.len - off));
+            }
+            base += e.len as u64;
+        }
+        None
+    }
+
+    /// Grows the file's allocation to cover `blocks` logical blocks by
+    /// preallocating extents of the mount's extent size.
+    fn ensure_allocated(&self, ino: u32, blocks: u64) -> FsResult<()> {
+        while self.allocated_blocks(ino) < blocks {
+            let e = self.alloc_extent(self.inner.params.extent_blocks)?;
+            let mut inodes = self.inner.inodes.borrow_mut();
+            let inode = inodes[ino as usize].as_mut().ok_or(FsError::NotFound)?;
+            if inode.extents.len() == MAX_EXTENTS {
+                drop(inodes);
+                self.free_extent(e);
+                return Err(FsError::TooBig);
+            }
+            // Merge with the previous extent when physically adjacent.
+            match inode.extents.last_mut() {
+                Some(last) if last.pbn + last.len == e.pbn => last.len += e.len,
+                _ => inode.extents.push(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn open_state(&self, ino: u32) -> Rc<OpenState> {
+        let mut open = self.inner.open.borrow_mut();
+        Rc::clone(open.entry(ino).or_insert_with(|| {
+            Rc::new(OpenState {
+                ra: RefCell::new(if self.inner.params.readahead {
+                    ReadAhead::new()
+                } else {
+                    ReadAhead::disabled()
+                }),
+                dw: RefCell::new(DelayedWrite::new()),
+                pending_io: Cell::new(0),
+                quiesce: Notify::new(),
+            })
+        }))
+    }
+
+    /// Reads the I/O unit containing `lbn` into the cache (plus read-ahead
+    /// of the next unit) and returns the page.
+    async fn getpage(&self, f: &ExtFile, lbn: u64, eof_blocks: u64) -> FsResult<PageId> {
+        let costs = self.inner.params.costs;
+        let key = PageKey {
+            vnode: self.vid(f.ino),
+            offset: lbn * BLOCK_SIZE as u64,
+        };
+        let cached = self.inner.cache.lookup(key);
+        self.charge(
+            "fault",
+            if cached.is_some() {
+                costs.page_hit
+            } else {
+                costs.fault
+            },
+        )
+        .await;
+        self.charge("bmap", costs.bmap).await;
+        let unit = self.inner.params.extent_blocks;
+        let clip =
+            |l: u64, len: u32| -> u32 { len.min((eof_blocks.saturating_sub(l)).min(unit as u64) as u32) };
+        let (pbn, _len) = self.translate(f.ino, lbn).ok_or(FsError::Corrupt)?;
+        let plan = {
+            let mut ra = f.state.ra.borrow_mut();
+            ra.on_access(
+                lbn,
+                cached.is_some(),
+                |probe| {
+                    if probe >= eof_blocks {
+                        return 0;
+                    }
+                    match self.translate(f.ino, probe) {
+                        Some((_p, l)) => clip(probe, l),
+                        None => 0,
+                    }
+                },
+                0,
+            )
+        };
+        let mut sync_io = None;
+        if cached.is_none() {
+            let run = plan.sync.expect("uncached read plans I/O");
+            debug_assert_eq!(run.lbn, lbn);
+            let io = self.start_unit_read(f, run.lbn, pbn, run.blocks).await?;
+            sync_io = Some(io);
+        }
+        if let Some(run) = plan.readahead {
+            if let Some((ra_pbn, ra_len)) = self.translate(f.ino, run.lbn) {
+                let n = run.blocks.min(clip(run.lbn, ra_len));
+                let first_key = PageKey {
+                    vnode: self.vid(f.ino),
+                    offset: run.lbn * BLOCK_SIZE as u64,
+                };
+                if n > 0 && self.inner.cache.lookup(first_key).is_none() {
+                    let (handle, pages) = self.start_unit_read(f, run.lbn, ra_pbn, n).await?;
+                    let fs = self.clone();
+                    self.inner.sim.spawn(async move {
+                        let result = handle.wait().await;
+                        fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
+                        fs.fill_pages(&pages, &result.data.expect("read data"));
+                    });
+                }
+            }
+        }
+        match (cached, sync_io) {
+            (Some(id), _) => {
+                self.inner.cache.wait_unbusy(id).await;
+                Ok(id)
+            }
+            (None, Some((handle, pages))) => {
+                let result = handle.wait().await;
+                self.charge("io_intr", costs.io_intr).await;
+                let data = result.data.expect("read data");
+                let first = pages[0].1;
+                self.fill_pages(&pages, &data);
+                Ok(first)
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+
+    fn fill_pages(&self, pages: &[(u64, PageId)], data: &[u8]) {
+        for (i, (_lbn, id)) in pages.iter().enumerate() {
+            self.inner
+                .cache
+                .write_at(*id, 0, &data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]);
+            self.inner.cache.unbusy(*id);
+        }
+    }
+
+    async fn start_unit_read(
+        &self,
+        f: &ExtFile,
+        lbn: u64,
+        pbn: u32,
+        len: u32,
+    ) -> FsResult<(diskmodel::IoHandle, Vec<(u64, PageId)>)> {
+        let mut pages = Vec::new();
+        for i in 0..len.max(1) {
+            let key = PageKey {
+                vnode: self.vid(f.ino),
+                offset: (lbn + i as u64) * BLOCK_SIZE as u64,
+            };
+            if self.inner.cache.lookup(key).is_some() {
+                break;
+            }
+            let id = self.inner.cache.create(key).await;
+            pages.push((lbn + i as u64, id));
+        }
+        let n = pages.len() as u32;
+        assert!(n > 0, "unit read with zero absent pages");
+        self.charge("io_setup", self.inner.params.costs.io_setup)
+            .await;
+        {
+            let mut st = self.inner.stats.borrow_mut();
+            st.unit_reads += 1;
+            st.blocks_read += n as u64;
+        }
+        let handle = self
+            .inner
+            .disk
+            .submit_read(pbn as u64 * SECTORS_PER_BLOCK as u64, n * SECTORS_PER_BLOCK);
+        Ok((handle, pages))
+    }
+
+    async fn flush_range(&self, f: &ExtFile, range: std::ops::Range<u64>) -> FsResult<()> {
+        let mut cur = range.start;
+        while cur < range.end {
+            let key = PageKey {
+                vnode: self.vid(f.ino),
+                offset: cur * BLOCK_SIZE as u64,
+            };
+            let id = match self.inner.cache.lookup(key) {
+                Some(id) if self.inner.cache.is_dirty(id) => id,
+                _ => {
+                    cur += 1;
+                    continue;
+                }
+            };
+            if !self.inner.cache.lock_busy(id).await {
+                cur += 1;
+                continue;
+            }
+            if !self.inner.cache.is_dirty(id) {
+                self.inner.cache.unbusy(id);
+                cur += 1;
+                continue;
+            }
+            let (pbn, contig) = self.translate(f.ino, cur).ok_or(FsError::Corrupt)?;
+            let cap = contig
+                .min((range.end - cur) as u32)
+                .min(self.inner.params.extent_blocks);
+            let mut run = vec![id];
+            for i in 1..cap {
+                let k = PageKey {
+                    vnode: self.vid(f.ino),
+                    offset: (cur + i as u64) * BLOCK_SIZE as u64,
+                };
+                match self.inner.cache.lookup(k) {
+                    Some(pid) if self.inner.cache.is_dirty(pid) => {
+                        if !self.inner.cache.lock_busy(pid).await {
+                            break;
+                        }
+                        if !self.inner.cache.is_dirty(pid) {
+                            self.inner.cache.unbusy(pid);
+                            break;
+                        }
+                        run.push(pid);
+                    }
+                    _ => break,
+                }
+            }
+            let n = run.len() as u32;
+            let mut payload = Vec::with_capacity(n as usize * BLOCK_SIZE);
+            for pid in &run {
+                payload.extend_from_slice(&self.inner.cache.read_page(*pid));
+            }
+            self.charge("io_setup", self.inner.params.costs.io_setup)
+                .await;
+            {
+                let mut st = self.inner.stats.borrow_mut();
+                st.unit_writes += 1;
+                st.blocks_written += n as u64;
+            }
+            f.state.pending_io.set(f.state.pending_io.get() + 1);
+            let handle = self.inner.disk.submit_write(
+                pbn as u64 * SECTORS_PER_BLOCK as u64,
+                n * SECTORS_PER_BLOCK,
+                payload,
+            );
+            let fs = self.clone();
+            let state = Rc::clone(&f.state);
+            self.inner.sim.spawn(async move {
+                handle.wait().await;
+                fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
+                for pid in &run {
+                    fs.inner.cache.clear_dirty(*pid);
+                    fs.inner.cache.unbusy(*pid);
+                }
+                let p = state.pending_io.get();
+                state.pending_io.set(p - 1);
+                if p == 1 {
+                    state.quiesce.notify_all();
+                }
+            });
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    fn find(&self, name: &str) -> Option<u32> {
+        self.inner
+            .inodes
+            .borrow()
+            .iter()
+            .position(|slot| slot.as_ref().map(|i| i.name == name).unwrap_or(false))
+            .map(|i| i as u32)
+    }
+
+    /// Verifies bitmap-vs-extent consistency (a lightweight fsck).
+    pub fn check(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let bitmap = self.inner.bitmap.borrow();
+        let mut claimed = vec![false; bitmap.len()];
+        for (ino, slot) in self.inner.inodes.borrow().iter().enumerate() {
+            let Some(inode) = slot else { continue };
+            let allocated: u64 = inode.extents.iter().map(|e| e.len as u64).sum();
+            if inode.size.div_ceil(BLOCK_SIZE as u64) > allocated {
+                errors.push(format!("ino {ino}: size exceeds allocation"));
+            }
+            for e in &inode.extents {
+                for b in 0..e.len as u64 {
+                    let idx = (e.pbn as u64 - self.inner.data_start + b) as usize;
+                    if claimed[idx] {
+                        errors.push(format!("block {idx}: doubly claimed"));
+                    }
+                    claimed[idx] = true;
+                    if !bitmap[idx] {
+                        errors.push(format!("block {idx}: claimed but free"));
+                    }
+                }
+            }
+        }
+        for (idx, (&bit, &cl)) in bitmap.iter().zip(claimed.iter()).enumerate() {
+            if bit && !cl {
+                errors.push(format!("block {idx}: allocated but unclaimed"));
+            }
+        }
+        errors
+    }
+}
+
+impl Vnode for ExtFile {
+    fn id(&self) -> VnodeId {
+        self.fs.vid(self.ino)
+    }
+
+    fn size(&self) -> u64 {
+        self.fs.inner.inodes.borrow()[self.ino as usize]
+            .as_ref()
+            .map(|i| i.size)
+            .unwrap_or(0)
+    }
+
+    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>> {
+        let costs = self.fs.inner.params.costs;
+        self.fs.charge("syscall", costs.syscall).await;
+        let size = self.size();
+        if off >= size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - off) as usize);
+        let eof_blocks = size.div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::with_capacity(len);
+        let mut pos = off;
+        let end = off + len as u64;
+        while pos < end {
+            let lbn = pos / BLOCK_SIZE as u64;
+            let in_page = (pos % BLOCK_SIZE as u64) as usize;
+            let n = ((BLOCK_SIZE - in_page) as u64).min(end - pos) as usize;
+            let pid = self.fs.getpage(self, lbn, eof_blocks).await?;
+            self.fs.charge("map_unmap", costs.map_unmap).await;
+            if mode == AccessMode::Copy {
+                self.fs.charge("copy", costs.copy(n)).await;
+            }
+            let mut piece = vec![0u8; n];
+            self.fs.inner.cache.read_at(pid, in_page, &mut piece);
+            out.extend_from_slice(&piece);
+            pos += n as u64;
+        }
+        Ok(out)
+    }
+
+    async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()> {
+        let costs = self.fs.inner.params.costs;
+        self.fs.charge("syscall", costs.syscall).await;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = off + data.len() as u64;
+        self.fs
+            .ensure_allocated(self.ino, end.div_ceil(BLOCK_SIZE as u64))?;
+        let old_size = self.size();
+        let old_blocks = old_size.div_ceil(BLOCK_SIZE as u64);
+        // Extent file systems have no holes: a write past EOF must
+        // zero-fill the gap blocks, or reads would expose whatever the
+        // recycled disk blocks last held. (UFS avoids this cost with real
+        // holes — one of the paper's points in its favor.)
+        if off > old_size {
+            let first_gap = old_size.div_ceil(BLOCK_SIZE as u64);
+            let gap_end = off / BLOCK_SIZE as u64; // Write loop covers off's own block.
+            for lbn in first_gap..gap_end {
+                let key = PageKey {
+                    vnode: self.id(),
+                    offset: lbn * BLOCK_SIZE as u64,
+                };
+                let pid = match self.fs.inner.cache.lookup(key) {
+                    Some(pid) => {
+                        self.fs.inner.cache.wait_unbusy(pid).await;
+                        self.fs.inner.cache.write_at(pid, 0, &[0u8; BLOCK_SIZE]);
+                        pid
+                    }
+                    None => {
+                        let pid = self.fs.inner.cache.create(key).await;
+                        self.fs.inner.cache.unbusy(pid); // Created zeroed.
+                        pid
+                    }
+                };
+                self.fs.inner.cache.mark_dirty(pid);
+            }
+        }
+        let mut pos = off;
+        let mut src = 0usize;
+        while pos < end {
+            let lbn = pos / BLOCK_SIZE as u64;
+            let in_page = (pos % BLOCK_SIZE as u64) as usize;
+            let n = ((BLOCK_SIZE - in_page) as u64).min(end - pos) as usize;
+            self.fs.charge("bmap", costs.bmap).await;
+            let key = PageKey {
+                vnode: self.id(),
+                offset: lbn * BLOCK_SIZE as u64,
+            };
+            let full = in_page == 0 && n == BLOCK_SIZE;
+            let pid = match self.fs.inner.cache.lookup(key) {
+                Some(pid) => {
+                    self.fs.inner.cache.wait_unbusy(pid).await;
+                    pid
+                }
+                None => {
+                    let pid = self.fs.inner.cache.create(key).await;
+                    if !full && lbn < old_blocks {
+                        // Read-modify-write of an existing partial block.
+                        let (pbn, _) =
+                            self.fs.translate(self.ino, lbn).ok_or(FsError::Corrupt)?;
+                        self.fs.charge("io_setup", costs.io_setup).await;
+                        let old = self
+                            .fs
+                            .inner
+                            .disk
+                            .read(pbn as u64 * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
+                            .await;
+                        self.fs.charge("io_intr", costs.io_intr).await;
+                        self.fs.inner.cache.write_at(pid, 0, &old);
+                    }
+                    self.fs.inner.cache.unbusy(pid);
+                    pid
+                }
+            };
+            self.fs.charge("map_unmap", costs.map_unmap).await;
+            if mode == AccessMode::Copy {
+                self.fs.charge("copy", costs.copy(n)).await;
+            }
+            self.fs
+                .inner
+                .cache
+                .write_at(pid, in_page, &data[src..src + n]);
+            self.fs.inner.cache.mark_dirty(pid);
+            {
+                let mut inodes = self.fs.inner.inodes.borrow_mut();
+                let inode = inodes[self.ino as usize]
+                    .as_mut()
+                    .ok_or(FsError::NotFound)?;
+                if pos + n as u64 > inode.size {
+                    inode.size = pos + n as u64;
+                }
+            }
+            let action = self
+                .state
+                .dw
+                .borrow_mut()
+                .on_putpage(lbn, self.fs.inner.params.extent_blocks);
+            match action {
+                WriteAction::Delay => {}
+                WriteAction::Push(r) | WriteAction::PushThenDelay(r) => {
+                    self.fs.flush_range(self, r).await?;
+                }
+            }
+            pos += n as u64;
+            src += n;
+        }
+        Ok(())
+    }
+
+    async fn fsync(&self) -> FsResult<()> {
+        let pending = self.state.dw.borrow_mut().flush();
+        if let Some(r) = pending {
+            self.fs.flush_range(self, r).await?;
+        }
+        let offsets = self.fs.inner.cache.dirty_offsets(self.id());
+        if let (Some(&first), Some(&last)) = (offsets.first(), offsets.last()) {
+            let range = first / BLOCK_SIZE as u64..last / BLOCK_SIZE as u64 + 1;
+            self.fs.flush_range(self, range).await?;
+        }
+        while self.state.pending_io.get() > 0 {
+            self.state.quiesce.wait().await;
+        }
+        Ok(())
+    }
+
+    async fn truncate(&self, size: u64) -> FsResult<()> {
+        self.fsync().await?;
+        let keep_blocks = size.div_ceil(BLOCK_SIZE as u64);
+        self.fs
+            .inner
+            .cache
+            .invalidate_vnode(self.id(), keep_blocks * BLOCK_SIZE as u64);
+        let freed: Vec<Extent> = {
+            let mut inodes = self.fs.inner.inodes.borrow_mut();
+            let inode = inodes[self.ino as usize]
+                .as_mut()
+                .ok_or(FsError::NotFound)?;
+            inode.size = size.min(inode.size);
+            let mut base = 0u64;
+            let mut keep = Vec::new();
+            let mut freed = Vec::new();
+            for e in inode.extents.drain(..) {
+                if base + (e.len as u64) <= keep_blocks {
+                    keep.push(e);
+                } else if base >= keep_blocks {
+                    freed.push(e);
+                } else {
+                    let keep_len = (keep_blocks - base) as u32;
+                    keep.push(Extent {
+                        pbn: e.pbn,
+                        len: keep_len,
+                    });
+                    freed.push(Extent {
+                        pbn: e.pbn + keep_len,
+                        len: e.len - keep_len,
+                    });
+                }
+                base += e.len as u64;
+            }
+            inode.extents = keep;
+            freed
+        };
+        for e in freed {
+            self.fs.free_extent(e);
+        }
+        // Zero the tail of the kept final partial block so a later
+        // extension does not expose stale bytes.
+        let tail = (size % BLOCK_SIZE as u64) as usize;
+        if tail != 0 {
+            let last_lbn = size / BLOCK_SIZE as u64;
+            if let Some((pbn, _)) = self.fs.translate(self.ino, last_lbn) {
+                let key = PageKey {
+                    vnode: self.id(),
+                    offset: last_lbn * BLOCK_SIZE as u64,
+                };
+                let pid = match self.fs.inner.cache.lookup(key) {
+                    Some(pid) => {
+                        self.fs.inner.cache.wait_unbusy(pid).await;
+                        pid
+                    }
+                    None => {
+                        let pid = self.fs.inner.cache.create(key).await;
+                        let old = self
+                            .fs
+                            .inner
+                            .disk
+                            .read(pbn as u64 * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
+                            .await;
+                        self.fs.inner.cache.write_at(pid, 0, &old);
+                        self.fs.inner.cache.unbusy(pid);
+                        pid
+                    }
+                };
+                self.fs
+                    .inner
+                    .cache
+                    .write_at(pid, tail, &vec![0u8; BLOCK_SIZE - tail]);
+                self.fs.inner.cache.mark_dirty(pid);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for ExtentFs {
+    type File = ExtFile;
+
+    async fn create(&self, path: &str) -> FsResult<ExtFile> {
+        let name = path.trim_start_matches('/');
+        if name.is_empty() || name.len() > NAME_MAX || name.contains('/') {
+            return Err(FsError::Invalid);
+        }
+        if let Some(ino) = self.find(name) {
+            let f = ExtFile {
+                fs: self.clone(),
+                ino,
+                state: self.open_state(ino),
+            };
+            f.truncate(0).await?;
+            return Ok(f);
+        }
+        let slot = {
+            let mut inodes = self.inner.inodes.borrow_mut();
+            let slot = inodes
+                .iter()
+                .position(|s| s.is_none())
+                .ok_or(FsError::NoInodes)?;
+            inodes[slot] = Some(ExtInode {
+                name: name.to_string(),
+                size: 0,
+                extents: Vec::new(),
+            });
+            slot as u32
+        };
+        Ok(ExtFile {
+            fs: self.clone(),
+            ino: slot,
+            state: self.open_state(slot),
+        })
+    }
+
+    async fn open(&self, path: &str) -> FsResult<ExtFile> {
+        let name = path.trim_start_matches('/');
+        let ino = self.find(name).ok_or(FsError::NotFound)?;
+        Ok(ExtFile {
+            fs: self.clone(),
+            ino,
+            state: self.open_state(ino),
+        })
+    }
+
+    async fn remove(&self, path: &str) -> FsResult<()> {
+        let name = path.trim_start_matches('/');
+        let ino = self.find(name).ok_or(FsError::NotFound)?;
+        let f = ExtFile {
+            fs: self.clone(),
+            ino,
+            state: self.open_state(ino),
+        };
+        f.truncate(0).await?;
+        self.inner.cache.invalidate_vnode(self.vid(ino), 0);
+        self.inner.inodes.borrow_mut()[ino as usize] = None;
+        self.inner.open.borrow_mut().remove(&ino);
+        Ok(())
+    }
+
+    async fn sync(&self) -> FsResult<()> {
+        let inos: Vec<u32> = self.inner.open.borrow().keys().copied().collect();
+        for ino in inos {
+            let f = ExtFile {
+                fs: self.clone(),
+                ino,
+                state: self.open_state(ino),
+            };
+            f.fsync().await?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::DiskParams;
+    use pagecache::PageCacheParams;
+
+    fn world(sim: &Sim, extent_blocks: u32) -> (ExtentFs, Disk) {
+        let cpu = Cpu::new(sim);
+        let disk = Disk::new(sim, DiskParams::small_test());
+        let cache = PageCache::new(sim, PageCacheParams::small_test());
+        // A pageout daemon keeps page allocation from deadlocking when a
+        // test touches more pages than the (tiny) cache holds. Dirty
+        // victims are not cleaned here (tests fsync explicitly).
+        let (_daemon, _rx) = pagecache::PageoutDaemon::spawn(
+            sim,
+            &cache,
+            None,
+            pagecache::PageoutParams::small_test(),
+        );
+        std::mem::forget(_rx); // Keep the cleaner channel open.
+        let mut params = ExtentFsParams::with_extent_blocks(extent_blocks);
+        params.costs = CpuCosts::free();
+        let fs = ExtentFs::format(sim, &cpu, &cache, &disk, 64, params).unwrap();
+        (fs, disk)
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_preallocation() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 8);
+            let f = fs.create("data").await.unwrap();
+            let data = pattern(100_000, 1);
+            f.write(0, &data, AccessMode::Copy).await.unwrap();
+            assert_eq!(f.size(), 100_000);
+            let back = f.read(0, 100_000, AccessMode::Copy).await.unwrap();
+            assert_eq!(back, data);
+            // 100 KB = 13 blocks, preallocated in 8-block extents → 16.
+            assert_eq!(fs.allocated_blocks(f.ino), 16);
+            assert!(fs.check().is_empty(), "{:?}", fs.check());
+        });
+    }
+
+    #[test]
+    fn extent_units_amortize_io() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, disk) = world(&s, 8);
+            let f = fs.create("seq").await.unwrap();
+            f.write(0, &pattern(16 * BLOCK_SIZE, 2), AccessMode::Copy)
+                .await
+                .unwrap();
+            f.fsync().await.unwrap();
+            fs.inner.cache.invalidate_vnode(f.id(), 0);
+            disk.reset_stats();
+            f.read(0, 16 * BLOCK_SIZE, AccessMode::Copy).await.unwrap();
+            let st = disk.stats();
+            assert_eq!(st.reads, 2, "16 blocks in 8-block units");
+            let fst = fs.stats();
+            assert_eq!(fst.blocks_written, 16);
+        });
+    }
+
+    #[test]
+    fn remove_returns_space() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 4);
+            let f = fs.create("gone").await.unwrap();
+            f.write(0, &pattern(50_000, 3), AccessMode::Copy)
+                .await
+                .unwrap();
+            f.fsync().await.unwrap();
+            drop(f);
+            fs.remove("gone").await.unwrap();
+            assert!(fs.check().is_empty());
+            assert!(
+                fs.inner.bitmap.borrow().iter().all(|&b| !b),
+                "all blocks freed"
+            );
+            assert!(fs.open("gone").await.is_err());
+        });
+    }
+
+    #[test]
+    fn truncate_partial_extent() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 8);
+            let f = fs.create("t").await.unwrap();
+            f.write(0, &pattern(12 * BLOCK_SIZE, 4), AccessMode::Copy)
+                .await
+                .unwrap();
+            f.fsync().await.unwrap();
+            f.truncate(3 * BLOCK_SIZE as u64).await.unwrap();
+            assert_eq!(f.size(), 3 * BLOCK_SIZE as u64);
+            assert_eq!(fs.allocated_blocks(f.ino), 3);
+            assert!(fs.check().is_empty(), "{:?}", fs.check());
+            let back = f.read(0, 3 * BLOCK_SIZE, AccessMode::Copy).await.unwrap();
+            assert_eq!(back, pattern(12 * BLOCK_SIZE, 4)[..3 * BLOCK_SIZE]);
+        });
+    }
+
+    #[test]
+    fn fragmentation_forces_short_extents() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 4);
+            // Fill the volume with large files, then shave the tail off
+            // each one: free space becomes a sieve of sub-extent holes.
+            let mut names = Vec::new();
+            'fill: for i in 0..64 {
+                let name = format!("f{i}");
+                let f = fs.create(&name).await.unwrap();
+                for b in 0..40u64 {
+                    // 160 blocks per file (MAX_EXTENTS * 4).
+                    if f
+                        .write(b * 4 * BLOCK_SIZE as u64, &pattern(4 * BLOCK_SIZE, i as u8), AccessMode::Copy)
+                        .await
+                        .is_err()
+                    {
+                        f.fsync().await.unwrap();
+                        names.push(name);
+                        break 'fill;
+                    }
+                }
+                f.fsync().await.unwrap();
+                names.push(name);
+            }
+            // Shave 2 blocks off each file: only 2-block holes exist now.
+            for name in &names {
+                let f = fs.open(name).await.unwrap();
+                let keep = f.size().saturating_sub(2 * BLOCK_SIZE as u64);
+                f.truncate(keep).await.unwrap();
+            }
+            let before = fs.stats().short_extents;
+            let f = fs.create("late").await.unwrap();
+            // 12 blocks = three 4-block extent requests; at most one
+            // contiguous 4-run survives the shaving, so shorts must occur.
+            f.write(0, &pattern(12 * BLOCK_SIZE, 5), AccessMode::Copy)
+                .await
+                .unwrap();
+            // A 4-block extent request cannot be satisfied on this aged
+            // volume (the paper's point about fixed extent sizes).
+            assert!(
+                fs.stats().short_extents > before,
+                "expected short extents on a fragmented volume"
+            );
+            assert!(fs.check().is_empty(), "{:?}", fs.check());
+        });
+    }
+
+    #[test]
+    fn truncate_then_extend_reads_zero_tail() {
+        // Regression: shrinking to a mid-block size then extending must
+        // not expose the stale bytes that used to follow the new EOF.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 4);
+            let f = fs.create("t").await.unwrap();
+            f.write(0, &pattern(20_000, 9), AccessMode::Copy)
+                .await
+                .unwrap();
+            f.truncate(100).await.unwrap();
+            // Extend with a hole by writing far beyond EOF.
+            f.write(50_000, &[7u8; 10], AccessMode::Copy).await.unwrap();
+            let back = f.read(0, 50_010, AccessMode::Copy).await.unwrap();
+            assert_eq!(&back[..100], &pattern(20_000, 9)[..100]);
+            assert!(
+                back[100..50_000].iter().all(|&b| b == 0),
+                "stale tail visible after truncate+extend"
+            );
+            assert_eq!(&back[50_000..], &[7u8; 10]);
+        });
+    }
+
+    #[test]
+    fn flat_namespace_rules() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (fs, _disk) = world(&s, 4);
+            assert!(fs.create("a/b").await.is_err(), "no subdirectories");
+            assert!(fs.create("").await.is_err());
+            let f = fs.create("ok").await.unwrap();
+            drop(f);
+            let f2 = fs.create("ok").await.unwrap(); // Truncates.
+            assert_eq!(f2.size(), 0);
+        });
+    }
+}

@@ -1,0 +1,196 @@
+//! The allocator-contiguity study.
+//!
+//! "We tried several tests, ranging from filling up an entire partition
+//! with one file to filling up the last 15% of a heavily fragmented /home
+//! partition. In the best case, the average extent size was 1.5MB in a
+//! 13MB file. In the worst case, the average extent size was 62KB in a
+//! 16MB file."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ufs::World;
+use vfs::{AccessMode, FileSystem, FsError, FsResult, Vnode};
+
+/// Mean extent statistics for one probe file.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtentStats {
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Number of physically contiguous extents.
+    pub extents: usize,
+    /// Mean extent size in bytes.
+    pub mean_extent_bytes: f64,
+    /// Largest extent in bytes.
+    pub max_extent_bytes: u64,
+}
+
+/// Writes a probe file of `bytes` and measures its physical contiguity.
+pub async fn probe_extents(world: &World, path: &str, bytes: u64) -> FsResult<ExtentStats> {
+    let io = 8192usize;
+    let payload: Vec<u8> = vec![0xA5; io];
+    let f = world.fs.create(path).await?;
+    let mut written = 0u64;
+    while written < bytes {
+        match f.write(written, &payload, AccessMode::Copy).await {
+            Ok(()) => written += io as u64,
+            Err(FsError::NoSpace) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    f.fsync().await?;
+    let extents = f.extents().await?;
+    let total_blocks: u64 = extents.iter().map(|e| e.2 as u64).sum();
+    let max = extents.iter().map(|e| e.2 as u64).max().unwrap_or(0);
+    Ok(ExtentStats {
+        file_bytes: written,
+        extents: extents.len(),
+        mean_extent_bytes: if extents.is_empty() {
+            0.0
+        } else {
+            total_blocks as f64 * 8192.0 / extents.len() as f64
+        },
+        max_extent_bytes: max * 8192,
+    })
+}
+
+/// Churn parameters for aging a file system.
+#[derive(Clone, Copy, Debug)]
+pub struct AgingOptions {
+    /// Target fullness (fraction of data blocks) after churn.
+    pub target_fill: f64,
+    /// Number of create/remove churn rounds.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AgingOptions {
+    fn default() -> Self {
+        AgingOptions {
+            target_fill: 0.80,
+            rounds: 3,
+            seed: 0xA6E,
+        }
+    }
+}
+
+/// Ages the file system like a `/home` partition: repeatedly fills it with
+/// files of mixed sizes, then deletes a random subset, leaving scattered
+/// free space. Returns the number of files left on disk.
+pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut alive: Vec<String> = Vec::new();
+    let mut counter = 0usize;
+    world.fs.mkdir("home").await?;
+    let capacity = world.fs.capacity_blocks();
+    for round in 0..opts.rounds {
+        // Fill toward the target.
+        loop {
+            let used = capacity - world.fs.free_blocks();
+            if used as f64 / capacity as f64 >= opts.target_fill {
+                break;
+            }
+            let name = format!("home/f{counter}");
+            counter += 1;
+            // Mixed sizes: mostly small, some large (log-ish distribution).
+            let kb = match rng.gen_range(0..10) {
+                0..=5 => rng.gen_range(1..16),      // small
+                6..=8 => rng.gen_range(16..256),    // medium
+                _ => rng.gen_range(256..2048),      // large
+            };
+            let f = world.fs.create(&name).await?;
+            let payload = vec![round as u8; 8192];
+            let mut off = 0u64;
+            let mut failed = false;
+            while off < kb as u64 * 1024 {
+                match f.write(off, &payload, AccessMode::Copy).await {
+                    Ok(()) => off += 8192,
+                    Err(FsError::NoSpace) => {
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            f.fsync().await?;
+            alive.push(name);
+            if failed {
+                break;
+            }
+        }
+        // Delete a random 40% to punch holes.
+        let mut survivors = Vec::new();
+        for name in alive.drain(..) {
+            if rng.gen_bool(0.4) {
+                world.fs.remove(&name).await?;
+            } else {
+                survivors.push(name);
+            }
+        }
+        alive = survivors;
+    }
+    Ok(alive.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{paper_world, Config, WorldOptions};
+    use simkit::Sim;
+
+    #[test]
+    fn fresh_fs_probe_is_highly_contiguous() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let stats = sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: false,
+                ..WorldOptions::default()
+            };
+            let w = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            probe_extents(&w, "probe", 2 << 20).await.unwrap()
+        });
+        assert_eq!(stats.file_bytes, 2 << 20);
+        // A fresh fs should produce a handful of long extents (indirect
+        // blocks interrupt the run), not block-sized fragments.
+        assert!(
+            stats.mean_extent_bytes > 256.0 * 1024.0,
+            "mean extent {} too small",
+            stats.mean_extent_bytes
+        );
+    }
+
+    #[test]
+    fn aged_fs_probe_is_more_fragmented() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let (fresh, aged) = sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: false,
+                ..WorldOptions::default()
+            };
+            let w1 = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            let fresh = probe_extents(&w1, "probe", 1 << 20).await.unwrap();
+            let w2 = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            age_filesystem(
+                &w2,
+                AgingOptions {
+                    target_fill: 0.6,
+                    rounds: 2,
+                    seed: 3,
+                },
+            )
+            .await
+            .unwrap();
+            let aged = probe_extents(&w2, "probe", 1 << 20).await.unwrap();
+            (fresh, aged)
+        });
+        assert!(
+            aged.mean_extent_bytes < fresh.mean_extent_bytes,
+            "aging should fragment: fresh {} vs aged {}",
+            fresh.mean_extent_bytes,
+            aged.mean_extent_bytes
+        );
+        assert!(aged.file_bytes > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! CLI to regenerate the paper's tables and figures.
+//!
+//! ```text
+//! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|write-limit|free-behind|all [--quick]
+//! ```
+
+use iobench::experiments::{
+    extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
+    fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, write_limit_sweep_run,
+    RunScale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::paper()
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    let run_fig10 = |scale: RunScale| {
+        let data = fig10_run(scale);
+        println!("Figure 10: IObench transfer rates in KB/second\n");
+        println!("{}", fig10_table(&data));
+        println!("Figure 11: IObench transfer rate ratios\n");
+        println!("{}", fig11_table(&data));
+    };
+
+    match what {
+        "fig9" => {
+            println!("Figure 9: IObench run descriptions\n");
+            println!("{}", fig9_table());
+        }
+        "fig10" | "fig11" => run_fig10(scale),
+        "fig12" => {
+            let (table, _, _) = fig12_run(scale);
+            println!("Figure 12: System CPU comparison\n");
+            println!("{table}");
+        }
+        "extents" => {
+            let (table, _, _) = extents_run(quick);
+            println!("Allocator contiguity study (paper: 1.5MB best / 62KB aged)\n");
+            println!("{table}");
+        }
+        "musbus" => {
+            let (table, ratio) = musbus_run();
+            println!("MusBus-like timesharing mix (expect only slight improvement)\n");
+            println!("{table}");
+            println!("old/new iteration-time ratio: {ratio:.2}");
+        }
+        "alternatives" => {
+            println!("Rejected alternatives (tuning-only, driver clustering)\n");
+            println!("{}", rejected_alternatives_run(scale));
+        }
+        "extentfs" => {
+            println!("Extent-based file system vs clustered UFS\n");
+            println!("{}", extentfs_comparison_run(scale));
+        }
+        "write-limit" => {
+            println!("Write-limit sweep (fairness vs throughput)\n");
+            println!("{}", write_limit_sweep_run(scale));
+        }
+        "free-behind" => {
+            let (table, _, _) = free_behind_run(scale);
+            println!("Free-behind cache survival\n");
+            println!("{table}");
+        }
+        "all" => {
+            println!("Figure 9: IObench run descriptions\n");
+            println!("{}", fig9_table());
+            run_fig10(scale);
+            let (t12, _, _) = fig12_run(scale);
+            println!("Figure 12: System CPU comparison\n");
+            println!("{t12}");
+            let (tx, _, _) = extents_run(quick);
+            println!("Allocator contiguity study\n");
+            println!("{tx}");
+            let (tm, r) = musbus_run();
+            println!("MusBus-like timesharing mix\n");
+            println!("{tm}");
+            println!("old/new iteration-time ratio: {r:.2}\n");
+            println!("Rejected alternatives\n");
+            println!("{}", rejected_alternatives_run(scale));
+            println!("Extent-based file system vs clustered UFS\n");
+            println!("{}", extentfs_comparison_run(scale));
+            println!("Write-limit sweep\n");
+            println!("{}", write_limit_sweep_run(scale));
+            let (tf, _, _) = free_behind_run(scale);
+            println!("Free-behind cache survival\n");
+            println!("{tf}");
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!(
+                "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
+                 extentfs|write-limit|free-behind|all [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

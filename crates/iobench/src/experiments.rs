@@ -1,0 +1,548 @@
+//! Self-contained experiment drivers: each regenerates one of the paper's
+//! tables or figures and returns it as rendered text (plus raw numbers for
+//! tests and EXPERIMENTS.md).
+
+use clufs::Tuning;
+use diskmodel::{Disk, DiskParams};
+use pagecache::{PageCache, PageCacheParams, PageoutDaemon, PageoutParams};
+use simkit::{Cpu, Sim};
+use vfs::{FileSystem, Vnode};
+
+use crate::aging::{age_filesystem, probe_extents, AgingOptions};
+use crate::configs::{paper_world, Config, WorldOptions};
+use crate::cpu_bench::mmap_read_cpu;
+use crate::iobench::{run_iobench, BenchOptions, IoKind, Throughput};
+use crate::musbus::{run_musbus, MusbusOptions};
+use crate::report::{kbs, ratio, Table};
+
+/// Sizing for a full (paper-scale) or quick (CI-scale) run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunScale {
+    /// IObench file size.
+    pub file_bytes: u64,
+    /// Random ops for FRR/FRU.
+    pub random_ops: usize,
+    /// Figure 12 file size.
+    pub cpu_file_bytes: u64,
+}
+
+impl RunScale {
+    /// The paper's sizes: 16 MB files.
+    pub fn paper() -> RunScale {
+        RunScale {
+            file_bytes: 16 << 20,
+            random_ops: 1024,
+            cpu_file_bytes: 16 << 20,
+        }
+    }
+
+    /// Reduced sizes for fast iteration and CI.
+    pub fn quick() -> RunScale {
+        RunScale {
+            file_bytes: 4 << 20,
+            random_ops: 256,
+            cpu_file_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Renders Figure 9 (the run-configuration matrix).
+pub fn fig9_table() -> String {
+    let mut t = Table::new(&[
+        "",
+        "cluster size",
+        "rotdelay",
+        "UFS version",
+        "free behind",
+        "write limit",
+    ]);
+    for c in Config::all() {
+        let (cluster, rot, version, fb, wl) = c.figure9_row();
+        t.row(vec![
+            c.label().to_string(),
+            cluster,
+            format!("{rot}"),
+            version.to_string(),
+            if fb { "Yes" } else { "No" }.to_string(),
+            if wl { "Yes" } else { "No" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Raw Figure 10 rates: `rates[config][kind]` in KB/s.
+pub type Fig10Data = Vec<Vec<f64>>;
+
+fn run_one(config: Config, kind: IoKind, scale: RunScale) -> Throughput {
+    let sim = Sim::new();
+    let s = sim.clone();
+    sim.run_until(async move {
+        let w = paper_world(&s, config.tuning(), WorldOptions::default())
+            .await
+            .expect("world");
+        let cache = w.cache.clone();
+        run_iobench(
+            &s,
+            &w.fs,
+            move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+            "iobench.dat",
+            kind,
+            BenchOptions {
+                file_bytes: scale.file_bytes,
+                io_bytes: 8192,
+                random_ops: scale.random_ops,
+                seed: 0x1991,
+            },
+        )
+        .await
+        .expect("iobench")
+    })
+}
+
+/// Runs the full Figure 10 matrix. Expensive (20 simulated runs).
+pub fn fig10_run(scale: RunScale) -> Fig10Data {
+    Config::all()
+        .iter()
+        .map(|&c| {
+            IoKind::all()
+                .iter()
+                .map(|&k| run_one(c, k, scale).kb_per_sec())
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders Figure 10 from measured data.
+pub fn fig10_table(data: &Fig10Data) -> String {
+    let mut t = Table::new(&["", "FSR", "FSU", "FSW", "FRR", "FRU"]);
+    for (i, c) in Config::all().iter().enumerate() {
+        let mut row = vec![c.label().to_string()];
+        row.extend(data[i].iter().map(|&r| kbs(r)));
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders Figure 11 (ratios A/B, A/C, A/D) from measured data.
+pub fn fig11_table(data: &Fig10Data) -> String {
+    let mut t = Table::new(&["", "FSR", "FSU", "FSW", "FRR", "FRU"]);
+    for (i, label) in [(1usize, "A/B"), (2, "A/C"), (3, "A/D")] {
+        let mut row = vec![label.to_string()];
+        row.extend((0..5).map(|k| ratio(data[0][k], data[i][k])));
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Figure 12: CPU seconds to read a 16 MB file via mmap, new vs old UFS.
+/// Returns `(rendered table, new_cpu_secs, old_cpu_secs)`.
+pub fn fig12_run(scale: RunScale) -> (String, f64, f64) {
+    let run = |tuning: Tuning| -> f64 {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .expect("world");
+            mmap_read_cpu(&s, &w, "mmap.dat", scale.cpu_file_bytes)
+                .await
+                .expect("cpu bench")
+                .cpu
+                .as_secs_f64()
+        })
+    };
+    // The paper compares "4.1.1 UFS, no rotdelays" vs "4.1 UFS, rotdelays".
+    let new = run(Tuning::config_a());
+    let old = run(Tuning::config_d());
+    let mut t = Table::new(&["CPU", "Notes"]);
+    let mb = scale.cpu_file_bytes >> 20;
+    t.row(vec![
+        format!("{new:.1}s"),
+        format!("4.1.1 UFS, no rotdelays, {mb}MB mmap read"),
+    ]);
+    t.row(vec![
+        format!("{old:.1}s"),
+        format!("4.1 UFS, rotdelays, {mb}MB mmap read"),
+    ]);
+    (t.render(), new, old)
+}
+
+/// The allocator-contiguity study. Returns `(rendered, best_mean_bytes,
+/// aged_mean_bytes)`.
+pub fn extents_run(quick: bool) -> (String, f64, f64) {
+    // Best case: fill a fresh partition with one file.
+    let sim = Sim::new();
+    let s = sim.clone();
+    let (probe_mb, aged_target) = if quick { (4u64, 0.7) } else { (13u64, 0.88) };
+    let best = sim.run_until(async move {
+        let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+            .await
+            .expect("world");
+        probe_extents(&w, "best.dat", probe_mb << 20)
+            .await
+            .expect("probe")
+    });
+    // Worst case: fill the last 15% of a heavily fragmented partition.
+    let sim2 = Sim::new();
+    let s2 = sim2.clone();
+    let probe2_mb = if quick { 4u64 } else { 16 };
+    let worst = sim2.run_until(async move {
+        let w = paper_world(&s2, Tuning::config_a(), WorldOptions::default())
+            .await
+            .expect("world");
+        age_filesystem(
+            &w,
+            AgingOptions {
+                target_fill: aged_target,
+                rounds: if quick { 2 } else { 5 },
+                seed: 0xA6E,
+            },
+        )
+        .await
+        .expect("aging");
+        probe_extents(&w, "home/worst.dat", probe2_mb << 20)
+            .await
+            .expect("probe")
+    });
+    let mut t = Table::new(&["case", "file", "extents", "mean extent", "max extent"]);
+    for (label, st) in [("empty fs", &best), ("aged fs (last 15%)", &worst)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}MB", st.file_bytes as f64 / 1048576.0),
+            format!("{}", st.extents),
+            format!("{:.0}KB", st.mean_extent_bytes / 1024.0),
+            format!("{}KB", st.max_extent_bytes / 1024),
+        ]);
+    }
+    (t.render(), best.mean_extent_bytes, worst.mean_extent_bytes)
+}
+
+/// MusBus comparison (should improve "only slightly"). Returns
+/// `(rendered, ratio_old_over_new)`.
+pub fn musbus_run() -> (String, f64) {
+    let run = |tuning: Tuning| {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .expect("world");
+            run_musbus(&s, &w, MusbusOptions::default())
+                .await
+                .expect("musbus")
+        })
+    };
+    let new = run(Tuning::config_a());
+    let old = run(Tuning::config_d());
+    let ratio = old.mean_iteration.as_secs_f64() / new.mean_iteration.as_secs_f64();
+    let mut t = Table::new(&["config", "mean script iteration", "bytes moved"]);
+    t.row(vec![
+        "A (clustered)".into(),
+        format!("{}", new.mean_iteration),
+        format!("{}", new.bytes_moved),
+    ]);
+    t.row(vec![
+        "D (stock 4.1)".into(),
+        format!("{}", old.mean_iteration),
+        format!("{}", old.bytes_moved),
+    ]);
+    (t.render(), ratio)
+}
+
+// ---- ablations ----
+
+/// World with a customized drive (for the driver-clustering and
+/// track-buffer ablations).
+async fn custom_disk_world(
+    sim: &Sim,
+    tuning: Tuning,
+    disk_params: DiskParams,
+) -> ufs::World {
+    let mut params = ufs::UfsParams::with_tuning(tuning);
+    params.maxbpg = None;
+    ufs_build(sim, disk_params, params).await
+}
+
+async fn ufs_build(sim: &Sim, disk_params: DiskParams, params: ufs::UfsParams) -> ufs::World {
+    ufs::build_world(
+        sim,
+        disk_params,
+        PageCacheParams::sparcstation_8mb(),
+        ufs::MkfsOptions::sun0424(),
+        params,
+    )
+    .await
+    .expect("world")
+}
+
+fn bench_opts(scale: RunScale) -> BenchOptions {
+    BenchOptions {
+        file_bytes: scale.file_bytes,
+        io_bytes: 8192,
+        random_ops: scale.random_ops,
+        seed: 0x1991,
+    }
+}
+
+async fn measure_ufs(sim: &Sim, w: &ufs::World, kind: IoKind, scale: RunScale) -> f64 {
+    let cache = w.cache.clone();
+    run_iobench(
+        sim,
+        &w.fs,
+        move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+        "abl.dat",
+        kind,
+        bench_opts(scale),
+    )
+    .await
+    .expect("iobench")
+    .kb_per_sec()
+}
+
+/// The rejected "file system tuning" alternative (rotdelay 0, still
+/// block-at-a-time) and the rejected "driver clustering" alternative, vs
+/// the shipped configurations. Returns the rendered comparison.
+pub fn rejected_alternatives_run(scale: RunScale) -> String {
+    let run = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind| -> f64 {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let dp = DiskParams {
+                coalesce_limit: coalesce,
+                ..DiskParams::sun0424()
+            };
+            let w = custom_disk_world(&s, tuning, dp).await;
+            measure_ufs(&s, &w, kind, scale).await
+        })
+    };
+    let mut t = Table::new(&["alternative", "FSR", "FSW"]);
+    for (label, tuning, coalesce) in [
+        ("B: stock + heuristics", Tuning::config_b(), None),
+        ("tuning only (rotdelay=0)", Tuning::tuning_only(), None),
+        (
+            "driver clustering (rotdelay=0)",
+            Tuning::tuning_only(),
+            Some(112),
+        ),
+        ("A: fs clustering", Tuning::config_a(), None),
+    ] {
+        let fsr = run(tuning, coalesce, IoKind::SeqRead);
+        let fsw = run(tuning, coalesce, IoKind::SeqWrite);
+        t.row(vec![label.to_string(), kbs(fsr), kbs(fsw)]);
+    }
+    t.render()
+}
+
+/// Clustered UFS vs the extent-based file system at several user-chosen
+/// extent sizes (the title claim). Returns the rendered comparison.
+pub fn extentfs_comparison_run(scale: RunScale) -> String {
+    let run_extentfs = |extent_blocks: u32, kind: IoKind| -> f64 {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let cpu = Cpu::new(&s);
+            let disk = Disk::new(&s, DiskParams::sun0424());
+            let cache = PageCache::new(&s, PageCacheParams::sparcstation_8mb());
+            let (_daemon, rx) =
+                PageoutDaemon::spawn(&s, &cache, Some(cpu.clone()), PageoutParams::sparcstation());
+            std::mem::forget(rx);
+            let fs = extentfs::ExtentFs::format(
+                &s,
+                &cpu,
+                &cache,
+                &disk,
+                256,
+                extentfs::ExtentFsParams::with_extent_blocks(extent_blocks),
+            )
+            .expect("format");
+            let cache2 = cache.clone();
+            run_iobench(
+                &s,
+                &fs,
+                move |f: &extentfs::ExtFile| cache2.invalidate_vnode(f.id(), 0),
+                "ext.dat",
+                kind,
+                bench_opts(scale),
+            )
+            .await
+            .expect("iobench")
+            .kb_per_sec()
+        })
+    };
+    let run_ufs = |tuning: Tuning, kind: IoKind| -> f64 {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .expect("world");
+            measure_ufs(&s, &w, kind, scale).await
+        })
+    };
+    let mut t = Table::new(&["file system", "FSR", "FSW"]);
+    for (label, blocks) in [
+        ("extentfs, 8KB extents (too small)", 1u32),
+        ("extentfs, 56KB extents", 7),
+        ("extentfs, 120KB extents", 15),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            kbs(run_extentfs(blocks, IoKind::SeqRead)),
+            kbs(run_extentfs(blocks, IoKind::SeqWrite)),
+        ]);
+    }
+    t.row(vec![
+        "clustered UFS (120KB clusters)".to_string(),
+        kbs(run_ufs(Tuning::config_a(), IoKind::SeqRead)),
+        kbs(run_ufs(Tuning::config_a(), IoKind::SeqWrite)),
+    ]);
+    t.render()
+}
+
+/// Write-limit sweep: FRU throughput and writer-memory footprint with no
+/// limit vs several limits (the fairness tradeoff). Returns the rendered
+/// table.
+pub fn write_limit_sweep_run(scale: RunScale) -> String {
+    let run = |limit: Option<u32>| -> (f64, u64) {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let tuning = Tuning {
+                write_limit: limit,
+                ..Tuning::config_a()
+            };
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .expect("world");
+            let rate = measure_ufs(&s, &w, IoKind::RandUpdate, scale).await;
+            let stalls = w.cache.stats().alloc_stalls;
+            (rate, stalls)
+        })
+    };
+    let mut t = Table::new(&["write limit", "FRU KB/s", "page alloc stalls"]);
+    for (label, limit) in [
+        ("none (config D style)", None),
+        ("240KB (shipped)", Some(240 * 1024)),
+        ("24KB (too small)", Some(24 * 1024)),
+    ] {
+        let (rate, stalls) = run(limit);
+        t.row(vec![label.to_string(), kbs(rate), format!("{stalls}")]);
+    }
+    t.render()
+}
+
+/// Free-behind cache-survival experiment: a large sequential read streams
+/// through memory while another "user" keeps a working set warm; measures
+/// how much of that working set survives and how hard the pageout daemon
+/// had to work. Returns `(rendered, survivors_with, survivors_without)`.
+pub fn free_behind_run(scale: RunScale) -> (String, usize, usize) {
+    let run = |free_behind: bool| -> (usize, u64, u64) {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let tuning = Tuning {
+                free_behind,
+                ..Tuning::config_a()
+            };
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .expect("world");
+            // Resident working set: a 2 MB file, fully read.
+            let hot = w.fs.create("hot.dat").await.expect("create");
+            let payload = vec![1u8; 8192];
+            for i in 0..256u64 {
+                use vfs::Vnode as _;
+                hot.write(i * 8192, &payload, vfs::AccessMode::Copy)
+                    .await
+                    .expect("write");
+            }
+            {
+                use vfs::Vnode as _;
+                hot.fsync().await.expect("fsync");
+                hot.read(0, 2 << 20, vfs::AccessMode::Copy)
+                    .await
+                    .expect("read");
+            }
+            let hot_id = {
+                use vfs::Vnode as _;
+                hot.id()
+            };
+            let before = w.cache.resident_of(hot_id);
+            assert!(before > 0);
+            // The "other user": periodically touches the working set, as an
+            // interactive process would. Touching refreshes reference bits;
+            // the two-handed clock only evicts pages that stay untouched
+            // for a whole handspread.
+            let stop = std::rc::Rc::new(std::cell::Cell::new(false));
+            {
+                let cache = w.cache.clone();
+                let stop = std::rc::Rc::clone(&stop);
+                let s2 = s.clone();
+                s.spawn(async move {
+                    while !stop.get() {
+                        for i in 0..256u64 {
+                            if let Some(id) = cache.lookup(pagecache::PageKey {
+                                vnode: hot_id,
+                                offset: i * 8192,
+                            }) {
+                                cache.set_referenced(id);
+                            }
+                        }
+                        s2.sleep(simkit::SimDuration::from_millis(600)).await;
+                    }
+                });
+            }
+            // The streaming read: bigger than memory.
+            let cache = w.cache.clone();
+            run_iobench(
+                &s,
+                &w.fs,
+                move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+                "stream.dat",
+                IoKind::SeqRead,
+                bench_opts(scale),
+            )
+            .await
+            .expect("stream");
+            stop.set(true);
+            let survivors = w.cache.resident_of(hot_id);
+            let scans = w.daemon.stats().scanned;
+            let fb = w.fs.stats().free_behinds;
+            (survivors, scans, fb)
+        })
+    };
+    let (with_fb, scans_with, fb_count) = run(true);
+    let (without_fb, scans_without, _) = run(false);
+    let mut t = Table::new(&[
+        "free behind",
+        "hot pages surviving",
+        "daemon pages scanned",
+        "pages freed behind",
+    ]);
+    t.row(vec![
+        "on".into(),
+        format!("{with_fb}"),
+        format!("{scans_with}"),
+        format!("{fb_count}"),
+    ]);
+    t.row(vec![
+        "off".into(),
+        format!("{without_fb}"),
+        format!("{scans_without}"),
+        "0".into(),
+    ]);
+    (t.render(), with_fb, without_fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_renders_four_rows() {
+        let s = fig9_table();
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains("120KB"));
+        assert!(s.contains("SunOS 4.1.1"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The IObench transfer-rate workloads.
+//!
+//! "The columns are headed by a three letter name indicating the type of
+//! I/O. The first letter means File system, the second letter indicates
+//! Sequential or Random, and the third letter indicates Read, Write, or
+//! Update. The difference between write and update is that in the update
+//! case the file's blocks have already been allocated."
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simkit::{Sim, SimDuration, SimTime};
+use vfs::{AccessMode, FileSystem, FsResult, Vnode};
+
+/// The five workload types of Figures 10/11.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoKind {
+    /// FSR: sequential read.
+    SeqRead,
+    /// FSU: sequential update (blocks already allocated).
+    SeqUpdate,
+    /// FSW: sequential write (fresh allocation).
+    SeqWrite,
+    /// FRR: random read.
+    RandRead,
+    /// FRU: random update.
+    RandUpdate,
+}
+
+impl IoKind {
+    /// All five, in the paper's column order.
+    pub fn all() -> [IoKind; 5] {
+        [
+            IoKind::SeqRead,
+            IoKind::SeqUpdate,
+            IoKind::SeqWrite,
+            IoKind::RandRead,
+            IoKind::RandUpdate,
+        ]
+    }
+
+    /// Paper column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoKind::SeqRead => "FSR",
+            IoKind::SeqUpdate => "FSU",
+            IoKind::SeqWrite => "FSW",
+            IoKind::RandRead => "FRR",
+            IoKind::RandUpdate => "FRU",
+        }
+    }
+}
+
+/// A measured transfer rate.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Bytes moved by the measured phase.
+    pub bytes: u64,
+    /// Virtual time the phase took.
+    pub elapsed: SimDuration,
+}
+
+impl Throughput {
+    /// KB/s (the unit of Figure 10).
+    pub fn kb_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / 1024.0 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Workload sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOptions {
+    /// File size in bytes (must exceed memory for the read workloads to
+    /// touch the disk; the measurement machine has 6 MB of page cache).
+    pub file_bytes: u64,
+    /// Per-call transfer size (IObench used ordinary read/write of block-
+    /// sized requests).
+    pub io_bytes: usize,
+    /// Number of random operations for FRR/FRU.
+    pub random_ops: usize,
+    /// RNG seed for the random offsets.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            file_bytes: 16 << 20,
+            io_bytes: 8192,
+            random_ops: 1024,
+            seed: 0x1991,
+        }
+    }
+}
+
+/// Distinct random block indices: a seeded shuffle of the file's blocks,
+/// truncated to `ops` (sampling without replacement, so the random
+/// workloads never revisit an in-flight block).
+fn random_blocks(nio: usize, ops: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut blocks: Vec<u64> = (0..nio as u64).collect();
+    blocks.shuffle(&mut rng);
+    blocks.truncate(ops.min(nio));
+    blocks
+}
+
+/// Runs one IObench workload against `path` on `fs` and returns the
+/// measured rate. The file is created/prepared as the workload requires;
+/// preparation is excluded from the measurement.
+pub async fn run_iobench<F: FileSystem>(
+    sim: &Sim,
+    fs: &F,
+    invalidate: impl Fn(&F::File),
+    path: &str,
+    kind: IoKind,
+    opts: BenchOptions,
+) -> FsResult<Throughput> {
+    let payload: Vec<u8> = (0..opts.io_bytes).map(|i| (i % 251) as u8).collect();
+    let nio = (opts.file_bytes / opts.io_bytes as u64) as usize;
+
+    // ---- preparation (unmeasured) ----
+    let file = match kind {
+        IoKind::SeqWrite => fs.create(path).await?,
+        _ => {
+            // The file must exist with all blocks allocated.
+            let f = fs.create(path).await?;
+            for i in 0..nio {
+                f.write(i as u64 * opts.io_bytes as u64, &payload, AccessMode::Copy)
+                    .await?;
+            }
+            f.fsync().await?;
+            f
+        }
+    };
+    match kind {
+        IoKind::SeqRead | IoKind::RandRead => invalidate(&file),
+        _ => {}
+    }
+
+    // ---- measured phase ----
+    let t0 = sim.now();
+    let bytes = match kind {
+        IoKind::SeqRead => {
+            let mut total = 0u64;
+            for i in 0..nio {
+                let got = file
+                    .read(i as u64 * opts.io_bytes as u64, opts.io_bytes, AccessMode::Copy)
+                    .await?;
+                total += got.len() as u64;
+            }
+            total
+        }
+        IoKind::SeqUpdate | IoKind::SeqWrite => {
+            for i in 0..nio {
+                file.write(i as u64 * opts.io_bytes as u64, &payload, AccessMode::Copy)
+                    .await?;
+            }
+            file.fsync().await?;
+            opts.file_bytes
+        }
+        IoKind::RandRead => {
+            let mut total = 0u64;
+            for block in random_blocks(nio, opts.random_ops, opts.seed) {
+                let got = file
+                    .read(block * opts.io_bytes as u64, opts.io_bytes, AccessMode::Copy)
+                    .await?;
+                total += got.len() as u64;
+            }
+            total
+        }
+        IoKind::RandUpdate => {
+            for block in random_blocks(nio, opts.random_ops, opts.seed) {
+                file.write(block * opts.io_bytes as u64, &payload, AccessMode::Copy)
+                    .await?;
+            }
+            file.fsync().await?;
+            (opts.random_ops * opts.io_bytes) as u64
+        }
+    };
+    let elapsed = sim.now().duration_since(t0);
+    let _ = SimTime::ZERO;
+    Ok(Throughput { bytes, elapsed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{paper_world, Config, WorldOptions};
+    use vfs::FileSystem as _;
+
+    fn small_opts() -> BenchOptions {
+        BenchOptions {
+            file_bytes: 1 << 20, // 1 MB on the small test world.
+            io_bytes: 8192,
+            random_ops: 64,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_kinds_run_on_small_world() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: false,
+                ..WorldOptions::default()
+            };
+            let w = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            for kind in IoKind::all() {
+                let cache = w.cache.clone();
+                let t = run_iobench(
+                    &s,
+                    &w.fs,
+                    move |f: &ufs::UfsFile| {
+                        cache.invalidate_vnode(vfs::Vnode::id(f), 0);
+                    },
+                    &format!("bench-{}", kind.label()),
+                    kind,
+                    small_opts(),
+                )
+                .await
+                .unwrap();
+                assert!(
+                    t.kb_per_sec() > 0.0,
+                    "{}: zero throughput",
+                    kind.label()
+                );
+                w.fs.remove(&format!("bench-{}", kind.label())).await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn sequential_read_faster_clustered_than_blocked() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let (a, d) = sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: false,
+                ..WorldOptions::default()
+            };
+            let wa = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            let ca = wa.cache.clone();
+            let a = run_iobench(
+                &s,
+                &wa.fs,
+                move |f: &ufs::UfsFile| ca.invalidate_vnode(vfs::Vnode::id(f), 0),
+                "f",
+                IoKind::SeqRead,
+                small_opts(),
+            )
+            .await
+            .unwrap();
+            let wd = paper_world(&s, Config::D.tuning(), opts).await.unwrap();
+            let cd = wd.cache.clone();
+            let d = run_iobench(
+                &s,
+                &wd.fs,
+                move |f: &ufs::UfsFile| cd.invalidate_vnode(vfs::Vnode::id(f), 0),
+                "f",
+                IoKind::SeqRead,
+                small_opts(),
+            )
+            .await
+            .unwrap();
+            (a.kb_per_sec(), d.kb_per_sec())
+        });
+        assert!(
+            a > d,
+            "clustered sequential read ({a:.0} KB/s) should beat blocked ({d:.0} KB/s)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # iobench — the paper's evaluation workloads
+//!
+//! Reproduces the measurement programs behind the paper's Figures 9–12 and
+//! its in-text experiments:
+//!
+//! - [`iobench`]: the five transfer-rate workloads — FSR, FSU, FSW, FRR,
+//!   FRU (File system Sequential/Random × Read/Write/Update) — over any
+//!   [`vfs::FileSystem`].
+//! - [`configs`]: the Figure 9 run matrix (A/B/C/D) and full-scale world
+//!   construction (400 MB drive, 8 MB SPARCstation, pageout daemon).
+//! - [`cpu_bench`]: the Figure 12 mmap CPU comparison.
+//! - [`musbus`]: a MusBus-like timesharing mix (small programs, small I/O)
+//!   that clustering should barely improve.
+//! - [`aging`]: the allocator-contiguity study (mean extent sizes on empty
+//!   vs aged file systems).
+//! - [`report`]: fixed-width table rendering for the regenerated figures.
+
+pub mod aging;
+pub mod experiments;
+pub mod configs;
+pub mod cpu_bench;
+pub mod iobench;
+pub mod musbus;
+pub mod report;
+
+pub use configs::{paper_world, Config, WorldOptions};
+pub use iobench::{run_iobench, IoKind, Throughput};

@@ -1,0 +1,137 @@
+//! A MusBus-like timesharing workload.
+//!
+//! "The benchmark, MusBus, was spending most of its time sleeping and the
+//! rest of the time running small programs such as date(1) and ls(1). The
+//! largest I/O transfer done by Musbus was around 8KB ... In other words,
+//! MusBus didn't move any substantial amount of data." Clustering should
+//! therefore improve it only slightly — this workload exists to reproduce
+//! that *negative* result.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simkit::{Sim, SimDuration};
+use vfs::{AccessMode, FileSystem, FsResult, Vnode};
+
+/// Timesharing mix sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct MusbusOptions {
+    /// Concurrent simulated users.
+    pub users: usize,
+    /// Script iterations per user.
+    pub iterations: usize,
+    /// Mean think time between commands.
+    pub think: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MusbusOptions {
+    fn default() -> Self {
+        MusbusOptions {
+            users: 4,
+            iterations: 10,
+            think: SimDuration::from_millis(500),
+            seed: 42,
+        }
+    }
+}
+
+/// Result: mean virtual time per script iteration (lower is better).
+#[derive(Clone, Copy, Debug)]
+pub struct MusbusResult {
+    /// Mean time one user takes for one script iteration, excluding think
+    /// time.
+    pub mean_iteration: SimDuration,
+    /// Total bytes of file I/O performed.
+    pub bytes_moved: u64,
+}
+
+/// Runs the mix on `world`: each user edits/compiles/lists in a private
+/// directory with files no larger than 8 KB.
+pub async fn run_musbus(sim: &Sim, world: &ufs::World, opts: MusbusOptions) -> FsResult<MusbusResult> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let totals: Rc<RefCell<(SimDuration, u64)>> =
+        Rc::new(RefCell::new((SimDuration::ZERO, 0)));
+    let mut handles = Vec::new();
+    for user in 0..opts.users {
+        let dir = format!("user{user}");
+        world.fs.mkdir(&dir).await?;
+        let sim2 = sim.clone();
+        let fs = world.fs.clone();
+        let cpu = world.cpu.clone();
+        let totals = Rc::clone(&totals);
+        let opts2 = opts;
+        handles.push(sim.spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(opts2.seed + user as u64);
+            for it in 0..opts2.iterations {
+                // Think.
+                let think = opts2
+                    .think
+                    .mul_f64(0.5 + rng.gen_range(0.0..1.0));
+                sim2.sleep(think).await;
+                let t0 = sim2.now();
+                // "Run a small program": a burst of pure CPU.
+                cpu.charge("musbus-exec", SimDuration::from_millis(rng.gen_range(20..80)))
+                    .await;
+                // Write a small file (about 2-8 KB), read it back, list by
+                // opening a few files, occasionally remove one.
+                let name = format!("user{user}/tmp{}", it % 4);
+                let size = rng.gen_range(1024..8192usize);
+                let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+                let f = fs.create(&name).await.expect("create");
+                f.write(0, &data, AccessMode::Copy).await.expect("write");
+                f.fsync().await.expect("fsync");
+                let back = f.read(0, size, AccessMode::Copy).await.expect("read");
+                assert_eq!(back.len(), size);
+                if it % 4 == 3 {
+                    fs.remove(&name).await.expect("remove");
+                }
+                let mut t = totals.borrow_mut();
+                t.0 += sim2.now().duration_since(t0);
+                t.1 += 2 * size as u64;
+            }
+        }));
+    }
+    for h in handles {
+        h.await;
+    }
+    let (total, bytes) = *totals.borrow();
+    Ok(MusbusResult {
+        mean_iteration: total / (opts.users * opts.iterations) as u64,
+        bytes_moved: bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{paper_world, Config, WorldOptions};
+
+    #[test]
+    fn musbus_runs_and_reports() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let result = sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: false,
+                ..WorldOptions::default()
+            };
+            let w = paper_world(&s, Config::A.tuning(), opts).await.unwrap();
+            run_musbus(
+                &s,
+                &w,
+                MusbusOptions {
+                    users: 2,
+                    iterations: 3,
+                    ..MusbusOptions::default()
+                },
+            )
+            .await
+            .unwrap()
+        });
+        assert!(result.bytes_moved > 0);
+        assert!(result.mean_iteration > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixed-width table rendering for the regenerated figures.
+
+/// A simple right-aligned table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                if i == 0 {
+                    // First column left-aligned.
+                    out.push_str(&cells[i]);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(&cells[i]);
+                }
+            }
+            out
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a rate like Figure 10 (whole KB/s).
+pub fn kbs(rate: f64) -> String {
+    format!("{:.0}", rate)
+}
+
+/// Formats a ratio like Figure 11 (two decimals).
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["", "FSR", "FSU"]);
+        t.row(vec!["A".into(), "1610".into(), "1364".into()]);
+        t.row(vec!["B".into(), "805".into(), "799".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("1610"));
+        assert!(lines[3].ends_with("799"));
+        // Columns align: both data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(1610.0, 805.0), "2.00");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(kbs(805.4), "805");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

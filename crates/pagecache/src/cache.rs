@@ -1,0 +1,845 @@
+//! The page name cache: `<vnode, offset>` → physical page.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use simkit::{Notify, Sim, SimDuration};
+
+/// Identifies a file for page naming purposes.
+pub type VnodeId = u64;
+
+/// The name of a cached page: a vnode plus a page-aligned byte offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Owning vnode.
+    pub vnode: VnodeId,
+    /// Byte offset within the file (page aligned).
+    pub offset: u64,
+}
+
+/// Sizing and thresholds for the cache.
+#[derive(Clone, Copy, Debug)]
+pub struct PageCacheParams {
+    /// Physical pages available to the cache.
+    pub total_pages: usize,
+    /// Bytes per page (the reproduction uses 8 KB = one fs block).
+    pub page_size: usize,
+    /// Low-water mark: the pageout daemon runs while `free < lotsfree`.
+    pub lotsfree: usize,
+}
+
+impl PageCacheParams {
+    /// The paper's measurement machine: 8 MB SPARCstation 1. Roughly 6 MB
+    /// is page cache after the kernel; at 8 KB pages that is 768 pages.
+    pub fn sparcstation_8mb() -> PageCacheParams {
+        PageCacheParams {
+            total_pages: 768,
+            page_size: 8192,
+            lotsfree: 48, // 1/16 of memory, the classic lotsfree ratio.
+        }
+    }
+
+    /// A tiny cache for unit tests.
+    pub fn small_test() -> PageCacheParams {
+        PageCacheParams {
+            total_pages: 32,
+            page_size: 8192,
+            lotsfree: 4,
+        }
+    }
+}
+
+/// Counters exposed for experiments and assertions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageCacheStats {
+    /// Lookups that found the page (including reclaims).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Hits that pulled the page back off the free list.
+    pub reclaims: u64,
+    /// Pages created (identity assigned).
+    pub creates: u64,
+    /// Pages returned to the free list.
+    pub frees: u64,
+    /// Identities destroyed (truncate/unlink/reuse).
+    pub destroys: u64,
+    /// Allocations that had to wait for a free page.
+    pub alloc_stalls: u64,
+    /// Total virtual time allocations spent waiting.
+    pub alloc_stall_time: SimDuration,
+}
+
+struct Page {
+    key: Option<PageKey>,
+    generation: u64,
+    data: Vec<u8>,
+    busy: bool,
+    dirty: bool,
+    referenced: bool,
+    on_free_list: bool,
+    waiters: Vec<Waker>,
+}
+
+/// Stable reference to a page; all accessors panic if the page identity was
+/// recycled (generation mismatch), which turns use-after-free bugs into
+/// loud failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageId {
+    idx: usize,
+    generation: u64,
+}
+
+struct CacheInner {
+    sim: Sim,
+    params: PageCacheParams,
+    pages: RefCell<Vec<Page>>,
+    hash: RefCell<HashMap<PageKey, usize>>,
+    free: RefCell<VecDeque<usize>>,
+    /// Signaled whenever a page joins the free list (allocation stalls wait
+    /// here).
+    mem_notify: Notify,
+    /// Signaled whenever free memory drops below `lotsfree` (the pageout
+    /// daemon waits here).
+    pressure_notify: Notify,
+    stats: RefCell<PageCacheStats>,
+}
+
+/// The unified page cache. Clones share the same memory.
+#[derive(Clone)]
+pub struct PageCache {
+    inner: Rc<CacheInner>,
+}
+
+impl PageCache {
+    /// Creates an empty cache: every page starts on the free list with no
+    /// identity.
+    pub fn new(sim: &Sim, params: PageCacheParams) -> PageCache {
+        assert!(params.total_pages > 0, "cache needs at least one page");
+        assert!(
+            params.lotsfree < params.total_pages,
+            "lotsfree must be below total_pages"
+        );
+        let pages = (0..params.total_pages)
+            .map(|_| Page {
+                key: None,
+                generation: 0,
+                data: vec![0u8; params.page_size],
+                busy: false,
+                dirty: false,
+                referenced: false,
+                on_free_list: true,
+                waiters: Vec::new(),
+            })
+            .collect();
+        PageCache {
+            inner: Rc::new(CacheInner {
+                sim: sim.clone(),
+                params,
+                pages: RefCell::new(pages),
+                hash: RefCell::new(HashMap::new()),
+                free: RefCell::new((0..params.total_pages).collect()),
+                mem_notify: Notify::new(),
+                pressure_notify: Notify::new(),
+                stats: RefCell::new(PageCacheStats::default()),
+            }),
+        }
+    }
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> usize {
+        self.inner.params.page_size
+    }
+
+    /// Total physical pages.
+    pub fn total_pages(&self) -> usize {
+        self.inner.params.total_pages
+    }
+
+    /// Pages currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.inner.free.borrow().len()
+    }
+
+    /// The pageout daemon's low-water mark.
+    pub fn lotsfree(&self) -> usize {
+        self.inner.params.lotsfree
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PageCacheStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Resets counters (sizing is unaffected).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = PageCacheStats::default();
+    }
+
+    /// Notifier used by the pageout daemon; fires when memory runs low.
+    pub(crate) fn pressure_notify(&self) -> Notify {
+        self.inner.pressure_notify.clone()
+    }
+
+    fn check(&self, id: PageId) {
+        let pages = self.inner.pages.borrow();
+        assert_eq!(
+            pages[id.idx].generation, id.generation,
+            "stale PageId: page was recycled"
+        );
+    }
+
+    /// Finds the page named `key`, reclaiming it from the free list if
+    /// needed, and marks it referenced.
+    pub fn lookup(&self, key: PageKey) -> Option<PageId> {
+        let idx = self.inner.hash.borrow().get(&key).copied();
+        match idx {
+            Some(idx) => {
+                let mut pages = self.inner.pages.borrow_mut();
+                let page = &mut pages[idx];
+                debug_assert_eq!(page.key, Some(key));
+                if page.on_free_list {
+                    page.on_free_list = false;
+                    let mut free = self.inner.free.borrow_mut();
+                    let pos = free
+                        .iter()
+                        .position(|&i| i == idx)
+                        .expect("page marked free but missing from free list");
+                    free.remove(pos);
+                    self.inner.stats.borrow_mut().reclaims += 1;
+                }
+                page.referenced = true;
+                let generation = page.generation;
+                self.inner.stats.borrow_mut().hits += 1;
+                Some(PageId { idx, generation })
+            }
+            None => {
+                self.inner.stats.borrow_mut().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Allocates a page for `key`, waiting for free memory if necessary.
+    /// The new page is returned **busy** (the caller fills it and calls
+    /// [`PageCache::unbusy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already cached (callers must `lookup` first) or
+    /// if the offset is not page aligned.
+    pub async fn create(&self, key: PageKey) -> PageId {
+        assert_eq!(
+            key.offset % self.inner.params.page_size as u64,
+            0,
+            "page offset must be page aligned"
+        );
+        assert!(
+            self.inner.hash.borrow().get(&key).is_none(),
+            "create of already-cached page {key:?}"
+        );
+        let start = self.inner.sim.now();
+        let mut stalled = false;
+        let idx = loop {
+            let candidate = self.inner.free.borrow_mut().pop_front();
+            match candidate {
+                Some(idx) => break idx,
+                None => {
+                    if !stalled {
+                        stalled = true;
+                        self.inner.stats.borrow_mut().alloc_stalls += 1;
+                    }
+                    // Out of memory: kick the daemon and wait for a free.
+                    self.inner.pressure_notify.notify_all();
+                    self.inner.mem_notify.wait().await;
+                }
+            }
+        };
+        if stalled {
+            let waited = self.inner.sim.now().duration_since(start);
+            self.inner.stats.borrow_mut().alloc_stall_time += waited;
+        }
+        {
+            let mut pages = self.inner.pages.borrow_mut();
+            let page = &mut pages[idx];
+            debug_assert!(!page.busy, "free page cannot be busy");
+            debug_assert!(!page.dirty, "free page cannot be dirty");
+            // Destroy the old identity (the reuse that ends reclaimability).
+            if let Some(old) = page.key.take() {
+                self.inner.hash.borrow_mut().remove(&old);
+                self.inner.stats.borrow_mut().destroys += 1;
+            }
+            page.key = Some(key);
+            page.generation += 1;
+            page.on_free_list = false;
+            page.busy = true;
+            page.dirty = false;
+            page.referenced = true;
+            page.data.fill(0);
+            self.inner.hash.borrow_mut().insert(key, idx);
+            self.inner.stats.borrow_mut().creates += 1;
+            let generation = page.generation;
+            drop(pages);
+            self.maybe_signal_pressure();
+            PageId { idx, generation }
+        }
+    }
+
+    fn maybe_signal_pressure(&self) {
+        if self.free_count() < self.inner.params.lotsfree {
+            self.inner.pressure_notify.notify_all();
+        }
+    }
+
+    /// Waits until the page is not busy, then marks it busy (exclusive
+    /// I/O-side lock). Resolves to `false` if the page's identity was
+    /// recycled while waiting (the caller should forget the page).
+    pub fn lock_busy(&self, id: PageId) -> LockBusy {
+        self.check(id);
+        LockBusy {
+            cache: self.clone(),
+            id,
+        }
+    }
+
+    /// Waits until the page is not busy without acquiring it (used to wait
+    /// out someone else's I/O, e.g. a fault on a page being read ahead).
+    ///
+    /// Tolerates recycled identities: if the page was reused (its
+    /// generation changed), the wait resolves immediately — callers must
+    /// re-lookup afterwards if they need the page itself.
+    pub fn wait_unbusy(&self, id: PageId) -> WaitUnbusy {
+        WaitUnbusy {
+            cache: self.clone(),
+            id,
+        }
+    }
+
+    /// Whether `id` still names the same page (its identity has not been
+    /// recycled).
+    pub fn is_current(&self, id: PageId) -> bool {
+        self.inner.pages.borrow()[id.idx].generation == id.generation
+    }
+
+    /// Clears busy and wakes waiters.
+    pub fn unbusy(&self, id: PageId) {
+        self.check(id);
+        let mut pages = self.inner.pages.borrow_mut();
+        let page = &mut pages[id.idx];
+        assert!(page.busy, "unbusy of non-busy page");
+        page.busy = false;
+        for w in page.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Whether the page is currently busy.
+    pub fn is_busy(&self, id: PageId) -> bool {
+        self.check(id);
+        self.inner.pages.borrow()[id.idx].busy
+    }
+
+    /// Marks the page modified.
+    pub fn mark_dirty(&self, id: PageId) {
+        self.check(id);
+        self.inner.pages.borrow_mut()[id.idx].dirty = true;
+    }
+
+    /// Clears the modified flag (after a successful write to backing store).
+    pub fn clear_dirty(&self, id: PageId) {
+        self.check(id);
+        self.inner.pages.borrow_mut()[id.idx].dirty = false;
+    }
+
+    /// Whether the page is dirty.
+    pub fn is_dirty(&self, id: PageId) -> bool {
+        self.check(id);
+        self.inner.pages.borrow()[id.idx].dirty
+    }
+
+    /// Sets the simulated hardware reference bit (a touch).
+    pub fn set_referenced(&self, id: PageId) {
+        self.check(id);
+        self.inner.pages.borrow_mut()[id.idx].referenced = true;
+    }
+
+    /// Copies the whole page out.
+    pub fn read_page(&self, id: PageId) -> Vec<u8> {
+        self.check(id);
+        self.inner.pages.borrow()[id.idx].data.clone()
+    }
+
+    /// Runs `f` over the page contents without copying.
+    pub fn with_data<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.check(id);
+        f(&self.inner.pages.borrow()[id.idx].data)
+    }
+
+    /// Overwrites page bytes at `off` (does NOT set the dirty flag — the
+    /// caller decides, since fills from disk are not modifications).
+    pub fn write_at(&self, id: PageId, off: usize, src: &[u8]) {
+        self.check(id);
+        let mut pages = self.inner.pages.borrow_mut();
+        let data = &mut pages[id.idx].data;
+        assert!(off + src.len() <= data.len(), "write beyond page");
+        data[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Reads page bytes at `off` into `dst`.
+    pub fn read_at(&self, id: PageId, off: usize, dst: &mut [u8]) {
+        self.check(id);
+        let pages = self.inner.pages.borrow();
+        let data = &pages[id.idx].data;
+        assert!(off + dst.len() <= data.len(), "read beyond page");
+        dst.copy_from_slice(&data[off..off + dst.len()]);
+    }
+
+    /// Returns the page to the free list, keeping its identity so it can be
+    /// reclaimed until reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is busy or dirty — dirty pages must be cleaned
+    /// before they are freed.
+    pub fn free_page(&self, id: PageId) {
+        self.check(id);
+        let mut pages = self.inner.pages.borrow_mut();
+        let page = &mut pages[id.idx];
+        assert!(!page.busy, "freeing a busy page");
+        assert!(!page.dirty, "freeing a dirty page");
+        if page.on_free_list {
+            return; // Idempotent.
+        }
+        page.on_free_list = false; // Set below after list insert.
+        page.referenced = false;
+        page.on_free_list = true;
+        drop(pages);
+        self.inner.free.borrow_mut().push_back(id.idx);
+        self.inner.stats.borrow_mut().frees += 1;
+        self.inner.mem_notify.notify_all();
+    }
+
+    /// Destroys the identity of every page of `vnode` with offset ≥ `from`
+    /// (truncate/unlink). Pages must not be busy.
+    pub fn invalidate_vnode(&self, vnode: VnodeId, from: u64) {
+        let victims: Vec<(PageKey, usize)> = self
+            .inner
+            .hash
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.vnode == vnode && k.offset >= from)
+            .map(|(k, &i)| (*k, i))
+            .collect();
+        for (key, idx) in victims {
+            let mut pages = self.inner.pages.borrow_mut();
+            let page = &mut pages[idx];
+            assert!(!page.busy, "invalidating a busy page");
+            page.key = None;
+            page.generation += 1;
+            page.dirty = false;
+            page.referenced = false;
+            let was_free = page.on_free_list;
+            page.on_free_list = true;
+            drop(pages);
+            self.inner.hash.borrow_mut().remove(&key);
+            if !was_free {
+                self.inner.free.borrow_mut().push_back(idx);
+                self.inner.mem_notify.notify_all();
+            }
+            self.inner.stats.borrow_mut().destroys += 1;
+        }
+    }
+
+    /// Offsets of all dirty pages belonging to `vnode`, sorted ascending
+    /// (used by fsync and inode deactivation).
+    pub fn dirty_offsets(&self, vnode: VnodeId) -> Vec<u64> {
+        let pages = self.inner.pages.borrow();
+        let mut offs: Vec<u64> = self
+            .inner
+            .hash
+            .borrow()
+            .iter()
+            .filter(|(k, &i)| k.vnode == vnode && pages[i].dirty)
+            .map(|(k, _)| k.offset)
+            .collect();
+        offs.sort_unstable();
+        offs
+    }
+
+    /// Number of resident (identified, not-free) pages.
+    pub fn resident_count(&self) -> usize {
+        let pages = self.inner.pages.borrow();
+        pages
+            .iter()
+            .filter(|p| p.key.is_some() && !p.on_free_list)
+            .count()
+    }
+
+    /// Number of resident pages belonging to `vnode` (cache-survival
+    /// experiments).
+    pub fn resident_of(&self, vnode: VnodeId) -> usize {
+        let pages = self.inner.pages.borrow();
+        pages
+            .iter()
+            .filter(|p| !p.on_free_list && p.key.map(|k| k.vnode == vnode).unwrap_or(false))
+            .count()
+    }
+
+    // ---- pageout daemon access (crate-internal) ----
+
+    pub(crate) fn scan_snapshot(
+        &self,
+        idx: usize,
+    ) -> (Option<PageKey>, bool, bool, bool, bool) {
+        let pages = self.inner.pages.borrow();
+        let p = &pages[idx];
+        (p.key, p.busy, p.dirty, p.referenced, p.on_free_list)
+    }
+
+    pub(crate) fn clear_referenced_at(&self, idx: usize) {
+        self.inner.pages.borrow_mut()[idx].referenced = false;
+    }
+
+    /// Back-hand free attempt; returns `true` if the page was freed.
+    pub(crate) fn try_free_at(&self, idx: usize) -> bool {
+        let mut pages = self.inner.pages.borrow_mut();
+        let p = &mut pages[idx];
+        if p.busy || p.dirty || p.referenced || p.on_free_list || p.key.is_none() {
+            return false;
+        }
+        p.on_free_list = true;
+        drop(pages);
+        self.inner.free.borrow_mut().push_back(idx);
+        self.inner.stats.borrow_mut().frees += 1;
+        self.inner.mem_notify.notify_all();
+        true
+    }
+
+    /// Validates internal invariants (tests only; O(pages)).
+    pub fn assert_consistent(&self) {
+        let pages = self.inner.pages.borrow();
+        let hash = self.inner.hash.borrow();
+        let free = self.inner.free.borrow();
+        for (key, &idx) in hash.iter() {
+            assert_eq!(pages[idx].key, Some(*key), "hash points at wrong page");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &idx in free.iter() {
+            assert!(seen.insert(idx), "page {idx} on free list twice");
+            assert!(pages[idx].on_free_list, "free list flag mismatch");
+            assert!(!pages[idx].busy, "busy page on free list");
+            assert!(!pages[idx].dirty, "dirty page on free list");
+        }
+        for (idx, p) in pages.iter().enumerate() {
+            if p.on_free_list {
+                assert!(free.contains(&idx), "flagged free but not listed");
+            }
+            if let Some(k) = p.key {
+                assert_eq!(hash.get(&k), Some(&idx), "page identity not hashed");
+            }
+        }
+    }
+}
+
+/// Future returned by [`PageCache::lock_busy`].
+pub struct LockBusy {
+    cache: PageCache,
+    id: PageId,
+}
+
+impl Future for LockBusy {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let mut pages = self.cache.inner.pages.borrow_mut();
+        let page = &mut pages[self.id.idx];
+        if page.generation != self.id.generation {
+            // Recycled while we waited: the page we wanted no longer exists.
+            return Poll::Ready(false);
+        }
+        if page.busy {
+            page.waiters.push(cx.waker().clone());
+            Poll::Pending
+        } else {
+            // The page may have drifted onto the free list while this lock
+            // waited (e.g. a concurrent cleaner freed it after its own
+            // write). A busy page must never sit on the free list, so
+            // reclaim it here.
+            if page.on_free_list {
+                page.on_free_list = false;
+                drop(pages);
+                let mut free = self.cache.inner.free.borrow_mut();
+                let pos = free
+                    .iter()
+                    .position(|&i| i == self.id.idx)
+                    .expect("page flagged free but not listed");
+                free.remove(pos);
+                drop(free);
+                self.cache.inner.stats.borrow_mut().reclaims += 1;
+                let mut pages = self.cache.inner.pages.borrow_mut();
+                pages[self.id.idx].busy = true;
+            } else {
+                page.busy = true;
+            }
+            Poll::Ready(true)
+        }
+    }
+}
+
+/// Future returned by [`PageCache::wait_unbusy`].
+pub struct WaitUnbusy {
+    cache: PageCache,
+    id: PageId,
+}
+
+impl Future for WaitUnbusy {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut pages = self.cache.inner.pages.borrow_mut();
+        let page = &mut pages[self.id.idx];
+        if page.generation != self.id.generation {
+            // The page was recycled while we waited — it is certainly not
+            // busy on our behalf anymore.
+            return Poll::Ready(());
+        }
+        if page.busy {
+            page.waiters.push(cx.waker().clone());
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sim: &Sim) -> PageCache {
+        PageCache::new(sim, PageCacheParams::small_test())
+    }
+
+    fn key(v: VnodeId, off: u64) -> PageKey {
+        PageKey {
+            vnode: v,
+            offset: off,
+        }
+    }
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            let id = pc2.create(key(1, 0)).await;
+            pc2.write_at(id, 0, b"hello");
+            pc2.unbusy(id);
+            let found = pc2.lookup(key(1, 0)).expect("cached");
+            assert_eq!(found, id);
+            pc2.with_data(found, |d| assert_eq!(&d[..5], b"hello"));
+            assert!(pc2.lookup(key(1, 8192)).is_none());
+            pc2.assert_consistent();
+        });
+        let st = pc.stats();
+        assert_eq!(st.creates, 1);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn free_then_reclaim_keeps_contents() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            let id = pc2.create(key(1, 0)).await;
+            pc2.write_at(id, 0, b"data");
+            pc2.unbusy(id);
+            pc2.free_page(id);
+            assert_eq!(pc2.free_count(), 32);
+            // Reclaim: the identity survived the free.
+            let back = pc2.lookup(key(1, 0)).expect("reclaimable");
+            pc2.with_data(back, |d| assert_eq!(&d[..4], b"data"));
+            assert_eq!(pc2.free_count(), 31);
+            pc2.assert_consistent();
+        });
+        assert_eq!(pc.stats().reclaims, 1);
+    }
+
+    #[test]
+    fn reuse_destroys_old_identity() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            // Fill all 32 pages for vnode 1, freeing each.
+            let mut ids = Vec::new();
+            for i in 0..32u64 {
+                let id = pc2.create(key(1, i * 8192)).await;
+                pc2.unbusy(id);
+                ids.push(id);
+            }
+            for id in ids {
+                pc2.free_page(id);
+            }
+            // Allocate one page for vnode 2: reuses the oldest free page,
+            // which was vnode 1 offset 0.
+            let id2 = pc2.create(key(2, 0)).await;
+            pc2.unbusy(id2);
+            assert!(
+                pc2.lookup(key(1, 0)).is_none(),
+                "reused page lost its old identity"
+            );
+            assert!(pc2.lookup(key(1, 8192)).is_some(), "others reclaimable");
+            pc2.assert_consistent();
+        });
+        assert!(pc.stats().destroys >= 1);
+    }
+
+    #[test]
+    fn stale_page_id_panics() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        let stale = sim.run_until(async move {
+            let mut last = None;
+            for i in 0..33u64 {
+                // One more than capacity: forces reuse.
+                if let Some(id) = last.take() {
+                    pc2.unbusy(id);
+                    pc2.free_page(id);
+                }
+                last = Some(pc2.create(key(1, i * 8192)).await);
+            }
+            pc2.lookup(key(1, 0)) // Offset 0 was reused by offset 32*8192.
+        });
+        assert!(stale.is_none(), "identity gone after reuse");
+    }
+
+    #[test]
+    fn alloc_stalls_until_free() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        // Fill memory with busy pages (cannot be stolen).
+        let pc2 = pc.clone();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let mut ids = Vec::new();
+            for i in 0..32u64 {
+                ids.push(pc2.create(key(1, i * 8192)).await);
+            }
+            // A second task frees one page at t = 3 ms.
+            let pc3 = pc2.clone();
+            let s2 = s.clone();
+            let first = ids[0];
+            s.spawn(async move {
+                s2.sleep(SimDuration::from_millis(3)).await;
+                pc3.unbusy(first);
+                pc3.free_page(first);
+            });
+            // This create must wait for that free.
+            let id = pc2.create(key(2, 0)).await;
+            assert_eq!(s.now().as_nanos(), 3_000_000);
+            pc2.unbusy(id);
+        });
+        let st = pc.stats();
+        assert_eq!(st.alloc_stalls, 1);
+        assert_eq!(st.alloc_stall_time, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn lock_busy_waits_for_io() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let id = pc2.create(key(1, 0)).await; // Busy (being filled).
+            let pc3 = pc2.clone();
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(SimDuration::from_millis(2)).await;
+                pc3.unbusy(id); // "I/O complete."
+            });
+            pc2.lock_busy(id).await;
+            assert_eq!(s.now().as_nanos(), 2_000_000);
+            assert!(pc2.is_busy(id));
+            pc2.unbusy(id);
+        });
+    }
+
+    #[test]
+    fn dirty_offsets_sorted() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            for off in [3u64, 0, 2] {
+                let id = pc2.create(key(9, off * 8192)).await;
+                pc2.mark_dirty(id);
+                pc2.unbusy(id);
+            }
+            let id = pc2.create(key(9, 4 * 8192)).await;
+            pc2.unbusy(id); // Clean.
+            assert_eq!(pc2.dirty_offsets(9), vec![0, 2 * 8192, 3 * 8192]);
+        });
+    }
+
+    #[test]
+    fn invalidate_vnode_truncates() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            for off in 0..4u64 {
+                let id = pc2.create(key(5, off * 8192)).await;
+                pc2.mark_dirty(id);
+                pc2.unbusy(id);
+            }
+            pc2.invalidate_vnode(5, 2 * 8192);
+            assert!(pc2.lookup(key(5, 0)).is_some());
+            assert!(pc2.lookup(key(5, 8192)).is_some());
+            assert!(pc2.lookup(key(5, 2 * 8192)).is_none());
+            assert!(pc2.lookup(key(5, 3 * 8192)).is_none());
+            pc2.assert_consistent();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing a dirty page")]
+    fn freeing_dirty_page_panics() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            let id = pc2.create(key(1, 0)).await;
+            pc2.mark_dirty(id);
+            pc2.unbusy(id);
+            pc2.free_page(id);
+        });
+    }
+
+    #[test]
+    fn resident_of_counts_per_vnode() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            for off in 0..3u64 {
+                let id = pc2.create(key(1, off * 8192)).await;
+                pc2.unbusy(id);
+            }
+            let id = pc2.create(key(2, 0)).await;
+            pc2.unbusy(id);
+            assert_eq!(pc2.resident_of(1), 3);
+            assert_eq!(pc2.resident_of(2), 1);
+            assert_eq!(pc2.resident_count(), 4);
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! # pagecache — the SunOS-style unified VM page cache
+//!
+//! "There is no longer a distinction between process pages and I/O pages"
+//! — all of memory is one cache of pages named by `<vnode, offset>`. This
+//! crate models the parts of the SunOS 4.x VM system the paper interacts
+//! with:
+//!
+//! - the **name cache**: lookup/create of pages by vnode and byte offset,
+//!   with reclaim of pages still on the free list;
+//! - **page flags**: busy (I/O in flight), dirty (modified), referenced
+//!   (simulated hardware reference bit);
+//! - the **pageout daemon**: the basic two-handed clock — the front hand
+//!   clears reference bits, the back hand frees still-unreferenced pages,
+//!   handing dirty victims to a per-filesystem *cleaner* queue (whose
+//!   `putpage` may itself cluster, which is how the paper's write
+//!   clustering also smooths pageout I/O);
+//! - **memory-pressure accounting**: `lotsfree` low-water wakeups, and
+//!   allocation stalls when the free list runs dry.
+//!
+//! The paper's free-behind fix lives in the file system (`rdwr`), not here;
+//! this crate just provides the page-freeing entry it calls.
+
+pub mod cache;
+pub mod pageout;
+
+pub use cache::{PageCache, PageCacheParams, PageCacheStats, PageId, PageKey, VnodeId};
+pub use pageout::{CleanRequest, PageoutDaemon, PageoutParams, PageoutStats};

@@ -1,0 +1,224 @@
+//! Unbounded multi-producer single-consumer channels between tasks.
+//!
+//! Used for work queues inside the simulated kernel, e.g. the dirty-page
+//! cleaner queue that the pageout daemon feeds and a file system services.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Creates an unbounded mpsc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let st = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            st: Rc::clone(&st),
+        },
+        Receiver { st },
+    )
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries the
+/// rejected value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    st: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.st.borrow_mut().senders += 1;
+        Sender {
+            st: Rc::clone(&self.st),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.st.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            if let Some(w) = st.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value, waking the receiver if it is waiting.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.st.borrow_mut();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        if let Some(w) = st.recv_waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.st.borrow().queue.len()
+    }
+
+    /// Returns `true` if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    st: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.st.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Returns a future resolving to the next value, or `None` once all
+    /// senders are dropped and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Takes the next value if one is queued.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.st.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.st.borrow().queue.len()
+    }
+
+    /// Returns `true` if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.rx.st.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            Poll::Ready(Some(v))
+        } else if st.senders == 0 {
+            Poll::Ready(None)
+        } else {
+            st.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn values_flow_in_order() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..5 {
+                s.sleep(SimDuration::from_millis(1)).await;
+                tx.send(i).unwrap();
+            }
+        });
+        let got = sim.run_until(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_returns_none_when_senders_gone() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(9).unwrap();
+        drop(tx);
+        let got = sim.run_until(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(got, (Some(9), None));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn clone_keeps_channel_open() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(3).unwrap();
+        drop(tx2);
+        let got = sim.run_until(async move {
+            let mut v = Vec::new();
+            while let Some(x) = rx.recv().await {
+                v.push(x);
+            }
+            v
+        });
+        assert_eq!(got, vec![3]);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let (tx, mut rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! A shared CPU resource that charges compute time against the virtual clock.
+//!
+//! The paper's rotational-delay argument is entirely about CPU time: the gap
+//! between a block arriving from disk and the *next* request reaching the
+//! drive is the CPU cost of the file system code path, and if that gap is
+//! longer than the inter-block gap on the platter, the drive blows a full
+//! revolution. Charging CPU time through this resource makes that physics
+//! emerge naturally in the simulation.
+//!
+//! Charges are serialized FIFO (one simulated CPU) and are non-preemptive:
+//! a charge runs to completion once granted. Model long computations as a
+//! sequence of short charges if preemption points matter.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::sync::Semaphore;
+use crate::time::{SimDuration, SimTime};
+
+struct CpuInner {
+    sim: Sim,
+    gate: Semaphore,
+    busy: Cell<SimDuration>,
+    by_tag: RefCell<BTreeMap<&'static str, TagStat>>,
+}
+
+#[derive(Clone, Copy, Default, Debug)]
+/// Accumulated charge statistics for one tag.
+pub struct TagStat {
+    /// Total virtual CPU time charged under this tag.
+    pub time: SimDuration,
+    /// Number of individual charges.
+    pub count: u64,
+}
+
+/// Handle to the simulated CPU; cheap to clone.
+#[derive(Clone)]
+pub struct Cpu {
+    inner: Rc<CpuInner>,
+}
+
+impl Cpu {
+    /// Creates a single simulated CPU bound to `sim`'s clock.
+    pub fn new(sim: &Sim) -> Self {
+        Cpu {
+            inner: Rc::new(CpuInner {
+                sim: sim.clone(),
+                gate: Semaphore::new(1),
+                busy: Cell::new(SimDuration::ZERO),
+                by_tag: RefCell::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Occupies the CPU for `d` of virtual time, accounted under `tag`.
+    ///
+    /// If another task currently holds the CPU, this waits its turn (FIFO).
+    pub async fn charge(&self, tag: &'static str, d: SimDuration) {
+        if d.is_zero() {
+            self.account(tag, d);
+            return;
+        }
+        let _slot = self.inner.gate.acquire(1).await;
+        self.inner.sim.sleep(d).await;
+        self.account(tag, d);
+    }
+
+    fn account(&self, tag: &'static str, d: SimDuration) {
+        self.inner.busy.set(self.inner.busy.get() + d);
+        let mut tags = self.inner.by_tag.borrow_mut();
+        let stat = tags.entry(tag).or_default();
+        stat.time += d;
+        stat.count += 1;
+    }
+
+    /// Total CPU time charged so far.
+    pub fn busy(&self) -> SimDuration {
+        self.inner.busy.get()
+    }
+
+    /// CPU utilization over the window from `since` to now (0.0–1.0 if the
+    /// accounting window is consistent with the charges made in it).
+    pub fn utilization_since(&self, since: SimTime, busy_at_since: SimDuration) -> f64 {
+        let elapsed = self.inner.sim.now().duration_since(since);
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.busy() - busy_at_since).as_secs_f64() / elapsed.as_secs_f64()
+    }
+
+    /// Snapshot of per-tag accounting, sorted by tag.
+    pub fn by_tag(&self) -> Vec<(&'static str, TagStat)> {
+        self.inner
+            .by_tag
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Resets the accumulated accounting (the clock is unaffected).
+    pub fn reset_accounting(&self) {
+        self.inner.busy.set(SimDuration::ZERO);
+        self.inner.by_tag.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_clock_and_accounts() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim);
+        let cpu2 = cpu.clone();
+        sim.run_until(async move {
+            cpu2.charge("copyout", SimDuration::from_millis(2)).await;
+            cpu2.charge("copyout", SimDuration::from_millis(3)).await;
+            cpu2.charge("bmap", SimDuration::from_micros(50)).await;
+        });
+        assert_eq!(sim.now().as_nanos(), 5_050_000);
+        assert_eq!(cpu.busy(), SimDuration::from_micros(5050));
+        let tags = cpu.by_tag();
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].0, "bmap");
+        assert_eq!(tags[0].1.count, 1);
+        assert_eq!(tags[1].0, "copyout");
+        assert_eq!(tags[1].1.time, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn concurrent_charges_serialize() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim);
+        for _ in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(async move {
+                cpu.charge("work", SimDuration::from_millis(10)).await;
+            });
+        }
+        let end = sim.run();
+        // One CPU: four 10 ms charges take 40 ms of virtual time, not 10.
+        assert_eq!(end.as_nanos(), 40_000_000);
+        assert_eq!(cpu.busy(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn zero_charge_is_free_but_counted() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim);
+        let cpu2 = cpu.clone();
+        sim.run_until(async move {
+            cpu2.charge("nop", SimDuration::ZERO).await;
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(cpu.by_tag()[0].1.count, 1);
+    }
+
+    #[test]
+    fn utilization_window() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim);
+        let cpu2 = cpu.clone();
+        let s = sim.clone();
+        sim.run_until(async move {
+            cpu2.charge("work", SimDuration::from_millis(25)).await;
+            s.sleep(SimDuration::from_millis(75)).await;
+        });
+        let util = cpu.utilization_since(SimTime::ZERO, SimDuration::ZERO);
+        assert!((util - 0.25).abs() < 1e-9, "got {util}");
+    }
+
+    #[test]
+    fn reset_accounting_clears() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim);
+        let cpu2 = cpu.clone();
+        sim.run_until(async move {
+            cpu2.charge("x", SimDuration::from_millis(1)).await;
+        });
+        cpu.reset_accounting();
+        assert_eq!(cpu.busy(), SimDuration::ZERO);
+        assert!(cpu.by_tag().is_empty());
+    }
+}

@@ -1,0 +1,599 @@
+//! The deterministic single-threaded executor with a virtual clock.
+//!
+//! Simulated activities are ordinary Rust futures. The executor polls
+//! runnable tasks until none remain, then advances the virtual clock to the
+//! earliest pending timer and resumes. Determinism is total: there is no
+//! wall-clock input, task wakeups are processed in FIFO order, and timers
+//! that fire at the same instant are ordered by registration sequence.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{Sim, SimDuration};
+//!
+//! let sim = Sim::new();
+//! let sim2 = sim.clone();
+//! let answer = sim.run_until(async move {
+//!     sim2.sleep(SimDuration::from_millis(10)).await;
+//!     42
+//! });
+//! assert_eq!(answer, 42);
+//! assert_eq!(sim.now().as_nanos(), 10_000_000);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a spawned task within one [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// The cross-thread-safe half of the wakeup path.
+///
+/// Wakers must be `Send + Sync`, so the only state they touch is this
+/// mutex-protected queue; the executor drains it into its local run queue.
+struct WakeQueue {
+    woken: Mutex<Vec<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue
+            .woken
+            .lock()
+            .expect("wake queue poisoned")
+            .push(self.id);
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Inner {
+    now: Cell<SimTime>,
+    next_task: Cell<u64>,
+    next_timer_seq: Cell<u64>,
+    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
+    run_queue: RefCell<VecDeque<TaskId>>,
+    timers: RefCell<BinaryHeap<Reverse<(TimerEntry, WakerSlot)>>>,
+    wake_queue: Arc<WakeQueue>,
+    polls: Cell<u64>,
+    spawned: Cell<u64>,
+}
+
+/// Wrapper so `Waker` can live inside the ordered timer heap without
+/// participating in the ordering.
+struct WakerSlot(Waker);
+
+impl PartialEq for WakerSlot {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for WakerSlot {}
+impl PartialOrd for WakerSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WakerSlot {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Handle to a simulation. Cheap to clone; all clones share the same world.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at `t = 0` with no tasks.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                next_task: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                run_queue: RefCell::new(VecDeque::new()),
+                timers: RefCell::new(BinaryHeap::new()),
+                wake_queue: Arc::new(WakeQueue {
+                    woken: Mutex::new(Vec::new()),
+                }),
+                polls: Cell::new(0),
+                spawned: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Spawns a task and returns a handle that can be awaited for its result.
+    ///
+    /// The task does not run until the executor is next driven by [`Sim::run`]
+    /// or [`Sim::run_until`].
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            done: false,
+            waiters: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        self.spawn_unit(async move {
+            let value = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(value);
+            st.done = true;
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        });
+        JoinHandle { state }
+    }
+
+    fn spawn_unit(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let id = TaskId(self.inner.next_task.get());
+        self.inner.next_task.set(id.0 + 1);
+        self.inner.spawned.set(self.inner.spawned.get() + 1);
+        self.inner.tasks.borrow_mut().insert(id, Box::pin(fut));
+        self.inner.run_queue.borrow_mut().push_back(id);
+        id
+    }
+
+    /// Runs until no task is runnable and no timer is pending.
+    ///
+    /// Returns the final virtual time. Tasks still alive at return are
+    /// deadlocked (blocked on events that can no longer fire); inspect
+    /// [`Sim::live_tasks`] to detect this.
+    ///
+    /// Note: a perpetual daemon task (an infinite loop with sleeps) keeps
+    /// the simulation alive forever; drive such worlds with
+    /// [`Sim::run_until`] instead, which stops when its root task is done.
+    pub fn run(&self) -> SimTime {
+        self.run_with_stop(|| false);
+        self.inner.now.get()
+    }
+
+    /// Core loop; stops early when `stop()` returns true (checked between
+    /// task polls and before advancing the clock).
+    fn run_with_stop(&self, stop: impl Fn() -> bool) {
+        loop {
+            self.drain_wakes();
+            loop {
+                if stop() {
+                    return;
+                }
+                let next = self.inner.run_queue.borrow_mut().pop_front();
+                match next {
+                    Some(id) => {
+                        self.poll_task(id);
+                        self.drain_wakes();
+                    }
+                    None => break,
+                }
+            }
+            if stop() {
+                return;
+            }
+            // Nothing runnable: advance the clock to the earliest timer.
+            let fired = self.inner.timers.borrow_mut().pop();
+            match fired {
+                Some(Reverse((entry, slot))) => {
+                    debug_assert!(entry.at >= self.inner.now.get(), "timer in the past");
+                    self.inner.now.set(entry.at);
+                    slot.0.wake();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Spawns `fut`, runs the simulation until `fut` completes, and returns
+    /// its output. Other tasks (including perpetual daemons) are left in
+    /// whatever state they reached; the world can be driven further with
+    /// another `run_until` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs to quiescence without `fut` completing
+    /// (a deadlock: `fut` is blocked on an event nothing will ever signal).
+    pub fn run_until<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let handle = self.spawn(fut);
+        self.run_with_stop(|| handle.is_finished());
+        match handle.try_take() {
+            Some(v) => v,
+            None => panic!(
+                "run_until: simulation quiesced at {} without the root task \
+                 completing ({} task(s) deadlocked)",
+                self.now(),
+                self.live_tasks()
+            ),
+        }
+    }
+
+    /// Returns a future that resolves after `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Returns a future that resolves at virtual time `at` (immediately if
+    /// `at` has already passed).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at,
+        }
+    }
+
+    /// Returns a future that yields once, letting other runnable tasks go
+    /// first, and resumes at the same virtual instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Number of tasks spawned over the lifetime of the simulation.
+    pub fn spawned(&self) -> u64 {
+        self.inner.spawned.get()
+    }
+
+    /// Number of `Future::poll` invocations performed so far.
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Number of tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+
+    fn drain_wakes(&self) {
+        let woken: Vec<TaskId> = {
+            let mut q = self
+                .inner
+                .wake_queue
+                .woken
+                .lock()
+                .expect("wake queue poisoned");
+            std::mem::take(&mut *q)
+        };
+        if !woken.is_empty() {
+            let mut rq = self.inner.run_queue.borrow_mut();
+            for id in woken {
+                rq.push_back(id);
+            }
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the table so the task body may reentrantly
+        // spawn tasks or inspect the executor without aliasing the borrow.
+        let fut = self.inner.tasks.borrow_mut().remove(&id);
+        let Some(mut fut) = fut else {
+            return; // Stale wakeup for a completed task.
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            queue: Arc::clone(&self.inner.wake_queue),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        self.inner.polls.set(self.inner.polls.get() + 1);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+    }
+
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
+        let seq = self.inner.next_timer_seq.get();
+        self.inner.next_timer_seq.set(seq + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(Reverse((TimerEntry { at, seq }, WakerSlot(waker))));
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    at: SimTime,
+}
+
+impl Sleep {
+    /// The virtual instant this sleep resolves at.
+    pub fn deadline(&self) -> SimTime {
+        self.at
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.at {
+            Poll::Ready(())
+        } else {
+            self.sim.register_timer(self.at, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    done: bool,
+    waiters: Vec<Waker>,
+}
+
+/// Awaitable handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns `true` once the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().done
+    }
+
+    /// Takes the result if the task has completed and the result has not
+    /// been consumed (by a prior `take` or by awaiting the handle).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if st.done {
+            Poll::Ready(
+                st.result
+                    .take()
+                    .expect("JoinHandle polled after the result was consumed"),
+            )
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_terminates_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(5)).await;
+            assert_eq!(s.now().as_nanos(), 5_000_000);
+            s.sleep(SimDuration::from_millis(7)).await;
+            assert_eq!(s.now().as_nanos(), 12_000_000);
+        });
+        assert_eq!(sim.run().as_nanos(), 12_000_000);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.run_until(async move {
+            s.sleep(SimDuration::ZERO).await;
+            s.now()
+        });
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_sleeps_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (tag, delay) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(delay)).await;
+                log.borrow_mut().push((s.now().as_nanos() / 1_000_000, tag));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(10, 2), (20, 3), (30, 1)]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(1)).await;
+                log.borrow_mut().push(tag);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let result = sim.run_until(async move {
+            let h = s.spawn(async { 7 * 6 });
+            h.await
+        });
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn join_handle_across_sleep() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let result = sim.run_until(async move {
+            let s2 = s.clone();
+            let h = s.spawn(async move {
+                s2.sleep(SimDuration::from_secs(1)).await;
+                "done"
+            });
+            h.await
+        });
+        assert_eq!(result, "done");
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn join_finished_task_without_awaiting() {
+        let sim = Sim::new();
+        let h = sim.spawn(async { 5u32 });
+        sim.run();
+        assert!(h.is_finished());
+        assert_eq!(h.try_take(), Some(5));
+        assert_eq!(h.try_take(), None, "result is consumed once");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn run_until_panics_on_deadlock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        // An event no one will ever signal.
+        let ev = crate::sync::Event::new();
+        sim.run_until(async move {
+            let _ = s; // Keep a handle alive inside the task.
+            ev.wait().await;
+        });
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks_at_same_instant() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..2u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    log.borrow_mut().push(tag);
+                    s.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(sim.now(), SimTime::ZERO, "yield does not advance time");
+    }
+
+    #[test]
+    fn nested_spawns_run() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let total = sim.run_until(async move {
+            let mut handles = Vec::new();
+            for i in 0..10u64 {
+                let s2 = s.clone();
+                handles.push(s.spawn(async move {
+                    s2.sleep(SimDuration::from_micros(i)).await;
+                    i
+                }));
+            }
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await;
+            }
+            sum
+        });
+        assert_eq!(total, 45);
+        assert_eq!(sim.spawned(), 11);
+    }
+
+    #[test]
+    fn poll_counter_increments() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move { s.sleep(SimDuration::from_millis(1)).await });
+        assert!(sim.polls() >= 2, "at least initial poll and wake poll");
+    }
+}

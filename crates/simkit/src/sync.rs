@@ -1,0 +1,651 @@
+//! Synchronization primitives for simulated tasks.
+//!
+//! All primitives are single-threaded (they live inside one [`crate::Sim`])
+//! and deterministic: waiters are served strictly in FIFO order.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A one-shot broadcast event: once signaled, every current and future
+/// waiter resolves immediately (until [`Event::reset`]).
+///
+/// This models an I/O completion: the disk signals, the sleeping process
+/// wakes.
+#[derive(Clone, Default)]
+pub struct Event {
+    st: Rc<RefCell<EventState>>,
+}
+
+#[derive(Default)]
+struct EventState {
+    signaled: bool,
+    waiters: Vec<Waker>,
+}
+
+impl Event {
+    /// Creates an unsignaled event.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals the event, waking all waiters. Idempotent.
+    pub fn signal(&self) {
+        let mut st = self.st.borrow_mut();
+        st.signaled = true;
+        for w in st.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Returns `true` if [`Event::signal`] has been called since the last
+    /// reset.
+    pub fn is_signaled(&self) -> bool {
+        self.st.borrow().signaled
+    }
+
+    /// Clears the signaled flag so the event can be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks are currently waiting; resetting under waiters would
+    /// strand them.
+    pub fn reset(&self) {
+        let mut st = self.st.borrow_mut();
+        assert!(
+            st.waiters.is_empty(),
+            "Event::reset while tasks are waiting"
+        );
+        st.signaled = false;
+    }
+
+    /// Returns a future that resolves once the event is signaled.
+    pub fn wait(&self) -> EventWait {
+        EventWait {
+            st: Rc::clone(&self.st),
+        }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait {
+    st: Rc<RefCell<EventState>>,
+}
+
+impl Future for EventWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.st.borrow_mut();
+        if st.signaled {
+            Poll::Ready(())
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Wakes tasks that are currently waiting; has no memory.
+///
+/// The classic use is a server loop: check a work queue, and if it is empty,
+/// `wait().await` for a producer's `notify_all()`. This is free of lost
+/// wakeups **only** because the executor is single-threaded and cooperative:
+/// there is no await point between the queue check and the first poll of the
+/// wait future, so a producer cannot slip in between.
+#[derive(Clone, Default)]
+pub struct Notify {
+    waiters: Rc<RefCell<Vec<NotifyWaiter>>>,
+}
+
+struct NotifyWaiter {
+    waker: Waker,
+    fired: Rc<std::cell::Cell<bool>>,
+}
+
+impl Notify {
+    /// Creates a notifier with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every task currently blocked in [`Notify::wait`].
+    pub fn notify_all(&self) {
+        for w in self.waiters.borrow_mut().drain(..) {
+            w.fired.set(true);
+            w.waker.wake();
+        }
+    }
+
+    /// Returns a future that resolves at the next `notify_all` call.
+    pub fn wait(&self) -> Notified {
+        Notified {
+            waiters: Rc::clone(&self.waiters),
+            fired: None,
+        }
+    }
+}
+
+/// Future returned by [`Notify::wait`].
+pub struct Notified {
+    waiters: Rc<RefCell<Vec<NotifyWaiter>>>,
+    fired: Option<Rc<std::cell::Cell<bool>>>,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &self.fired {
+            Some(flag) if flag.get() => Poll::Ready(()),
+            Some(flag) => {
+                // Spurious poll: refresh the stored waker.
+                let flag = Rc::clone(flag);
+                let mut waiters = self.waiters.borrow_mut();
+                if let Some(w) = waiters.iter_mut().find(|w| Rc::ptr_eq(&w.fired, &flag)) {
+                    w.waker = cx.waker().clone();
+                }
+                Poll::Pending
+            }
+            None => {
+                let flag = Rc::new(std::cell::Cell::new(false));
+                self.waiters.borrow_mut().push(NotifyWaiter {
+                    waker: cx.waker().clone(),
+                    fired: Rc::clone(&flag),
+                });
+                self.fired = Some(flag);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(flag) = &self.fired {
+            if !flag.get() {
+                self.waiters
+                    .borrow_mut()
+                    .retain(|w| !Rc::ptr_eq(&w.fired, flag));
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WaiterState {
+    Waiting,
+    Granted,
+    Cancelled,
+}
+
+struct SemWaiter {
+    n: u64,
+    state: WaiterState,
+    waker: Option<Waker>,
+}
+
+struct SemState {
+    permits: u64,
+    queue: VecDeque<Rc<RefCell<SemWaiter>>>,
+}
+
+impl SemState {
+    /// Grants queued waiters from the front while permits suffice.
+    fn grant(&mut self) {
+        while let Some(front) = self.queue.front() {
+            let mut w = front.borrow_mut();
+            match w.state {
+                WaiterState::Cancelled => {
+                    drop(w);
+                    self.queue.pop_front();
+                }
+                WaiterState::Waiting if self.permits >= w.n => {
+                    self.permits -= w.n;
+                    w.state = WaiterState::Granted;
+                    if let Some(waker) = w.waker.take() {
+                        waker.wake();
+                    }
+                    drop(w);
+                    self.queue.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// A counted semaphore with strict FIFO granting.
+///
+/// The paper's per-file write limit is "essentially a counting semaphore in
+/// the inode": writers acquire permits for the bytes they queue to disk and
+/// the I/O completion releases them. FIFO granting keeps large acquisitions
+/// from being starved by a stream of small ones.
+#[derive(Clone)]
+pub struct Semaphore {
+    st: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore holding `permits` initial permits.
+    pub fn new(permits: u64) -> Self {
+        Semaphore {
+            st: Rc::new(RefCell::new(SemState {
+                permits,
+                queue: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits (not counting queued waiters).
+    pub fn available(&self) -> u64 {
+        self.st.borrow().permits
+    }
+
+    /// Number of queued waiters that have not yet been granted.
+    pub fn waiters(&self) -> usize {
+        self.st
+            .borrow()
+            .queue
+            .iter()
+            .filter(|w| w.borrow().state == WaiterState::Waiting)
+            .count()
+    }
+
+    /// Acquires `n` permits without waiting, if immediately available and no
+    /// earlier waiter is queued.
+    pub fn try_acquire(&self, n: u64) -> Option<SemPermit> {
+        let mut st = self.st.borrow_mut();
+        if st.queue.is_empty() && st.permits >= n {
+            st.permits -= n;
+            Some(SemPermit {
+                sem: self.clone(),
+                n,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns a future that resolves to an RAII permit for `n` units.
+    pub fn acquire(&self, n: u64) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            n,
+            waiter: None,
+        }
+    }
+
+    /// Returns `n` permits to the pool, granting queued waiters in order.
+    pub fn release(&self, n: u64) {
+        let mut st = self.st.borrow_mut();
+        st.permits += n;
+        st.grant();
+    }
+}
+
+/// RAII guard for permits acquired from a [`Semaphore`]; releases on drop.
+pub struct SemPermit {
+    sem: Semaphore,
+    n: u64,
+}
+
+impl SemPermit {
+    /// Number of permits held.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Drops the guard without returning the permits (they must be returned
+    /// later with [`Semaphore::release`], e.g. from an I/O-done callback).
+    pub fn forget(mut self) {
+        self.n = 0;
+    }
+}
+
+impl Drop for SemPermit {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            self.sem.release(self.n);
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    n: u64,
+    waiter: Option<Rc<RefCell<SemWaiter>>>,
+}
+
+impl Future for Acquire {
+    type Output = SemPermit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemPermit> {
+        let this = &mut *self;
+        match &this.waiter {
+            None => {
+                let mut st = this.sem.st.borrow_mut();
+                if st.queue.is_empty() && st.permits >= this.n {
+                    st.permits -= this.n;
+                    drop(st);
+                    Poll::Ready(SemPermit {
+                        sem: this.sem.clone(),
+                        n: this.n,
+                    })
+                } else {
+                    let w = Rc::new(RefCell::new(SemWaiter {
+                        n: this.n,
+                        state: WaiterState::Waiting,
+                        waker: Some(cx.waker().clone()),
+                    }));
+                    st.queue.push_back(Rc::clone(&w));
+                    drop(st);
+                    this.waiter = Some(w);
+                    Poll::Pending
+                }
+            }
+            Some(w) => {
+                let mut wb = w.borrow_mut();
+                match wb.state {
+                    WaiterState::Granted => {
+                        wb.state = WaiterState::Cancelled; // Consumed; drop is a no-op.
+                        drop(wb);
+                        this.waiter = None;
+                        Poll::Ready(SemPermit {
+                            sem: this.sem.clone(),
+                            n: this.n,
+                        })
+                    }
+                    WaiterState::Waiting => {
+                        wb.waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                    WaiterState::Cancelled => {
+                        unreachable!("acquire polled after cancellation")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(w) = self.waiter.take() {
+            let state = {
+                let mut wb = w.borrow_mut();
+                let prev = wb.state;
+                wb.state = WaiterState::Cancelled;
+                prev
+            };
+            // If we were granted but never observed it, return the permits.
+            if state == WaiterState::Granted {
+                self.sem.release(self.n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn event_wait_after_signal_is_immediate() {
+        let sim = Sim::new();
+        let ev = Event::new();
+        ev.signal();
+        assert!(ev.is_signaled());
+        sim.run_until(async move { ev.wait().await });
+    }
+
+    #[test]
+    fn event_wakes_all_waiters() {
+        let sim = Sim::new();
+        let ev = Event::new();
+        let count = Rc::new(RefCell::new(0));
+        for _ in 0..4 {
+            let ev = ev.clone();
+            let count = Rc::clone(&count);
+            sim.spawn(async move {
+                ev.wait().await;
+                *count.borrow_mut() += 1;
+            });
+        }
+        let s = sim.clone();
+        let ev2 = ev.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            ev2.signal();
+        });
+        sim.run();
+        assert_eq!(*count.borrow(), 4);
+    }
+
+    #[test]
+    fn event_reset_allows_reuse() {
+        let sim = Sim::new();
+        let ev = Event::new();
+        ev.signal();
+        sim.run_until({
+            let ev = ev.clone();
+            async move { ev.wait().await }
+        });
+        ev.reset();
+        assert!(!ev.is_signaled());
+    }
+
+    #[test]
+    fn notify_wakes_current_waiters_only() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        let hits = Rc::new(RefCell::new(0));
+        for _ in 0..3 {
+            let n = n.clone();
+            let hits = Rc::clone(&hits);
+            sim.spawn(async move {
+                n.wait().await;
+                *hits.borrow_mut() += 1;
+            });
+        }
+        let s = sim.clone();
+        let n2 = n.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            n2.notify_all();
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 3);
+        // A notify with no waiters is a no-op (no memory).
+        n.notify_all();
+        let n3 = n.clone();
+        let s = sim.clone();
+        let late = sim.spawn(async move {
+            // This wait must NOT complete from the earlier notify.
+            let w = n3.wait();
+            let t = s.sleep(SimDuration::from_millis(1));
+            let mut w = Box::pin(w);
+            let mut t = Box::pin(t);
+            std::future::poll_fn(move |cx| {
+                use std::future::Future as _;
+                if w.as_mut().poll(cx).is_ready() {
+                    return std::task::Poll::Ready(true);
+                }
+                if t.as_mut().poll(cx).is_ready() {
+                    return std::task::Poll::Ready(false);
+                }
+                std::task::Poll::Pending
+            })
+            .await
+        });
+        sim.run();
+        assert_eq!(late.try_take(), Some(false), "notify has no memory");
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = Semaphore::new(3);
+        let p = sem.try_acquire(2).expect("2 of 3 available");
+        assert_eq!(sem.available(), 1);
+        assert!(sem.try_acquire(2).is_none());
+        drop(p);
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn semaphore_fifo_order() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..3u32 {
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                let _p = sem.acquire(1).await;
+                order.borrow_mut().push(tag);
+            });
+        }
+        let s = sim.clone();
+        let sem2 = sem.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            sem2.release(3);
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn semaphore_large_request_not_starved() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        // A large request queues first; small requests queue behind it and
+        // must not sneak past even when one permit is available.
+        {
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                let _p = sem.acquire(3).await;
+                order.borrow_mut().push("large");
+            });
+        }
+        {
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                let _p = sem.acquire(1).await;
+                order.borrow_mut().push("small");
+            });
+        }
+        let s = sim.clone();
+        let sem2 = sem.clone();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                s.sleep(SimDuration::from_millis(1)).await;
+                sem2.release(1);
+            }
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["large", "small"]);
+    }
+
+    #[test]
+    fn semaphore_guard_forget_defers_release() {
+        let sem = Semaphore::new(2);
+        let p = sem.try_acquire(2).unwrap();
+        p.forget();
+        assert_eq!(sem.available(), 0, "forget keeps permits out");
+        sem.release(2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn cancelled_waiter_is_skipped() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        // First waiter is dropped (cancelled) before permits arrive.
+        {
+            let sem = sem.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let acq = sem.acquire(1);
+                // Poll it once so it queues, then abandon it.
+                let sleep = s.sleep(SimDuration::from_micros(500));
+                futures_select_first(acq, sleep).await;
+            });
+        }
+        {
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                let _p = sem.acquire(1).await;
+                order.borrow_mut().push("second");
+            });
+        }
+        let s = sim.clone();
+        let sem2 = sem.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            sem2.release(1);
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["second"]);
+        assert_eq!(sem.waiters(), 0);
+    }
+
+    /// Polls two futures, resolving when either does (a minimal `select`).
+    async fn futures_select_first<A, B>(a: A, b: B)
+    where
+        A: std::future::Future,
+        B: std::future::Future,
+    {
+        let mut a = Box::pin(a);
+        let mut b = Box::pin(b);
+        std::future::poll_fn(move |cx| {
+            if a.as_mut().poll(cx).is_ready() || b.as_mut().poll(cx).is_ready() {
+                std::task::Poll::Ready(())
+            } else {
+                std::task::Poll::Pending
+            }
+        })
+        .await
+    }
+
+    #[test]
+    fn granted_but_dropped_acquire_returns_permits() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        // Queue a waiter, grant it, but drop the future before it is polled
+        // again; the permit must flow back.
+        {
+            let sem = sem.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let acq = sem.acquire(1);
+                let sleep = s.sleep(SimDuration::from_millis(10));
+                // The sleep finishes *after* the grant, but the select drops
+                // `acq` without observing readiness only if sleep wins the
+                // race at the same poll; either way permits must balance.
+                futures_select_first(acq, sleep).await;
+            });
+        }
+        let s = sim.clone();
+        let sem2 = sem.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            sem2.release(1);
+        });
+        sim.run();
+        assert_eq!(sem.available(), 1, "no permit leaked");
+    }
+}

@@ -1,0 +1,112 @@
+//! Timestamped event recording for tests and table generation.
+//!
+//! Crates define their own event enums (disk requests, page faults, cluster
+//! pushes, ...) and record them here; tests then assert exact sequences, the
+//! way the paper's Figures 3, 6 and 7 tabulate per-fault actions.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::time::SimTime;
+
+/// A shared, timestamped event log.
+pub struct Recorder<E> {
+    sim: Sim,
+    events: Rc<RefCell<Vec<(SimTime, E)>>>,
+}
+
+impl<E> Clone for Recorder<E> {
+    fn clone(&self) -> Self {
+        Recorder {
+            sim: self.sim.clone(),
+            events: Rc::clone(&self.events),
+        }
+    }
+}
+
+impl<E> Recorder<E> {
+    /// Creates an empty recorder stamping events with `sim`'s clock.
+    pub fn new(sim: &Sim) -> Self {
+        Recorder {
+            sim: sim.clone(),
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Appends an event stamped with the current virtual time.
+    pub fn record(&self, event: E) {
+        self.events.borrow_mut().push((self.sim.now(), event));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns all recorded events in order.
+    pub fn take(&self) -> Vec<(SimTime, E)> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+impl<E: Clone> Recorder<E> {
+    /// Returns a copy of the events (timestamps dropped).
+    pub fn events(&self) -> Vec<E> {
+        self.events.borrow().iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// Returns a copy of the events with timestamps.
+    pub fn timed_events(&self) -> Vec<(SimTime, E)> {
+        self.events.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_with_timestamps() {
+        let sim = Sim::new();
+        let rec: Recorder<&'static str> = Recorder::new(&sim);
+        let rec2 = rec.clone();
+        let s = sim.clone();
+        sim.run_until(async move {
+            rec2.record("start");
+            s.sleep(SimDuration::from_millis(4)).await;
+            rec2.record("after-sleep");
+        });
+        let got = rec.timed_events();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (SimTime::ZERO, "start"));
+        assert_eq!(
+            got[1],
+            (SimTime::ZERO + SimDuration::from_millis(4), "after-sleep")
+        );
+        assert_eq!(rec.events(), vec!["start", "after-sleep"]);
+    }
+
+    #[test]
+    fn take_drains() {
+        let sim = Sim::new();
+        let rec: Recorder<u32> = Recorder::new(&sim);
+        rec.record(1);
+        rec.record(2);
+        assert_eq!(rec.len(), 2);
+        let drained = rec.take();
+        assert_eq!(drained.len(), 2);
+        assert!(rec.is_empty());
+    }
+}

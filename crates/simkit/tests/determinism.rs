@@ -1,0 +1,99 @@
+//! Determinism guarantees: identical programs produce identical traces,
+//! whatever mixture of timers, tasks and synchronization they use. Every
+//! number in EXPERIMENTS.md rests on this property.
+
+use proptest::prelude::*;
+use simkit::{channel, Cpu, Event, Semaphore, Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A little concurrent program parameterized by a schedule.
+fn run_program(delays: &[u16], permits: u64) -> Vec<(u64, usize)> {
+    let sim = Sim::new();
+    let trace: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+    let sem = Semaphore::new(permits.max(1));
+    let ev = Event::new();
+    let (tx, mut rx) = channel::<usize>();
+    let cpu = Cpu::new(&sim);
+
+    for (i, &d) in delays.iter().enumerate() {
+        let s = sim.clone();
+        let trace = Rc::clone(&trace);
+        let sem = sem.clone();
+        let ev = ev.clone();
+        let tx = tx.clone();
+        let cpu = cpu.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_micros(d as u64)).await;
+            let _p = sem.acquire(1).await;
+            cpu.charge("work", SimDuration::from_micros((d as u64 % 7) + 1))
+                .await;
+            trace.borrow_mut().push((s.now().as_nanos(), i));
+            if i == 0 {
+                ev.signal();
+            } else {
+                ev.wait().await;
+            }
+            let _ = tx.send(i);
+        });
+    }
+    drop(tx);
+    let collector = sim.spawn(async move {
+        let mut order = Vec::new();
+        while let Some(v) = rx.recv().await {
+            order.push(v);
+        }
+        order
+    });
+    sim.run();
+    let mut result = trace.borrow().clone();
+    if let Some(order) = collector.try_take() {
+        for (j, v) in order.into_iter().enumerate() {
+            result.push((j as u64, v + 1000));
+        }
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two executions of the same program are bit-identical.
+    #[test]
+    fn identical_programs_produce_identical_traces(
+        delays in proptest::collection::vec(any::<u16>(), 1..20),
+        permits in 1u64..4,
+    ) {
+        let a = run_program(&delays, permits);
+        let b = run_program(&delays, permits);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Virtual time is monotone in the trace.
+    #[test]
+    fn trace_times_are_monotone(
+        delays in proptest::collection::vec(any::<u16>(), 1..20),
+    ) {
+        let t = run_program(&delays, 2);
+        let times: Vec<u64> = t.iter().filter(|(_, i)| *i < 1000).map(|(t, _)| *t).collect();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "virtual time went backwards");
+        }
+    }
+}
+
+#[test]
+fn cpu_serialization_is_exact() {
+    // N tasks charging d each on one CPU finish at exactly N*d.
+    let sim = Sim::new();
+    let cpu = Cpu::new(&sim);
+    for _ in 0..10 {
+        let cpu = cpu.clone();
+        sim.spawn(async move {
+            cpu.charge("x", SimDuration::from_micros(100)).await;
+        });
+    }
+    let end = sim.run();
+    assert_eq!(end, SimTime::ZERO + SimDuration::from_millis(1));
+    assert_eq!(cpu.busy(), SimDuration::from_millis(1));
+}

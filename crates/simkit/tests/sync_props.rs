@@ -1,0 +1,105 @@
+//! Property tests for the synchronization primitives: permit conservation,
+//! FIFO service, and channel ordering under arbitrary schedules.
+
+use proptest::prelude::*;
+use simkit::{channel, Semaphore, Sim, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Permits are conserved: after any mix of holders acquiring random
+    /// amounts for random durations, everything returns to the pool.
+    #[test]
+    fn semaphore_conserves_permits(
+        jobs in proptest::collection::vec((1u64..8, 0u16..500), 1..25),
+        initial in 4u64..16,
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(initial);
+        let peak = Rc::new(RefCell::new(0u64));
+        for (n, hold_us) in jobs.clone() {
+            let n = n.min(initial); // Larger-than-pool requests would starve.
+            let sem = sem.clone();
+            let s = sim.clone();
+            let peak = Rc::clone(&peak);
+            sim.spawn(async move {
+                let p = sem.acquire(n).await;
+                {
+                    let mut pk = peak.borrow_mut();
+                    *pk = (*pk).max(initial - sem.available());
+                }
+                s.sleep(SimDuration::from_micros(hold_us as u64)).await;
+                drop(p);
+            });
+        }
+        sim.run();
+        prop_assert_eq!(sem.available(), initial, "permits leaked or forged");
+        prop_assert_eq!(sem.waiters(), 0);
+        prop_assert!(*peak.borrow() <= initial, "over-admission");
+    }
+
+    /// FIFO: completion order of same-size acquisitions on a 1-permit
+    /// semaphore equals submission order.
+    #[test]
+    fn semaphore_is_fifo_for_uniform_requests(
+        n_tasks in 2usize..20,
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..n_tasks {
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            let s = sim.clone();
+            sim.spawn(async move {
+                let _p = sem.acquire(1).await;
+                s.sleep(SimDuration::from_micros(10)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let expect: Vec<usize> = (0..n_tasks).collect();
+        prop_assert_eq!(&*order.borrow(), &expect);
+    }
+
+    /// Channels deliver every value exactly once, in per-sender order.
+    #[test]
+    fn channel_preserves_per_sender_order(
+        batches in proptest::collection::vec(1u8..20, 1..6),
+    ) {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<(usize, u8)>();
+        for (sender, &count) in batches.iter().enumerate() {
+            let tx = tx.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for seq in 0..count {
+                    // Stagger sends so senders interleave.
+                    s.sleep(SimDuration::from_micros(seq as u64 * 3 + sender as u64)).await;
+                    tx.send((sender, seq)).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        let received = sim.run_until(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        let total: usize = batches.iter().map(|&c| c as usize).sum();
+        prop_assert_eq!(received.len(), total);
+        for (sender, &count) in batches.iter().enumerate() {
+            let seqs: Vec<u8> = received
+                .iter()
+                .filter(|(s, _)| *s == sender)
+                .map(|(_, q)| *q)
+                .collect();
+            let expect: Vec<u8> = (0..count).collect();
+            prop_assert_eq!(seqs, expect, "sender {} out of order", sender);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Block and inode allocation: the (unchanged) FFS allocator with the
+//! `rotdelay`/`maxcontig` placement policy.
+//!
+//! "There were no changes to the allocator. The UFS allocator has always
+//! been able to allocate files contiguously ... The reason that the
+//! allocator is able to do so well is that it keeps a percentage of the
+//! disk (usually 10%) free at all times."
+//!
+//! Placement (`blkpref`): the next block of a file is preferred at
+//! `previous + 1 + gap`, where the gap is `rotdelay` expressed in block
+//! slots (zero in the clustered configurations, one slot in the classic
+//! 4 ms tuning — Figure 4's interleaved layout vs Figure 5's contiguous
+//! one). A file that has consumed `maxbpg` blocks in one cylinder group is
+//! moved to the next group so no single file fills a group.
+
+use vfs::{FsError, FsResult};
+
+use crate::fs::{Incore, Ufs};
+use crate::layout::FileKind;
+
+impl Ufs {
+    /// Preferred physical block for `lbn` of this file, following FFS
+    /// `blkpref`: sequential extension goes at `prev + 1 + gap`; cold
+    /// starts go to the file's current allocation group.
+    pub(crate) fn blkpref(&self, ip: &Incore, _lbn: u64, prev_pbn: Option<u64>) -> u64 {
+        let sb = self.inner.sb.borrow();
+        let maxbpg = self
+            .inner
+            .params
+            .maxbpg
+            .unwrap_or(sb.data_blocks_per_cg() / 4)
+            .max(1);
+        if let Some(prev) = prev_pbn {
+            if ip.alloc_run.get() >= maxbpg {
+                // This file has had its share of the group: move to the
+                // group with the most free blocks among the next few.
+                let cur = sb.cg_of_block(prev).unwrap_or(0);
+                let next = self.best_cg_after(cur);
+                ip.alloc_run.set(0);
+                ip.alloc_cg.set(next);
+                return sb.cg_data_start(next);
+            }
+            return prev + 1 + self.gap_blocks() as u64;
+        }
+        // No previous block: first block of the file (or first after a
+        // hole). Prefer the group the allocator last used for this file,
+        // falling back to the inode's own group.
+        let cg = if ip.alloc_cg.get() != u32::MAX {
+            ip.alloc_cg.get()
+        } else {
+            ip.ino / sb.inodes_per_cg
+        };
+        sb.cg_data_start(cg.min(sb.ncg - 1))
+    }
+
+    /// The group following `cur` with the most free blocks (looks at the
+    /// next four groups, wrapping).
+    fn best_cg_after(&self, cur: u32) -> u32 {
+        let sb = self.inner.sb.borrow();
+        let cgs = self.inner.cgs.borrow();
+        let ncg = sb.ncg;
+        let mut best = (cur + 1) % ncg;
+        let mut best_free = 0u32;
+        for step in 1..=4u32.min(ncg) {
+            let cgx = (cur + step) % ncg;
+            let free = cgs[cgx as usize].free_blocks;
+            if free > best_free {
+                best_free = free;
+                best = cgx;
+            }
+        }
+        best
+    }
+
+    /// Allocates one data block as close to `pref` as possible.
+    ///
+    /// Enforces the minfree reserve: the flexibility that lets the
+    /// allocator "think ahead" and keep files contiguous.
+    pub(crate) async fn alloc_block(&self, ip: &Incore, pref: u64) -> FsResult<u32> {
+        self.charge("alloc", self.inner.params.costs.alloc).await;
+        {
+            let sb = self.inner.sb.borrow();
+            if sb.free_blocks <= sb.minfree_blocks() {
+                return Err(FsError::NoSpace);
+            }
+        }
+        let pbn = self
+            .alloc_near(pref)
+            .ok_or(FsError::NoSpace)?;
+        ip.alloc_run.set(ip.alloc_run.get() + 1);
+        if let Some(cgx) = self.inner.sb.borrow().cg_of_block(pbn) {
+            ip.alloc_cg.set(cgx);
+        }
+        Ok(pbn as u32)
+    }
+
+    /// Bitmap search: exact preference, then forward scan in the same
+    /// group (wrapping within the group), then the other groups.
+    fn alloc_near(&self, pref: u64) -> Option<u64> {
+        let sb = self.inner.sb.borrow();
+        let ncg = sb.ncg;
+        let dpcg = sb.data_blocks_per_cg();
+        let pref_cg = sb
+            .cg_of_block(pref)
+            .unwrap_or(0)
+            .min(ncg - 1);
+        let pref_idx = {
+            let start = sb.cg_data_start(pref_cg);
+            if pref >= start && pref < start + dpcg as u64 {
+                (pref - start) as u32
+            } else {
+                0
+            }
+        };
+        drop(sb);
+        // Same group, starting at the preferred slot.
+        if let Some(pbn) = self.take_in_cg(pref_cg, pref_idx) {
+            return Some(pbn);
+        }
+        // Other groups, round robin from the next one.
+        for step in 1..ncg {
+            let cgx = (pref_cg + step) % ncg;
+            if let Some(pbn) = self.take_in_cg(cgx, 0) {
+                return Some(pbn);
+            }
+        }
+        None
+    }
+
+    /// Takes the first free data block in `cgx` at or after `from`
+    /// (wrapping within the group). Updates bitmaps and counts.
+    fn take_in_cg(&self, cgx: u32, from: u32) -> Option<u64> {
+        let dpcg = self.inner.sb.borrow().data_blocks_per_cg();
+        let mut cgs = self.inner.cgs.borrow_mut();
+        let cg = &mut cgs[cgx as usize];
+        if cg.free_blocks == 0 {
+            return None;
+        }
+        let mut found = None;
+        for i in 0..dpcg {
+            let idx = (from + i) % dpcg;
+            if !cg.block_allocated(idx) {
+                found = Some(idx);
+                break;
+            }
+        }
+        let idx = found?;
+        assert!(cg.set_block(idx), "bitmap/count disagreement");
+        drop(cgs);
+        self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
+        {
+            let mut sb = self.inner.sb.borrow_mut();
+            sb.free_blocks -= 1;
+        }
+        self.inner.sb_dirty.set(true);
+        let sb = self.inner.sb.borrow();
+        Some(sb.cg_data_start(cgx) + idx as u64)
+    }
+
+    /// Returns a data block to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or on freeing a metadata block — both are
+    /// file system corruption.
+    pub(crate) fn free_block(&self, pbn: u64) {
+        let sb = self.inner.sb.borrow();
+        assert!(sb.is_data_block(pbn), "freeing non-data block {pbn}");
+        let cgx = sb.cg_of_block(pbn).expect("checked");
+        let idx = (pbn - sb.cg_data_start(cgx)) as u32;
+        drop(sb);
+        {
+            let mut cgs = self.inner.cgs.borrow_mut();
+            assert!(cgs[cgx as usize].clear_block(idx), "double free of {pbn}");
+        }
+        self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
+        self.inner.sb.borrow_mut().free_blocks += 1;
+        self.inner.sb_dirty.set(true);
+    }
+
+    /// Allocates an inode. Directories are spread round-robin across
+    /// groups (each directory seeds locality for its files); files go to
+    /// their parent directory's group when possible.
+    pub(crate) fn alloc_inode(&self, kind: FileKind, parent_ino: Option<u32>) -> FsResult<u32> {
+        let sb = self.inner.sb.borrow();
+        let ncg = sb.ncg;
+        let ipcg = sb.inodes_per_cg;
+        drop(sb);
+        let start_cg = match kind {
+            FileKind::Directory => {
+                // Round robin, preferring groups with free inodes AND blocks.
+                let mut best = self.inner.next_dir_cg.get() % ncg;
+                let cgs = self.inner.cgs.borrow();
+                for step in 0..ncg {
+                    let cgx = (self.inner.next_dir_cg.get() + step) % ncg;
+                    if cgs[cgx as usize].free_inodes > 0 && cgs[cgx as usize].free_blocks > 0 {
+                        best = cgx;
+                        break;
+                    }
+                }
+                drop(cgs);
+                self.inner.next_dir_cg.set((best + 1) % ncg);
+                best
+            }
+            _ => parent_ino.map(|p| p / ipcg).unwrap_or(0).min(ncg - 1),
+        };
+        for step in 0..ncg {
+            let cgx = (start_cg + step) % ncg;
+            let mut cgs = self.inner.cgs.borrow_mut();
+            let cg = &mut cgs[cgx as usize];
+            if cg.free_inodes == 0 {
+                continue;
+            }
+            for i in 0..ipcg {
+                if !cg.inode_allocated(i) {
+                    assert!(cg.set_inode(i));
+                    drop(cgs);
+                    self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
+                    self.inner.sb.borrow_mut().free_inodes -= 1;
+                    self.inner.sb_dirty.set(true);
+                    return Ok(cgx * ipcg + i);
+                }
+            }
+        }
+        Err(FsError::NoInodes)
+    }
+
+    /// Returns an inode number to the free pool.
+    pub(crate) fn free_inode(&self, ino: u32) {
+        let ipcg = self.inner.sb.borrow().inodes_per_cg;
+        let cgx = ino / ipcg;
+        let idx = ino % ipcg;
+        {
+            let mut cgs = self.inner.cgs.borrow_mut();
+            assert!(
+                cgs[cgx as usize].clear_inode(idx),
+                "double free of inode {ino}"
+            );
+        }
+        self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
+        self.inner.sb.borrow_mut().free_inodes += 1;
+        self.inner.sb_dirty.set(true);
+    }
+}

@@ -1,0 +1,369 @@
+//! `bmap`: logical-to-physical translation, with the paper's length
+//! extension.
+//!
+//! "bmap used to take a logical block number and return a physical block
+//! number. We modified it to return a length as well ... The length
+//! returned is at most maxcontig blocks long and is used as the effective
+//! cluster size by the caller."
+
+use vfs::{FsError, FsResult};
+
+use crate::fs::{Incore, Ufs};
+use crate::layout::{NDADDR, PTRS_PER_BLOCK};
+
+/// Where a file's logical block pointer lives.
+enum PtrLoc {
+    /// `direct[i]` in the dinode.
+    Direct(usize),
+    /// Entry `i` of the single-indirect block.
+    Indirect(usize),
+    /// Entry `(i, j)` through the double-indirect block.
+    Double(usize, usize),
+}
+
+fn locate(lbn: u64) -> FsResult<PtrLoc> {
+    let ppb = PTRS_PER_BLOCK as u64;
+    if lbn < NDADDR as u64 {
+        Ok(PtrLoc::Direct(lbn as usize))
+    } else if lbn < NDADDR as u64 + ppb {
+        Ok(PtrLoc::Indirect((lbn - NDADDR as u64) as usize))
+    } else if lbn < NDADDR as u64 + ppb + ppb * ppb {
+        let rel = lbn - NDADDR as u64 - ppb;
+        Ok(PtrLoc::Double((rel / ppb) as usize, (rel % ppb) as usize))
+    } else {
+        Err(FsError::TooBig)
+    }
+}
+
+fn read_ptr(block: &[u8], idx: usize) -> u32 {
+    let off = idx * 4;
+    u32::from_le_bytes(block[off..off + 4].try_into().unwrap())
+}
+
+fn write_ptr(block: &mut [u8], idx: usize, v: u32) {
+    let off = idx * 4;
+    block[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+impl Ufs {
+    /// Raw pointer fetch: 0 means hole. Does not charge CPU (callers charge
+    /// once per `bmap`, not per pointer examined).
+    pub(crate) async fn ptr_at(&self, ip: &Incore, lbn: u64) -> FsResult<u32> {
+        match locate(lbn)? {
+            PtrLoc::Direct(i) => Ok(ip.din.borrow().direct[i]),
+            PtrLoc::Indirect(i) => {
+                let ind = ip.din.borrow().indirect;
+                if ind == 0 {
+                    return Ok(0);
+                }
+                let block = self.meta_get(ind as u64).await;
+                let v = read_ptr(&block.borrow(), i);
+                Ok(v)
+            }
+            PtrLoc::Double(i, j) => {
+                let dbl = ip.din.borrow().double;
+                if dbl == 0 {
+                    return Ok(0);
+                }
+                let l1 = self.meta_get(dbl as u64).await;
+                let mid = read_ptr(&l1.borrow(), i);
+                if mid == 0 {
+                    return Ok(0);
+                }
+                let l2 = self.meta_get(mid as u64).await;
+                let v = read_ptr(&l2.borrow(), j);
+                Ok(v)
+            }
+        }
+    }
+
+    async fn charge_bmap(&self, lbn: u64) {
+        let costs = &self.inner.params.costs;
+        let extra = match locate(lbn) {
+            Ok(PtrLoc::Direct(_)) => simkit::SimDuration::ZERO,
+            Ok(PtrLoc::Indirect(_)) => costs.bmap_indirect,
+            Ok(PtrLoc::Double(_, _)) => costs.bmap_indirect * 2,
+            Err(_) => simkit::SimDuration::ZERO,
+        };
+        self.charge("bmap", costs.bmap + extra).await;
+        self.inner.stats.borrow_mut().bmap_calls += 1;
+    }
+
+    /// Read-path translation: physical block of `lbn`, or `None` for a
+    /// hole. Public for tests, fsck tooling and examples that inspect
+    /// layout.
+    pub async fn bmap_read(&self, ip: &Incore, lbn: u64) -> FsResult<Option<u32>> {
+        if self.inner.params.tuning.bmap_cache {
+            if let Some((pbn, _len)) = ip.bmap_cache.borrow_mut().lookup(lbn) {
+                self.inner.stats.borrow_mut().bmap_cache_hits += 1;
+                return Ok(Some(pbn as u32));
+            }
+        }
+        self.charge_bmap(lbn).await;
+        let p = self.ptr_at(ip, lbn).await?;
+        Ok(if p == 0 { None } else { Some(p) })
+    }
+
+    /// The paper's modified `bmap`: translation **plus** the number of
+    /// blocks (≤ `max_blocks`) that are physically contiguous on disk
+    /// starting at `lbn`. Returns `None` for a hole.
+    pub(crate) async fn bmap_extent(
+        &self,
+        ip: &Incore,
+        lbn: u64,
+        max_blocks: u32,
+    ) -> FsResult<Option<(u32, u32)>> {
+        if max_blocks == 0 {
+            return Ok(None);
+        }
+        if self.inner.params.tuning.bmap_cache {
+            if let Some((pbn, len)) = ip.bmap_cache.borrow_mut().lookup(lbn) {
+                self.inner.stats.borrow_mut().bmap_cache_hits += 1;
+                return Ok(Some((pbn as u32, len.min(max_blocks))));
+            }
+        }
+        self.charge_bmap(lbn).await;
+        let first = self.ptr_at(ip, lbn).await?;
+        if first == 0 {
+            return Ok(None);
+        }
+        let mut len = 1u32;
+        while len < max_blocks {
+            let next = self.ptr_at(ip, lbn + len as u64).await?;
+            if next as u64 != first as u64 + len as u64 {
+                break;
+            }
+            len += 1;
+        }
+        if self.inner.params.tuning.bmap_cache {
+            ip.bmap_cache.borrow_mut().insert(clufs::ExtentTuple {
+                lbn,
+                pbn: first as u64,
+                len,
+            });
+        }
+        Ok(Some((first, len)))
+    }
+
+    /// Write-path translation: allocates the block (and any covering
+    /// indirect blocks) if `lbn` is a hole. Returns `(pbn, fresh)`.
+    pub(crate) async fn bmap_alloc(&self, ip: &Incore, lbn: u64) -> FsResult<(u32, bool)> {
+        self.charge_bmap(lbn).await;
+        let existing = self.ptr_at(ip, lbn).await?;
+        if existing != 0 {
+            return Ok((existing, false));
+        }
+        // Preference: right after the previous block (plus the rotdelay
+        // gap), if there is one.
+        let prev = if lbn > 0 {
+            let p = self.ptr_at(ip, lbn - 1).await?;
+            if p != 0 {
+                Some(p as u64)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let pref = self.blkpref(ip, lbn, prev);
+        let pbn = self.alloc_block(ip, pref).await?;
+        self.set_ptr(ip, lbn, pbn).await?;
+        {
+            let mut din = ip.din.borrow_mut();
+            din.blocks += 1;
+        }
+        ip.dirty.set(true);
+        if self.inner.params.tuning.bmap_cache {
+            // The mapping at and around lbn changed.
+            ip.bmap_cache.borrow_mut().invalidate_from(0);
+        }
+        Ok((pbn, true))
+    }
+
+    /// Stores `pbn` at `lbn`'s pointer slot, allocating indirect blocks as
+    /// needed.
+    async fn set_ptr(&self, ip: &Incore, lbn: u64, pbn: u32) -> FsResult<()> {
+        match locate(lbn)? {
+            PtrLoc::Direct(i) => {
+                ip.din.borrow_mut().direct[i] = pbn;
+                Ok(())
+            }
+            PtrLoc::Indirect(i) => {
+                let ind = self.ensure_indirect_root(ip, false).await?;
+                let block = self.meta_get(ind as u64).await;
+                write_ptr(&mut block.borrow_mut(), i, pbn);
+                self.meta_mark_dirty(ind as u64);
+                Ok(())
+            }
+            PtrLoc::Double(i, j) => {
+                let dbl = self.ensure_indirect_root(ip, true).await?;
+                let l1 = self.meta_get(dbl as u64).await;
+                let mut mid = read_ptr(&l1.borrow(), i);
+                if mid == 0 {
+                    mid = self.alloc_meta_block(ip).await?;
+                    write_ptr(&mut l1.borrow_mut(), i, mid);
+                    self.meta_mark_dirty(dbl as u64);
+                }
+                let l2 = self.meta_get(mid as u64).await;
+                write_ptr(&mut l2.borrow_mut(), j, pbn);
+                self.meta_mark_dirty(mid as u64);
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns (allocating if needed) the single- or double-indirect root.
+    async fn ensure_indirect_root(&self, ip: &Incore, double: bool) -> FsResult<u32> {
+        let existing = if double {
+            ip.din.borrow().double
+        } else {
+            ip.din.borrow().indirect
+        };
+        if existing != 0 {
+            return Ok(existing);
+        }
+        let pbn = self.alloc_meta_block(ip).await?;
+        {
+            let mut din = ip.din.borrow_mut();
+            if double {
+                din.double = pbn;
+            } else {
+                din.indirect = pbn;
+            }
+        }
+        ip.dirty.set(true);
+        Ok(pbn)
+    }
+
+    /// Allocates a zeroed block for file metadata (indirect blocks),
+    /// counted against the file.
+    async fn alloc_meta_block(&self, ip: &Incore) -> FsResult<u32> {
+        let pref = self.blkpref(ip, 0, None);
+        let pbn = self.alloc_block(ip, pref).await?;
+        // Install zeroed content in the metadata cache (written on sync).
+        self.inner
+            .meta
+            .borrow_mut()
+            .insert(pbn as u64, std::rc::Rc::new(std::cell::RefCell::new(vec![
+                0u8;
+                crate::layout::BLOCK_SIZE
+            ])));
+        self.meta_mark_dirty(pbn as u64);
+        {
+            let mut din = ip.din.borrow_mut();
+            din.blocks += 1;
+        }
+        ip.dirty.set(true);
+        Ok(pbn)
+    }
+
+    /// Frees every data and indirect block at or beyond logical block
+    /// `from_lbn` (truncate support). Returns blocks freed.
+    pub(crate) async fn free_blocks_from(&self, ip: &Incore, from_lbn: u64) -> FsResult<u32> {
+        let mut freed = 0u32;
+        let end = {
+            let din = ip.din.borrow();
+            din.size.div_ceil(crate::layout::BLOCK_SIZE as u64)
+        };
+        // Free data blocks.
+        for lbn in from_lbn..end {
+            let p = self.ptr_at(ip, lbn).await?;
+            if p != 0 {
+                self.free_block(p as u64);
+                self.clear_ptr(ip, lbn).await?;
+                freed += 1;
+            }
+        }
+        // Free indirect blocks that no longer cover anything.
+        let ppb = PTRS_PER_BLOCK as u64;
+        if from_lbn <= NDADDR as u64 {
+            let ind = ip.din.borrow().indirect;
+            if ind != 0 {
+                self.free_block(ind as u64);
+                self.inner.meta.borrow_mut().remove(&(ind as u64));
+                self.inner.meta_dirty.borrow_mut().remove(&(ind as u64));
+                ip.din.borrow_mut().indirect = 0;
+                freed += 1;
+            }
+        }
+        if from_lbn <= NDADDR as u64 + ppb {
+            let dbl = ip.din.borrow().double;
+            if dbl != 0 {
+                // Free all second-level blocks (they cover lbn >= NDADDR+ppb,
+                // all at or beyond from_lbn here).
+                let l1 = self.meta_get(dbl as u64).await;
+                let mids: Vec<u32> = (0..PTRS_PER_BLOCK)
+                    .map(|i| read_ptr(&l1.borrow(), i))
+                    .filter(|&m| m != 0)
+                    .collect();
+                for mid in mids {
+                    self.free_block(mid as u64);
+                    self.inner.meta.borrow_mut().remove(&(mid as u64));
+                    self.inner.meta_dirty.borrow_mut().remove(&(mid as u64));
+                    freed += 1;
+                }
+                self.free_block(dbl as u64);
+                self.inner.meta.borrow_mut().remove(&(dbl as u64));
+                self.inner.meta_dirty.borrow_mut().remove(&(dbl as u64));
+                ip.din.borrow_mut().double = 0;
+                freed += 1;
+            }
+        }
+        {
+            let mut din = ip.din.borrow_mut();
+            din.blocks = din.blocks.saturating_sub(freed);
+        }
+        ip.dirty.set(true);
+        ip.bmap_cache.borrow_mut().invalidate_from(0);
+        Ok(freed)
+    }
+
+    async fn clear_ptr(&self, ip: &Incore, lbn: u64) -> FsResult<()> {
+        match locate(lbn)? {
+            PtrLoc::Direct(i) => {
+                ip.din.borrow_mut().direct[i] = 0;
+            }
+            PtrLoc::Indirect(i) => {
+                let ind = ip.din.borrow().indirect;
+                if ind != 0 {
+                    let block = self.meta_get(ind as u64).await;
+                    write_ptr(&mut block.borrow_mut(), i, 0);
+                    self.meta_mark_dirty(ind as u64);
+                }
+            }
+            PtrLoc::Double(i, j) => {
+                let dbl = ip.din.borrow().double;
+                if dbl != 0 {
+                    let l1 = self.meta_get(dbl as u64).await;
+                    let mid = read_ptr(&l1.borrow(), i);
+                    if mid != 0 {
+                        let l2 = self.meta_get(mid as u64).await;
+                        write_ptr(&mut l2.borrow_mut(), j, 0);
+                        self.meta_mark_dirty(mid as u64);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks every allocated (lbn → pbn) pair of a file, in logical order.
+    /// Used by fsck and the allocator-contiguity experiment.
+    pub(crate) async fn blocks_of(&self, ip: &Incore) -> FsResult<Vec<(u64, u32)>> {
+        let end = {
+            let din = ip.din.borrow();
+            if din.inline.is_some() {
+                return Ok(Vec::new());
+            }
+            din.size.div_ceil(crate::layout::BLOCK_SIZE as u64)
+        };
+        let mut out = Vec::new();
+        for lbn in 0..end {
+            let p = self.ptr_at(ip, lbn).await?;
+            if p != 0 {
+                out.push((lbn, p));
+            }
+        }
+        Ok(out)
+    }
+}

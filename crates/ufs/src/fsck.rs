@@ -1,0 +1,302 @@
+//! `fsck`: an independent consistency checker that reads the raw disk.
+//!
+//! Deliberately shares no code with the mount path (beyond the layout
+//! definitions), so it cross-checks what the file system actually wrote:
+//! bitmap vs reachability, duplicate claims, pointer validity, link counts,
+//! size/blocks agreement, and summary counters.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use diskmodel::Disk;
+use vfs::{FsError, FsResult};
+
+use crate::layout::{
+    CgHeader, Dinode, FileKind, Superblock, BLOCK_SIZE, DINODE_SIZE, NDADDR, PTRS_PER_BLOCK,
+    ROOT_INO, SB_BLOCK, SECTORS_PER_BLOCK,
+};
+
+/// Outcome of a check.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Human-readable inconsistencies; empty means the file system is
+    /// consistent.
+    pub errors: Vec<String>,
+    /// Regular files found.
+    pub files: u32,
+    /// Directories found.
+    pub dirs: u32,
+    /// Data+indirect blocks in use.
+    pub used_blocks: u64,
+    /// Whether the superblock carried the clean-unmount flag.
+    pub was_clean: bool,
+}
+
+impl FsckReport {
+    /// True when no inconsistencies were found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+async fn read_block(disk: &Disk, pbn: u64) -> Vec<u8> {
+    disk.read(pbn * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
+        .await
+}
+
+fn read_ptr(block: &[u8], idx: usize) -> u32 {
+    let off = idx * 4;
+    u32::from_le_bytes(block[off..off + 4].try_into().unwrap())
+}
+
+/// Checks the file system on `disk`.
+pub async fn fsck(disk: &Disk) -> FsResult<FsckReport> {
+    let mut report = FsckReport::default();
+    let raw = read_block(disk, SB_BLOCK).await;
+    let sb = Superblock::decode(&raw).ok_or(FsError::Corrupt)?;
+    report.was_clean = sb.clean;
+
+    // Group headers.
+    let mut cgs = Vec::new();
+    for cgx in 0..sb.ncg {
+        let raw = read_block(disk, sb.cg_start(cgx)).await;
+        match CgHeader::decode(&raw) {
+            Some(cg) if cg.cgx == cgx => cgs.push(cg),
+            Some(cg) => {
+                report
+                    .errors
+                    .push(format!("cg {cgx}: header claims index {}", cg.cgx));
+                cgs.push(cg);
+            }
+            None => {
+                report.errors.push(format!("cg {cgx}: bad magic"));
+                cgs.push(CgHeader::empty(&sb, cgx));
+            }
+        }
+    }
+
+    // Pass 1: walk inodes, collect block claims.
+    let mut claims: HashMap<u64, u32> = HashMap::new(); // pbn -> first claiming ino
+    let mut dinodes: HashMap<u32, Dinode> = HashMap::new();
+    let mut claim = |report: &mut FsckReport, ino: u32, pbn: u64| {
+        if !sb.is_data_block(pbn) {
+            report
+                .errors
+                .push(format!("ino {ino}: pointer to non-data block {pbn}"));
+            return false;
+        }
+        if let Some(prev) = claims.get(&pbn) {
+            report
+                .errors
+                .push(format!("block {pbn} claimed by both ino {prev} and ino {ino}"));
+            return false;
+        }
+        claims.insert(pbn, ino);
+        true
+    };
+
+    for ino in 0..sb.total_inodes() {
+        if ino < 2 {
+            continue; // Reserved.
+        }
+        let (pbn, idx) = sb.inode_location(ino);
+        let block = read_block(disk, pbn).await;
+        let din = match Dinode::decode(&block[idx * DINODE_SIZE..(idx + 1) * DINODE_SIZE]) {
+            Some(d) => d,
+            None => {
+                report.errors.push(format!("ino {ino}: undecodable dinode"));
+                continue;
+            }
+        };
+        let cg = &cgs[(ino / sb.inodes_per_cg) as usize];
+        let in_bitmap = cg.inode_allocated(ino % sb.inodes_per_cg);
+        match (din.kind, in_bitmap) {
+            (FileKind::Free, false) => continue,
+            (FileKind::Free, true) => {
+                report
+                    .errors
+                    .push(format!("ino {ino}: allocated in bitmap but dinode is free"));
+                continue;
+            }
+            (_, false) => {
+                report
+                    .errors
+                    .push(format!("ino {ino}: dinode in use but bitmap says free"));
+            }
+            (_, true) => {}
+        }
+        match din.kind {
+            FileKind::Regular | FileKind::Symlink => report.files += 1,
+            FileKind::Directory => report.dirs += 1,
+            FileKind::Free => unreachable!(),
+        }
+        // Walk block pointers.
+        let mut counted = 0u32;
+        if din.inline.is_none() {
+            let nblocks = din.size.div_ceil(BLOCK_SIZE as u64);
+            for i in 0..NDADDR.min(nblocks as usize) {
+                let p = din.direct[i];
+                if p != 0 && claim(&mut report, ino, p as u64) {
+                    counted += 1;
+                }
+            }
+            if din.indirect != 0 {
+                if claim(&mut report, ino, din.indirect as u64) {
+                    counted += 1;
+                }
+                let ind = read_block(disk, din.indirect as u64).await;
+                let covered = nblocks.saturating_sub(NDADDR as u64).min(PTRS_PER_BLOCK as u64);
+                for i in 0..covered as usize {
+                    let p = read_ptr(&ind, i);
+                    if p != 0 && claim(&mut report, ino, p as u64) {
+                        counted += 1;
+                    }
+                }
+            }
+            if din.double != 0 {
+                if claim(&mut report, ino, din.double as u64) {
+                    counted += 1;
+                }
+                let l1 = read_block(disk, din.double as u64).await;
+                for i in 0..PTRS_PER_BLOCK {
+                    let mid = read_ptr(&l1, i);
+                    if mid == 0 {
+                        continue;
+                    }
+                    if claim(&mut report, ino, mid as u64) {
+                        counted += 1;
+                    }
+                    let l2 = read_block(disk, mid as u64).await;
+                    for j in 0..PTRS_PER_BLOCK {
+                        let p = read_ptr(&l2, j);
+                        if p != 0 && claim(&mut report, ino, p as u64) {
+                            counted += 1;
+                        }
+                    }
+                }
+            }
+            if counted != din.blocks {
+                report.errors.push(format!(
+                    "ino {ino}: dinode claims {} blocks, found {counted}",
+                    din.blocks
+                ));
+            }
+        } else if din.blocks != 0 {
+            report
+                .errors
+                .push(format!("ino {ino}: inline data but blocks = {}", din.blocks));
+        }
+        dinodes.insert(ino, din);
+    }
+    report.used_blocks = claims.len() as u64;
+
+    // Pass 2: directory connectivity and link counts.
+    let mut link_refs: HashMap<u32, u16> = HashMap::new();
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut queue = VecDeque::new();
+    if dinodes.contains_key(&ROOT_INO) {
+        queue.push_back(ROOT_INO);
+        visited.insert(ROOT_INO);
+    } else {
+        report.errors.push("root directory missing".to_string());
+    }
+    while let Some(dir_ino) = queue.pop_front() {
+        let din = dinodes[&dir_ino].clone();
+        let nblocks = din.size.div_ceil(BLOCK_SIZE as u64);
+        for lbn in 0..nblocks.min(NDADDR as u64) {
+            let p = din.direct[lbn as usize];
+            if p == 0 {
+                continue;
+            }
+            let data = read_block(disk, p as u64).await;
+            let mut pos = 0usize;
+            while pos + 5 <= BLOCK_SIZE {
+                let ino = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+                let namelen = data[pos + 4] as usize;
+                if ino == 0 && namelen == 0 {
+                    break;
+                }
+                pos += 5 + namelen;
+                if ino == 0 {
+                    continue;
+                }
+                match dinodes.get(&ino) {
+                    None => report.errors.push(format!(
+                        "dir {dir_ino}: entry references unallocated ino {ino}"
+                    )),
+                    Some(d) => {
+                        *link_refs.entry(ino).or_insert(0) += 1;
+                        if d.kind == FileKind::Directory && visited.insert(ino) {
+                            queue.push_back(ino);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (&ino, din) in &dinodes {
+        if ino == ROOT_INO {
+            continue;
+        }
+        let refs = link_refs.get(&ino).copied().unwrap_or(0);
+        if refs == 0 {
+            report
+                .errors
+                .push(format!("ino {ino}: allocated but unreachable (orphan)"));
+        } else if din.kind == FileKind::Regular && refs != din.nlink {
+            report.errors.push(format!(
+                "ino {ino}: nlink {} but {} directory references",
+                din.nlink, refs
+            ));
+        }
+    }
+
+    // Pass 3: bitmap vs claims, and summary counters.
+    let mut free_blocks_maps = 0u64;
+    let mut free_inodes_maps = 0u64;
+    for (cgx, cg) in cgs.iter().enumerate() {
+        let mut cg_used = 0u32;
+        for i in 0..sb.data_blocks_per_cg() {
+            let pbn = sb.cg_data_start(cgx as u32) + i as u64;
+            let bit = cg.block_allocated(i);
+            let claimed = claims.contains_key(&pbn) || (cgx == 0 && i == 0);
+            // (cg 0 data block 0 is the root directory block, claimed via
+            // the root dinode walk above — it IS in claims; the extra
+            // clause keeps mkfs-only images clean.)
+            if bit && !claimed && !(cgx == 0 && i == 0) {
+                report
+                    .errors
+                    .push(format!("block {pbn}: allocated in bitmap but unclaimed"));
+            }
+            if !bit && claims.contains_key(&pbn) {
+                report
+                    .errors
+                    .push(format!("block {pbn}: claimed but free in bitmap"));
+            }
+            if bit {
+                cg_used += 1;
+            }
+        }
+        let expect_free = sb.data_blocks_per_cg() - cg_used;
+        if cg.free_blocks != expect_free {
+            report.errors.push(format!(
+                "cg {cgx}: free_blocks {} but bitmap shows {expect_free}",
+                cg.free_blocks
+            ));
+        }
+        free_blocks_maps += cg.free_blocks as u64;
+        free_inodes_maps += cg.free_inodes as u64;
+    }
+    if sb.free_blocks != free_blocks_maps {
+        report.errors.push(format!(
+            "superblock free_blocks {} != cg total {free_blocks_maps}",
+            sb.free_blocks
+        ));
+    }
+    if sb.free_inodes != free_inodes_maps {
+        report.errors.push(format!(
+            "superblock free_inodes {} != cg total {free_inodes_maps}",
+            sb.free_inodes
+        ));
+    }
+    Ok(report)
+}

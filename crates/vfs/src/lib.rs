@@ -1,0 +1,138 @@
+//! # vfs — the vnode interface layer
+//!
+//! A slim model of the Sun VFS architecture (Kleiman, "Vnodes", USENIX
+//! 1986): file systems expose
+//! file objects ("vnodes") behind a uniform interface, and the kernel above
+//! (here: workloads and benchmarks) manipulates files without knowing the
+//! implementation. Two file system types implement these traits in this
+//! repository: `ufs` (the paper's subject) and `extentfs` (the comparator).
+//!
+//! The interface is deliberately narrower than a real VFS — just what the
+//! paper's evaluation exercises: create/open/remove/lookup, read/write at an
+//! offset (in copying or mapped mode), fsync, truncate, and mount-wide sync.
+
+use std::fmt;
+
+/// Identifies a file for page cache naming; equals
+/// [`pagecache::VnodeId`].
+pub type VnodeId = u64;
+
+/// How `rdwr` moves bytes.
+///
+/// `Copy` models `read(2)`/`write(2)`: the kernel copies between the page
+/// cache and the caller's buffer, paying copy CPU per byte. `Mapped` models
+/// `mmap(2)` access: pages are faulted in but not copied — the mode the
+/// paper's Figure 12 uses "to avoid the copying of data from the kernel to
+/// the user" so the file system overhead itself is visible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessMode {
+    /// Copying semantics (read/write system calls).
+    Copy,
+    /// Mapped semantics (mmap): fault, no copyout.
+    Mapped,
+}
+
+/// Errors surfaced by file system operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsError {
+    /// Path component does not exist.
+    NotFound,
+    /// Name already exists.
+    Exists,
+    /// The file system is out of blocks (respecting the minfree reserve).
+    NoSpace,
+    /// The file system is out of inodes.
+    NoInodes,
+    /// Operation applied to the wrong object kind.
+    NotAFile,
+    /// A directory operation on a non-directory.
+    NotADirectory,
+    /// Removing a non-empty directory.
+    NotEmpty,
+    /// File offset or size beyond what the format supports.
+    TooBig,
+    /// Malformed argument (bad name, bad offset).
+    Invalid,
+    /// Corrupt on-disk structure detected.
+    Corrupt,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NoSpace => "no space left on device",
+            FsError::NoInodes => "no inodes left on device",
+            FsError::NotAFile => "not a regular file",
+            FsError::NotADirectory => "not a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::TooBig => "file too large",
+            FsError::Invalid => "invalid argument",
+            FsError::Corrupt => "file system corrupted",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// A file handle ("vnode") exposed by a file system.
+///
+/// Offsets are arbitrary byte offsets; implementations handle page/block
+/// alignment internally, exactly as `ufs_rdwr` does by mapping each file
+/// block and copying pieces.
+#[allow(async_fn_in_trait)] // Single-threaded simulation: futures are !Send by design.
+pub trait Vnode {
+    /// Page cache identity of this file.
+    fn id(&self) -> VnodeId;
+
+    /// Current file size in bytes.
+    fn size(&self) -> u64;
+
+    /// Reads up to `len` bytes at `off`; short reads happen only at EOF.
+    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>>;
+
+    /// Writes `data` at `off`, extending the file if needed.
+    async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()>;
+
+    /// Forces dirty pages and metadata for this file to stable storage.
+    async fn fsync(&self) -> FsResult<()>;
+
+    /// Truncates (or extends with a hole) to `size` bytes.
+    async fn truncate(&self, size: u64) -> FsResult<()>;
+}
+
+/// A mounted file system instance.
+#[allow(async_fn_in_trait)] // Single-threaded simulation: futures are !Send by design.
+pub trait FileSystem {
+    /// The vnode type this file system serves.
+    type File: Vnode;
+
+    /// Creates a regular file (in the root directory for flat namespaces;
+    /// path-capable implementations accept `/`-separated paths).
+    async fn create(&self, path: &str) -> FsResult<Self::File>;
+
+    /// Opens an existing regular file.
+    async fn open(&self, path: &str) -> FsResult<Self::File>;
+
+    /// Removes a file, freeing its blocks.
+    async fn remove(&self, path: &str) -> FsResult<()>;
+
+    /// Flushes all dirty state in the mount to stable storage.
+    async fn sync(&self) -> FsResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(FsError::NoSpace.to_string(), "no space left on device");
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+    }
+}

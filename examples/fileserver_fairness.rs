@@ -1,0 +1,96 @@
+//! The fairness problem: "A single process can lock down all of memory by
+//! writing a large file ... a large process dumping core can cause the
+//! system to be temporarily unusable."
+//!
+//! A "core dumper" writes a huge file flat out while an interactive user
+//! tries to do small edits. We measure the interactive user's operation
+//! latencies with and without the paper's per-file write limit.
+//!
+//! ```text
+//! cargo run --release --example fileserver_fairness
+//! ```
+
+use clufs::Tuning;
+use iobench::{paper_world, WorldOptions};
+use simkit::{Sim, SimDuration};
+use vfs::{AccessMode, FileSystem, Vnode};
+
+fn run(label: &str, write_limit: Option<u32>) {
+    let sim = Sim::new();
+    let s = sim.clone();
+    let (mean, worst, dumper_rate) = sim.run_until(async move {
+        let tuning = Tuning {
+            write_limit,
+            ..Tuning::config_a()
+        };
+        let world = paper_world(&s, tuning, WorldOptions::default())
+            .await
+            .expect("world");
+
+        // The core dumper: 24 MB written as fast as the kernel accepts it.
+        let dumper_fs = world.fs.clone();
+        let s2 = s.clone();
+        let dumper = s.spawn(async move {
+            let f = dumper_fs.create("core").await.expect("create");
+            let chunk = vec![0xDE; 64 * 1024];
+            let t0 = s2.now();
+            for i in 0..(24 << 20) / chunk.len() {
+                f.write((i * chunk.len()) as u64, &chunk, AccessMode::Copy)
+                    .await
+                    .expect("write");
+            }
+            f.fsync().await.expect("fsync");
+            (24 << 20) as f64 / 1024.0 / s2.now().duration_since(t0).as_secs_f64()
+        });
+
+        // The interactive user: every 400 ms, save a small draft and
+        // reload a 256 KB document (an editor's autosave + redisplay).
+        // Reloading needs three dozen page allocations — the operation the
+        // core dump starves when every page in the machine is dirty and
+        // locked in the disk queue.
+        let mut latencies = Vec::new();
+        world.fs.mkdir("home").await.expect("mkdir");
+        let doc = world.fs.create("home/thesis.txt").await.expect("create");
+        for i in 0..16u64 {
+            doc.write(i * 256 * 1024, &vec![7u8; 256 * 1024], AccessMode::Copy)
+                .await
+                .expect("seed");
+        }
+        doc.fsync().await.expect("seed fsync");
+        for i in 0..30u64 {
+            s.sleep(SimDuration::from_millis(400)).await;
+            let t0 = s.now();
+            let f = world
+                .fs
+                .create(&format!("home/draft{}.txt", i % 4))
+                .await
+                .expect("create");
+            f.write(0, &[3u8; 4096], AccessMode::Copy)
+                .await
+                .expect("write");
+            f.fsync().await.expect("fsync");
+            // A different 256 KB window each time: these pages are cold,
+            // so redisplay must allocate three dozen pages right now.
+            let back = doc
+                .read((i % 16) * 256 * 1024, 256 * 1024, AccessMode::Copy)
+                .await
+                .expect("read");
+            assert_eq!(back.len(), 256 * 1024);
+            latencies.push(s.now().duration_since(t0));
+        }
+        let dumper_rate = dumper.await;
+        let worst = latencies.iter().copied().max().unwrap();
+        let mean: SimDuration =
+            latencies.iter().copied().sum::<SimDuration>() / latencies.len() as u64;
+        (mean, worst, dumper_rate)
+    });
+    println!(
+        "{label:28} editor op latency: mean {mean}, worst {worst}; dumper ran at {dumper_rate:.0} KB/s"
+    );
+}
+
+fn main() {
+    println!("interactive latency under a 24 MB core dump:\n");
+    run("no write limit (old 4.1)", None);
+    run("240KB write limit (4.1.1)", Some(240 * 1024));
+}

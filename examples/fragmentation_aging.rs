@@ -1,0 +1,74 @@
+//! The allocator-contiguity study, as a runnable scenario: "filling up the
+//! last 15% of a heavily fragmented /home partition ... the average extent
+//! size was 62KB in a 16MB file". Clustering depends on the allocator
+//! doing well even on aged disks — this is the experiment that convinced
+//! the authors not to add preallocation.
+//!
+//! ```text
+//! cargo run --release --example fragmentation_aging
+//! ```
+
+use clufs::Tuning;
+use iobench::aging::{age_filesystem, probe_extents, AgingOptions};
+use iobench::{paper_world, WorldOptions};
+use simkit::Sim;
+
+fn main() {
+    let sim = Sim::new();
+    let s = sim.clone();
+    sim.run_until(async move {
+        // Fresh file system: the best case.
+        let world = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+            .await
+            .expect("world");
+        let best = probe_extents(&world, "big.dat", 13 << 20)
+            .await
+            .expect("probe");
+        println!(
+            "empty fs:  {:>5.1} MB file in {:>3} extents, mean {:>6.0} KB, max {:>6} KB",
+            best.file_bytes as f64 / 1048576.0,
+            best.extents,
+            best.mean_extent_bytes / 1024.0,
+            best.max_extent_bytes / 1024
+        );
+
+        // A second world, aged like a /home partition.
+        let world2 = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+            .await
+            .expect("world");
+        println!("\naging a second file system (create/remove churn)...");
+        let survivors = age_filesystem(
+            &world2,
+            AgingOptions {
+                target_fill: 0.88,
+                rounds: 5,
+                seed: 0xA6E,
+            },
+        )
+        .await
+        .expect("aging");
+        let free_pct =
+            world2.fs.free_blocks() as f64 / world2.fs.capacity_blocks() as f64 * 100.0;
+        println!("aged: {survivors} files survive, {free_pct:.0}% free\n");
+
+        let worst = probe_extents(&world2, "home/big.dat", 16 << 20)
+            .await
+            .expect("probe");
+        println!(
+            "aged fs:   {:>5.1} MB file in {:>3} extents, mean {:>6.0} KB, max {:>6} KB",
+            worst.file_bytes as f64 / 1048576.0,
+            worst.extents,
+            worst.mean_extent_bytes / 1024.0,
+            worst.max_extent_bytes / 1024
+        );
+        println!(
+            "\npaper reports: best case 1.5 MB mean extents (13 MB file);\n\
+             worst case 62 KB mean extents (16 MB file on a fragmented /home)."
+        );
+        println!(
+            "\nthe clustered read path adapts per-bmap: even 62 KB extents give\n\
+             ~8-block clusters, so aged disks degrade gracefully rather than\n\
+             falling back to block-at-a-time I/O."
+        );
+    });
+}

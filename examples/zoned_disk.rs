@@ -1,0 +1,121 @@
+//! The variable-geometry argument: "consider a variable geometry drive (a
+//! drive that has more blocks on the outer tracks than on the inner
+//! tracks). Such a drive may have different values for the optimal extent
+//! size at different locations." — the paper's case for why a user-chosen
+//! extent size cannot be right everywhere.
+//!
+//! This example measures sequential read throughput on a zoned drive at the
+//! outer, middle and inner zones, for several transfer ("extent") sizes,
+//! and reports what fraction of that zone's own media bandwidth each size
+//! achieves. The size that looks adequate on the outer tracks leaves
+//! bandwidth on the table inside, and vice versa.
+//!
+//! ```text
+//! cargo run --release --example zoned_disk
+//! ```
+
+use diskmodel::{Disk, DiskParams, Geometry, Zone};
+use simkit::{Sim, SimDuration};
+
+/// A 1990s-flavored three-zone drive: 2.5 MB/s media rate outside,
+/// 1.5 MB/s inside.
+fn zoned_drive() -> Geometry {
+    Geometry {
+        sector_size: 512,
+        sectors_per_track: 0,
+        heads: 9,
+        cylinders: 1200,
+        rpm: 3600,
+        track_skew: 4,
+        cyl_skew: 16,
+        zones: Some(vec![
+            Zone {
+                start_cyl: 0,
+                sectors_per_track: 80,
+            },
+            Zone {
+                start_cyl: 400,
+                sectors_per_track: 64,
+            },
+            Zone {
+                start_cyl: 800,
+                sectors_per_track: 48,
+            },
+        ]),
+    }
+}
+
+/// Sequential read of 4 MB starting at `lba`, in `unit` -sector transfers
+/// pipelined two deep (like cluster read-ahead). Returns KB/s.
+fn read_rate(start_lba: u64, unit_sectors: u32) -> f64 {
+    let sim = Sim::new();
+    let disk = Disk::new(
+        &sim,
+        DiskParams {
+            geometry: zoned_drive(),
+            ..DiskParams::sun0424()
+        },
+    );
+    let d = disk.clone();
+    let s = sim.clone();
+    let elapsed: SimDuration = sim.run_until(async move {
+        let total_sectors = (4 << 20) / 512u64;
+        let t0 = s.now();
+        let mut submitted = 0u64;
+        let mut pending = std::collections::VecDeque::new();
+        while submitted < total_sectors || !pending.is_empty() {
+            while submitted < total_sectors && pending.len() < 2 {
+                let n = unit_sectors.min((total_sectors - submitted) as u32);
+                pending.push_back(d.submit_read(start_lba + submitted, n));
+                submitted += n as u64;
+            }
+            if let Some(h) = pending.pop_front() {
+                h.wait().await;
+            }
+        }
+        s.now().duration_since(t0)
+    });
+    (4u64 << 20) as f64 / 1024.0 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let g = zoned_drive();
+    let spc = |cyl: u32| g.spt(cyl) as u64 * g.heads as u64;
+    // Start LBAs at the head of each zone.
+    let outer = 0u64;
+    let middle: u64 = (0..400).map(|c| spc(c)).sum();
+    let inner: u64 = (0..800).map(|c| spc(c)).sum();
+    let media = |cyl: u32| g.spt(cyl) as f64 * 512.0 * 3600.0 / 60.0 / 1024.0; // KB/s
+
+    println!(
+        "sequential read rate by zone and transfer size (KB/s, % of that\n\
+         zone's media rate). The paper's point: no one extent size is\n\
+         'right' at every disk location.\n"
+    );
+    println!(
+        "{:>12}  {:>18}  {:>18}  {:>18}",
+        "extent", "outer (2.5MB/s)", "middle (2.0MB/s)", "inner (1.5MB/s)"
+    );
+    for unit_kb in [8u32, 24, 56, 120, 240] {
+        let unit = unit_kb * 2; // sectors
+        let rates = [
+            (read_rate(outer, unit), media(0)),
+            (read_rate(middle, unit), media(400)),
+            (read_rate(inner, unit), media(800)),
+        ];
+        let cells: Vec<String> = rates
+            .iter()
+            .map(|(r, m)| format!("{:>6.0} ({:>3.0}%)", r, r / m * 100.0))
+            .collect();
+        println!(
+            "{:>10}KB  {:>18}  {:>18}  {:>18}",
+            unit_kb, cells[0], cells[1], cells[2]
+        );
+    }
+    println!(
+        "\nan extent size tuned to reach ~90% of bandwidth on the inner zone\n\
+         wastes the outer zone's extra sectors per revolution; the clustered\n\
+         UFS sidesteps the question by letting bmap report whatever run the\n\
+         allocator actually achieved, wherever the file landed."
+    );
+}

@@ -118,5 +118,10 @@ fn bench_bmap_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_readahead, bench_delayed_write, bench_bmap_cache);
+criterion_group!(
+    benches,
+    bench_readahead,
+    bench_delayed_write,
+    bench_bmap_cache
+);
 criterion_main!(benches);

@@ -7,13 +7,13 @@
 use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
     fig9_table, musbus_run, rejected_alternatives_run, write_limit_sweep_run, RunScale,
 };
 use iobench::{run_iobench, Config, IoKind};
 use simkit::Sim;
+use std::time::Duration;
 use vfs::Vnode;
 
 static PRINT_ONCE: Once = Once::new();
@@ -25,10 +25,10 @@ fn quick() -> RunScale {
 fn bench_fig10(c: &mut Criterion) {
     PRINT_ONCE.call_once(|| {
         println!("\n=== Figure 9 ===\n{}", fig9_table());
-        let data = fig10_run(quick());
+        let data = fig10_run(quick(), None);
         println!("=== Figure 10 (quick scale) ===\n{}", fig10_table(&data));
         println!("=== Figure 11 (quick scale) ===\n{}", fig11_table(&data));
-        let (t12, _, _) = fig12_run(quick());
+        let (t12, _, _) = fig12_run(quick(), None);
         println!("=== Figure 12 (quick scale) ===\n{t12}");
     });
     let mut g = c.benchmark_group("tables");
@@ -79,7 +79,7 @@ fn bench_fig12(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("fig12_cpu_comparison", |b| {
-        b.iter(|| fig12_run(RunScale::quick()).1)
+        b.iter(|| fig12_run(RunScale::quick(), None).1)
     });
     g.finish();
 }
@@ -89,8 +89,10 @@ fn bench_in_text(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("allocator_extents_quick", |b| b.iter(|| extents_run(true).1));
-    g.bench_function("musbus", |b| b.iter(|| musbus_run().1));
+    g.bench_function("allocator_extents_quick", |b| {
+        b.iter(|| extents_run(true, None).1)
+    });
+    g.bench_function("musbus", |b| b.iter(|| musbus_run(None).1));
     g.finish();
 }
 
@@ -100,13 +102,13 @@ fn bench_ablations(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("rejected_alternatives", |b| {
-        b.iter(|| rejected_alternatives_run(RunScale::quick()).len())
+        b.iter(|| rejected_alternatives_run(RunScale::quick(), None).len())
     });
     g.bench_function("extentfs_comparison", |b| {
-        b.iter(|| extentfs_comparison_run(RunScale::quick()).len())
+        b.iter(|| extentfs_comparison_run(RunScale::quick(), None).len())
     });
     g.bench_function("write_limit_sweep", |b| {
-        b.iter(|| write_limit_sweep_run(RunScale::quick()).len())
+        b.iter(|| write_limit_sweep_run(RunScale::quick(), None).len())
     });
     g.finish();
 }

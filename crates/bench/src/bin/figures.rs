@@ -34,13 +34,18 @@ fn readahead_trace(maxcontig: u32, pages: u64) -> Vec<Vec<String>> {
     let mut cells = Vec::new();
     for lbn in 0..pages {
         let cached = resident.contains(&lbn);
-        let plan = ra.on_access(lbn, cached, |p| {
-            if p < 1000 {
-                maxcontig
-            } else {
-                0
-            }
-        }, 0);
+        let plan = ra.on_access(
+            lbn,
+            cached,
+            |p| {
+                if p < 1000 {
+                    maxcontig
+                } else {
+                    0
+                }
+            },
+            0,
+        );
         let mut cell = Vec::new();
         if let Some(run) = plan.sync {
             cell.push(format!(

@@ -70,9 +70,8 @@ impl BmapCache {
         if tuple.len == 0 {
             return;
         }
-        self.entries.retain(|e| {
-            e.lbn + e.len as u64 <= tuple.lbn || tuple.lbn + tuple.len as u64 <= e.lbn
-        });
+        self.entries
+            .retain(|e| e.lbn + e.len as u64 <= tuple.lbn || tuple.lbn + tuple.len as u64 <= e.lbn);
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
         }

@@ -204,7 +204,7 @@ mod tests {
             // jumps.
             let pattern: Vec<u64> = (0..20)
                 .chain(100..113)
-                .chain([500, 7, 501, 8, 502].into_iter())
+                .chain([500, 7, 501, 8, 502])
                 .collect();
             for &off in &pattern {
                 offered.push(off);

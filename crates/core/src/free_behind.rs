@@ -43,7 +43,13 @@ impl FreeBehindPolicy {
     /// * `offset` — byte offset of the page being unmapped.
     /// * `freemem` / `lowater` — current free page count and the pageout
     ///   daemon's low-water mark, in pages.
-    pub fn should_free(&self, sequential: bool, offset: u64, freemem: usize, lowater: usize) -> bool {
+    pub fn should_free(
+        &self,
+        sequential: bool,
+        offset: u64,
+        freemem: usize,
+        lowater: usize,
+    ) -> bool {
         self.enabled
             && sequential
             && offset >= self.min_offset

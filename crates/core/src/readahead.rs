@@ -148,7 +148,11 @@ impl ReadAhead {
         if trigger {
             // The cluster we are inside starts at `lbn` for planning
             // purposes; its length comes from bmap.
-            let cur_len = if sync_len > 0 { sync_len } else { cluster_len(lbn) };
+            let cur_len = if sync_len > 0 {
+                sync_len
+            } else {
+                cluster_len(lbn)
+            };
             if cur_len > 0 {
                 let ra_start = lbn + cur_len as u64;
                 let ra_len = cluster_len(ra_start);
@@ -255,13 +259,7 @@ mod tests {
         let p = ra.on_access(51, false, uniform(2, 1000), 0); // 51 == nextr.
         assert!(p.sequential);
         assert_eq!(p.sync, Some(ReadRun { lbn: 51, blocks: 2 }));
-        assert_eq!(
-            p.readahead,
-            Some(ReadRun {
-                lbn: 53,
-                blocks: 2
-            })
-        );
+        assert_eq!(p.readahead, Some(ReadRun { lbn: 53, blocks: 2 }));
     }
 
     #[test]
@@ -331,10 +329,7 @@ mod tests {
         assert!(!p.sequential);
         assert_eq!(
             p.sync,
-            Some(ReadRun {
-                lbn: 77,
-                blocks: 3
-            }),
+            Some(ReadRun { lbn: 77, blocks: 3 }),
             "hint expands the sync read"
         );
         assert_eq!(p.readahead, None, "hint does not enable read-ahead");

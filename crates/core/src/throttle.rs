@@ -11,6 +11,7 @@
 //! (more than two or three outstanding writes) and to give `disksort`
 //! something to sort — hence the paper's fairly large 240 KB default.
 
+use simkit::stats::Counter;
 use simkit::{Semaphore, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -21,6 +22,10 @@ struct ThrottleInner {
     /// Total virtual time writers spent blocked on the limit.
     stalled: Cell<SimDuration>,
     stall_count: Cell<u64>,
+    /// Registry mirrors (`core.throttle_*`), shared across every throttle
+    /// on the same `Sim`.
+    m_stalls: Counter,
+    m_stall_ns: Counter,
 }
 
 /// Per-file write throttle. Clones share the same limit.
@@ -41,6 +46,8 @@ impl WriteThrottle {
                     limit: l as u64,
                     stalled: Cell::new(SimDuration::ZERO),
                     stall_count: Cell::new(0),
+                    m_stalls: sim.stats().counter("core.throttle_stalls"),
+                    m_stall_ns: sim.stats().counter("core.throttle_stall_ns"),
                 })
             }),
             clock: Rc::new(RefCell::new(Some(sim.clone()))),
@@ -61,17 +68,15 @@ impl WriteThrottle {
         if ask == 0 {
             return WriteToken { bytes: 0 };
         }
-        let sim = self
-            .clock
-            .borrow()
-            .clone()
-            .expect("throttle clock present");
+        let sim = self.clock.borrow().clone().expect("throttle clock present");
         let before = sim.now();
         let permit = inner.sem.acquire(ask).await;
         let waited = sim.now().duration_since(before);
         if !waited.is_zero() {
             inner.stalled.set(inner.stalled.get() + waited);
             inner.stall_count.set(inner.stall_count.get() + 1);
+            inner.m_stalls.inc();
+            inner.m_stall_ns.add(waited.as_nanos());
         }
         // The permit outlives this future: the disk interrupt releases it.
         permit.forget();
@@ -159,8 +164,10 @@ mod tests {
             let s = sim.clone();
             sim.spawn(async move {
                 // Two 8 KB writes fill the 16 KB limit.
-                pending.borrow_mut().push(t.begin_write(8192).await);
-                pending.borrow_mut().push(t.begin_write(8192).await);
+                let tok = t.begin_write(8192).await;
+                pending.borrow_mut().push(tok);
+                let tok = t.begin_write(8192).await;
+                pending.borrow_mut().push(tok);
                 log.borrow_mut().push("filled");
                 // Third write must wait for a completion.
                 let tok = t.begin_write(8192).await;

@@ -4,6 +4,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use simkit::stats::{Counter, Histogram, TimeWeighted};
 use simkit::{Notify, Sim, SimDuration};
 
 use crate::geometry::Geometry;
@@ -134,6 +135,52 @@ pub struct DiskStats {
     pub busy: SimDuration,
 }
 
+/// Registry handles mirroring [`DiskStats`] into `sim.stats()` under the
+/// `disk.*` namespace (schema: DESIGN.md "Observability").
+struct DiskMetrics {
+    reads: Counter,
+    writes: Counter,
+    sectors_read: Counter,
+    sectors_written: Counter,
+    seeks: Counter,
+    seek_distance: Histogram,
+    seek_time_ns: Counter,
+    rot_wait_ns: Counter,
+    transfer_time_ns: Counter,
+    trackbuf_hits: Counter,
+    trackbuf_misses: Counter,
+    coalesced: Counter,
+    queue_wait_ns: Counter,
+    busy_ns: Counter,
+    queue_depth: TimeWeighted,
+}
+
+impl DiskMetrics {
+    /// Cylinder-distance buckets: track-to-track up to a full stroke.
+    const SEEK_DIST_EDGES: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 2048];
+
+    fn new(sim: &Sim) -> DiskMetrics {
+        let s = sim.stats();
+        DiskMetrics {
+            reads: s.counter("disk.reads"),
+            writes: s.counter("disk.writes"),
+            sectors_read: s.counter("disk.sectors_read"),
+            sectors_written: s.counter("disk.sectors_written"),
+            seeks: s.counter("disk.seeks"),
+            seek_distance: s.histogram("disk.seek_distance_cyls", &Self::SEEK_DIST_EDGES),
+            seek_time_ns: s.counter("disk.seek_time_ns"),
+            rot_wait_ns: s.counter("disk.rot_wait_ns"),
+            transfer_time_ns: s.counter("disk.transfer_time_ns"),
+            trackbuf_hits: s.counter("disk.trackbuf_hits"),
+            trackbuf_misses: s.counter("disk.trackbuf_misses"),
+            coalesced: s.counter("disk.requests_coalesced"),
+            queue_wait_ns: s.counter("disk.queue_wait_ns"),
+            busy_ns: s.counter("disk.busy_ns"),
+            queue_depth: s.time_weighted("disk.queue_depth"),
+        }
+    }
+}
+
 struct DiskInner {
     sim: Sim,
     params: DiskParams,
@@ -144,6 +191,7 @@ struct DiskInner {
     cur_head: Cell<u32>,
     trackbuf: RefCell<TrackBuf>,
     stats: RefCell<DiskStats>,
+    metrics: DiskMetrics,
     shutdown: Cell<bool>,
 }
 
@@ -169,6 +217,7 @@ impl Disk {
                 cur_head: Cell::new(0),
                 trackbuf: RefCell::new(TrackBuf::new()),
                 stats: RefCell::new(DiskStats::default()),
+                metrics: DiskMetrics::new(sim),
                 shutdown: Cell::new(false),
             }),
         };
@@ -256,6 +305,7 @@ impl Disk {
             .queue
             .borrow_mut()
             .push(req, event, slot, self.inner.sim.now());
+        self.inner.metrics.queue_depth.add(1.0);
         self.inner.notify.notify_all();
         handle
     }
@@ -289,7 +339,10 @@ impl Disk {
                 }
             };
             match batch {
-                Some(batch) => self.service_batch(batch).await,
+                Some(batch) => {
+                    self.inner.metrics.queue_depth.add(-(batch.len() as f64));
+                    self.service_batch(batch).await
+                }
                 None => {
                     if self.inner.shutdown.get() {
                         return;
@@ -315,9 +368,13 @@ impl Disk {
         let started = self.inner.sim.now();
         {
             let mut stats = self.inner.stats.borrow_mut();
-            stats.coalesced += (batch.len() as u64).saturating_sub(1);
+            let merged = (batch.len() as u64).saturating_sub(1);
+            stats.coalesced += merged;
+            self.inner.metrics.coalesced.add(merged);
             for q in &batch {
-                stats.queue_wait += started.duration_since(q.submitted_at);
+                let waited = started.duration_since(q.submitted_at);
+                stats.queue_wait += waited;
+                self.inner.metrics.queue_wait_ns.add(waited.as_nanos());
             }
         }
         let op = batch[0].req.op;
@@ -355,15 +412,22 @@ impl Disk {
         let finished_at = self.inner.sim.now();
         {
             let mut stats = self.inner.stats.borrow_mut();
+            let m = &self.inner.metrics;
             stats.busy += finished_at.duration_since(started);
+            m.busy_ns
+                .add(finished_at.duration_since(started).as_nanos());
             match op {
                 DiskOp::Read => {
                     stats.reads += 1;
                     stats.sectors_read += span_sectors as u64;
+                    m.reads.inc();
+                    m.sectors_read.add(span_sectors as u64);
                 }
                 DiskOp::Write => {
                     stats.writes += 1;
                     stats.sectors_written += span_sectors as u64;
+                    m.writes.inc();
+                    m.sectors_written.add(span_sectors as u64);
                 }
             }
         }
@@ -431,6 +495,9 @@ impl Disk {
             stats.seek_time += t;
             stats.seeks += 1;
             drop(stats);
+            self.inner.metrics.seeks.inc();
+            self.inner.metrics.seek_distance.observe(dist as u64);
+            self.inner.metrics.seek_time_ns.add(t.as_nanos());
             self.inner.cur_cyl.set(chs.cyl);
         }
         if moved_head || moved_cyl {
@@ -469,34 +536,39 @@ impl Disk {
             match probe {
                 BufProbe::Hit { ready_at } => {
                     self.inner.stats.borrow_mut().trackbuf_hits += 1;
+                    self.inner.metrics.trackbuf_hits.inc();
                     if ready_at > self.inner.sim.now() {
                         self.inner.sim.sleep_until(ready_at).await;
                     }
                     // Host transfer from buffer over the bus (overlapped).
                     let bytes = run as u64 * g.sector_size as u64;
-                    let bus =
-                        SimDuration::from_secs_f64(bytes as f64 / self.inner.params.bus_rate);
+                    let bus = SimDuration::from_secs_f64(bytes as f64 / self.inner.params.bus_rate);
                     let start = host_until.max(self.inner.sim.now());
                     host_until = start + bus;
                     self.inner.stats.borrow_mut().transfer_time += bus;
+                    self.inner.metrics.transfer_time_ns.add(bus.as_nanos());
                 }
                 BufProbe::Miss => {
                     if self.inner.params.track_buffer {
                         self.inner.stats.borrow_mut().trackbuf_misses += 1;
+                        self.inner.metrics.trackbuf_misses.inc();
                     }
                     self.position(chs).await;
                     let start_slot = g.angular_slot(chs);
                     let rot = self.rot_wait_to_slot(start_slot, spt, sector_ns);
                     self.inner.sim.sleep(rot).await;
                     self.inner.stats.borrow_mut().rot_wait += rot;
+                    self.inner.metrics.rot_wait_ns.add(rot.as_nanos());
                     let fill_start = self.inner.sim.now();
                     let xfer = SimDuration::from_nanos(run as u64 * sector_ns);
                     self.inner.sim.sleep(xfer).await;
                     self.inner.stats.borrow_mut().transfer_time += xfer;
+                    self.inner.metrics.transfer_time_ns.add(xfer.as_nanos());
                     if self.inner.params.track_buffer {
-                        self.inner.trackbuf.borrow_mut().begin_fill(
-                            track, fill_start, start_slot, spt, sector_ns,
-                        );
+                        self.inner
+                            .trackbuf
+                            .borrow_mut()
+                            .begin_fill(track, fill_start, start_slot, spt, sector_ns);
                     }
                 }
             }
@@ -530,9 +602,11 @@ impl Disk {
             let rot = self.rot_wait_to_slot(start_slot, spt, sector_ns);
             self.inner.sim.sleep(rot).await;
             self.inner.stats.borrow_mut().rot_wait += rot;
+            self.inner.metrics.rot_wait_ns.add(rot.as_nanos());
             let xfer = SimDuration::from_nanos(run as u64 * sector_ns);
             self.inner.sim.sleep(xfer).await;
             self.inner.stats.borrow_mut().transfer_time += xfer;
+            self.inner.metrics.transfer_time_ns.add(xfer.as_nanos());
 
             cur += run as u64;
             remaining -= run;

@@ -50,7 +50,6 @@ impl DiskQueue {
         self.items.len()
     }
 
-
     pub(crate) fn push(
         &mut self,
         req: DiskRequest,
@@ -250,9 +249,9 @@ mod tests {
         push(&mut q, DiskOp::Write, 10, 1, true); // seq 2: barrier
         push(&mut q, DiskOp::Write, 5, 1, false); // seq 3
         push(&mut q, DiskOp::Write, 50, 1, false); // seq 4
-        // Pre-barrier requests sort among themselves (head 0 → 80, 90),
-        // then the barrier, then the rest sort from the new head position
-        // (11 → 50 first, wrap to 5).
+                                                   // Pre-barrier requests sort among themselves (head 0 → 80, 90),
+                                                   // then the barrier, then the rest sort from the new head position
+                                                   // (11 → 50 first, wrap to 5).
         assert_eq!(drain_order(&mut q, 0), vec![80, 90, 10, 50, 5]);
     }
 

@@ -310,8 +310,9 @@ impl ExtentFs {
         .await;
         self.charge("bmap", costs.bmap).await;
         let unit = self.inner.params.extent_blocks;
-        let clip =
-            |l: u64, len: u32| -> u32 { len.min((eof_blocks.saturating_sub(l)).min(unit as u64) as u32) };
+        let clip = |l: u64, len: u32| -> u32 {
+            len.min((eof_blocks.saturating_sub(l)).min(unit as u64) as u32)
+        };
         let (pbn, _len) = self.translate(f.ino, lbn).ok_or(FsError::Corrupt)?;
         let plan = {
             let mut ra = f.state.ra.borrow_mut();
@@ -555,17 +556,17 @@ impl Vnode for ExtFile {
             .unwrap_or(0)
     }
 
-    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>> {
+    async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize> {
         let costs = self.fs.inner.params.costs;
         self.fs.charge("syscall", costs.syscall).await;
         let size = self.size();
         if off >= size {
-            return Ok(Vec::new());
+            return Ok(0);
         }
-        let len = len.min((size - off) as usize);
+        let len = buf.len().min((size - off) as usize);
         let eof_blocks = size.div_ceil(BLOCK_SIZE as u64);
-        let mut out = Vec::with_capacity(len);
         let mut pos = off;
+        let mut dst = 0usize;
         let end = off + len as u64;
         while pos < end {
             let lbn = pos / BLOCK_SIZE as u64;
@@ -576,12 +577,14 @@ impl Vnode for ExtFile {
             if mode == AccessMode::Copy {
                 self.fs.charge("copy", costs.copy(n)).await;
             }
-            let mut piece = vec![0u8; n];
-            self.fs.inner.cache.read_at(pid, in_page, &mut piece);
-            out.extend_from_slice(&piece);
+            self.fs
+                .inner
+                .cache
+                .read_at(pid, in_page, &mut buf[dst..dst + n]);
             pos += n as u64;
+            dst += n;
         }
-        Ok(out)
+        Ok(len)
     }
 
     async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()> {
@@ -643,8 +646,7 @@ impl Vnode for ExtFile {
                     let pid = self.fs.inner.cache.create(key).await;
                     if !full && lbn < old_blocks {
                         // Read-modify-write of an existing partial block.
-                        let (pbn, _) =
-                            self.fs.translate(self.ino, lbn).ok_or(FsError::Corrupt)?;
+                        let (pbn, _) = self.fs.translate(self.ino, lbn).ok_or(FsError::Corrupt)?;
                         self.fs.charge("io_setup", costs.io_setup).await;
                         let old = self
                             .fs
@@ -992,10 +994,13 @@ mod tests {
                 let f = fs.create(&name).await.unwrap();
                 for b in 0..40u64 {
                     // 160 blocks per file (MAX_EXTENTS * 4).
-                    if f
-                        .write(b * 4 * BLOCK_SIZE as u64, &pattern(4 * BLOCK_SIZE, i as u8), AccessMode::Copy)
-                        .await
-                        .is_err()
+                    if f.write(
+                        b * 4 * BLOCK_SIZE as u64,
+                        &pattern(4 * BLOCK_SIZE, i as u8),
+                        AccessMode::Copy,
+                    )
+                    .await
+                    .is_err()
                     {
                         f.fsync().await.unwrap();
                         names.push(name);

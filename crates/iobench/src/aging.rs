@@ -94,9 +94,9 @@ pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize
             counter += 1;
             // Mixed sizes: mostly small, some large (log-ish distribution).
             let kb = match rng.gen_range(0..10) {
-                0..=5 => rng.gen_range(1..16),      // small
-                6..=8 => rng.gen_range(16..256),    // medium
-                _ => rng.gen_range(256..2048),      // large
+                0..=5 => rng.gen_range(1..16),   // small
+                6..=8 => rng.gen_range(16..256), // medium
+                _ => rng.gen_range(256..2048),   // large
             };
             let f = world.fs.create(&name).await?;
             let payload = vec![round as u8; 8192];

@@ -1,17 +1,42 @@
 //! CLI to regenerate the paper's tables and figures.
 //!
 //! ```text
-//! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|write-limit|free-behind|all [--quick]
+//! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
+//!         write-limit|free-behind|all [--quick] [--stats-json <path>]
 //! ```
+//!
+//! `--stats-json <path>` writes every simulated run's full metrics-registry
+//! snapshot (schema `iobench-stats/v1`; see DESIGN.md "Observability") so
+//! benchmark trajectories can be diffed across changes.
 
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
     fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, write_limit_sweep_run,
-    RunScale,
+    RunScale, StatsSink,
 };
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
+         extentfs|write-limit|free-behind|all [--quick] [--stats-json <path>]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_path = match args.iter().position(|a| a == "--stats-json") {
+        Some(i) => {
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                eprintln!("--stats-json requires a path argument");
+                usage();
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick {
         RunScale::quick()
@@ -24,8 +49,11 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("all");
 
-    let run_fig10 = |scale: RunScale| {
-        let data = fig10_run(scale);
+    let sink = stats_path.as_ref().map(|_| StatsSink::new());
+    let sref = sink.as_ref();
+
+    let run_fig10 = |scale: RunScale, sref: Option<&StatsSink>| {
+        let data = fig10_run(scale, sref);
         println!("Figure 10: IObench transfer rates in KB/second\n");
         println!("{}", fig10_table(&data));
         println!("Figure 11: IObench transfer rate ratios\n");
@@ -37,71 +65,77 @@ fn main() {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
         }
-        "fig10" | "fig11" => run_fig10(scale),
+        "fig10" | "fig11" => run_fig10(scale, sref),
         "fig12" => {
-            let (table, _, _) = fig12_run(scale);
+            let (table, _, _) = fig12_run(scale, sref);
             println!("Figure 12: System CPU comparison\n");
             println!("{table}");
         }
         "extents" => {
-            let (table, _, _) = extents_run(quick);
+            let (table, _, _) = extents_run(quick, sref);
             println!("Allocator contiguity study (paper: 1.5MB best / 62KB aged)\n");
             println!("{table}");
         }
         "musbus" => {
-            let (table, ratio) = musbus_run();
+            let (table, ratio) = musbus_run(sref);
             println!("MusBus-like timesharing mix (expect only slight improvement)\n");
             println!("{table}");
             println!("old/new iteration-time ratio: {ratio:.2}");
         }
         "alternatives" => {
             println!("Rejected alternatives (tuning-only, driver clustering)\n");
-            println!("{}", rejected_alternatives_run(scale));
+            println!("{}", rejected_alternatives_run(scale, sref));
         }
         "extentfs" => {
             println!("Extent-based file system vs clustered UFS\n");
-            println!("{}", extentfs_comparison_run(scale));
+            println!("{}", extentfs_comparison_run(scale, sref));
         }
         "write-limit" => {
             println!("Write-limit sweep (fairness vs throughput)\n");
-            println!("{}", write_limit_sweep_run(scale));
+            println!("{}", write_limit_sweep_run(scale, sref));
         }
         "free-behind" => {
-            let (table, _, _) = free_behind_run(scale);
+            let (table, _, _) = free_behind_run(scale, sref);
             println!("Free-behind cache survival\n");
             println!("{table}");
         }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
-            run_fig10(scale);
-            let (t12, _, _) = fig12_run(scale);
+            run_fig10(scale, sref);
+            let (t12, _, _) = fig12_run(scale, sref);
             println!("Figure 12: System CPU comparison\n");
             println!("{t12}");
-            let (tx, _, _) = extents_run(quick);
+            let (tx, _, _) = extents_run(quick, sref);
             println!("Allocator contiguity study\n");
             println!("{tx}");
-            let (tm, r) = musbus_run();
+            let (tm, r) = musbus_run(sref);
             println!("MusBus-like timesharing mix\n");
             println!("{tm}");
             println!("old/new iteration-time ratio: {r:.2}\n");
             println!("Rejected alternatives\n");
-            println!("{}", rejected_alternatives_run(scale));
+            println!("{}", rejected_alternatives_run(scale, sref));
             println!("Extent-based file system vs clustered UFS\n");
-            println!("{}", extentfs_comparison_run(scale));
+            println!("{}", extentfs_comparison_run(scale, sref));
             println!("Write-limit sweep\n");
-            println!("{}", write_limit_sweep_run(scale));
-            let (tf, _, _) = free_behind_run(scale);
+            println!("{}", write_limit_sweep_run(scale, sref));
+            let (tf, _, _) = free_behind_run(scale, sref);
             println!("Free-behind cache survival\n");
             println!("{tf}");
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!(
-                "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
-                 extentfs|write-limit|free-behind|all [--quick]"
-            );
-            std::process::exit(2);
+            usage();
+        }
+    }
+
+    if let (Some(path), Some(sink)) = (&stats_path, &sink) {
+        match std::fs::write(path, sink.to_json(what)) {
+            Ok(()) => eprintln!("wrote {} run snapshot(s) to {path}", sink.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

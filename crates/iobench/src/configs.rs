@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn figure9_rows_match_paper() {
         let rows: Vec<_> = Config::all().iter().map(|c| c.figure9_row()).collect();
-        assert_eq!(
-            rows[0],
-            ("120KB".to_string(), 0, "SunOS 4.1.1", true, true)
-        );
+        assert_eq!(rows[0], ("120KB".to_string(), 0, "SunOS 4.1.1", true, true));
         assert_eq!(rows[1], ("8KB".to_string(), 4, "SunOS 4.1", true, true));
         assert_eq!(rows[2], ("8KB".to_string(), 4, "SunOS 4.1", false, true));
         assert_eq!(rows[3], ("8KB".to_string(), 4, "SunOS 4.1", false, false));

@@ -42,11 +42,12 @@ pub async fn mmap_read_cpu(
     let cpu0 = world.cpu.busy();
     let t0 = sim.now();
     let mut bytes = 0u64;
+    let mut buf = vec![0u8; io];
     for i in 0..n {
         let got = f
-            .read(i as u64 * io as u64, io, AccessMode::Mapped)
+            .read_into(i as u64 * io as u64, &mut buf, AccessMode::Mapped)
             .await?;
-        bytes += got.len() as u64;
+        bytes += got as u64;
     }
     Ok(CpuBenchResult {
         cpu: world.cpu.busy() - cpu0,

@@ -8,12 +8,72 @@ use pagecache::{PageCache, PageCacheParams, PageoutDaemon, PageoutParams};
 use simkit::{Cpu, Sim};
 use vfs::{FileSystem, Vnode};
 
+use std::cell::RefCell;
+
 use crate::aging::{age_filesystem, probe_extents, AgingOptions};
 use crate::configs::{paper_world, Config, WorldOptions};
 use crate::cpu_bench::mmap_read_cpu;
 use crate::iobench::{run_iobench, BenchOptions, IoKind, Throughput};
 use crate::musbus::{run_musbus, MusbusOptions};
 use crate::report::{kbs, ratio, Table};
+
+/// Collects labeled per-run metrics snapshots during an experiment.
+///
+/// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
+/// registry) per simulated run; the driver captures each run's full
+/// registry here, and the `--stats-json` flag serializes the collection as
+/// one document (schema `iobench-stats/v1`, documented in DESIGN.md
+/// "Observability"). Snapshots are pure functions of the virtual-time
+/// simulation, so two identical runs produce byte-identical documents.
+#[derive(Default)]
+pub struct StatsSink {
+    /// `(run id, registry JSON)` in run order.
+    runs: RefCell<Vec<(String, String)>>,
+}
+
+impl StatsSink {
+    /// An empty sink.
+    pub fn new() -> StatsSink {
+        StatsSink::default()
+    }
+
+    /// Captures `sim`'s entire metrics registry under `id`
+    /// (`experiment/run` path style, e.g. `fig10/A/FSR`).
+    pub fn push(&self, id: impl Into<String>, sim: &Sim) {
+        self.runs
+            .borrow_mut()
+            .push((id.into(), sim.stats().to_json()));
+    }
+
+    /// Number of captured runs.
+    pub fn len(&self) -> usize {
+        self.runs.borrow().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The captured `(run id, registry JSON)` pairs, in run order.
+    pub fn runs(&self) -> Vec<(String, String)> {
+        self.runs.borrow().clone()
+    }
+
+    /// Serializes the collection as the `--stats-json` document.
+    pub fn to_json(&self, experiment: &str) -> String {
+        let runs = self
+            .runs
+            .borrow()
+            .iter()
+            .map(|(id, stats)| format!("{{\"id\":\"{id}\",\"stats\":{stats}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"iobench-stats/v1\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+        )
+    }
+}
 
 /// Sizing for a full (paper-scale) or quick (CI-scale) run.
 #[derive(Clone, Copy, Debug)]
@@ -73,10 +133,19 @@ pub fn fig9_table() -> String {
 /// Raw Figure 10 rates: `rates[config][kind]` in KB/s.
 pub type Fig10Data = Vec<Vec<f64>>;
 
-fn run_one(config: Config, kind: IoKind, scale: RunScale) -> Throughput {
+/// Runs one Figure 10 cell (one config, one workload) in a fresh world,
+/// capturing the run's metrics snapshot into `sink` as
+/// `fig10/<config>/<kind>`. Public so tests can assert on single-cell
+/// snapshots without paying for the whole matrix.
+pub fn fig10_cell(
+    config: Config,
+    kind: IoKind,
+    scale: RunScale,
+    sink: Option<&StatsSink>,
+) -> Throughput {
     let sim = Sim::new();
     let s = sim.clone();
-    sim.run_until(async move {
+    let t = sim.run_until(async move {
         let w = paper_world(&s, config.tuning(), WorldOptions::default())
             .await
             .expect("world");
@@ -96,17 +165,21 @@ fn run_one(config: Config, kind: IoKind, scale: RunScale) -> Throughput {
         )
         .await
         .expect("iobench")
-    })
+    });
+    if let Some(sink) = sink {
+        sink.push(format!("fig10/{}/{}", config.label(), kind.label()), &sim);
+    }
+    t
 }
 
 /// Runs the full Figure 10 matrix. Expensive (20 simulated runs).
-pub fn fig10_run(scale: RunScale) -> Fig10Data {
+pub fn fig10_run(scale: RunScale, sink: Option<&StatsSink>) -> Fig10Data {
     Config::all()
         .iter()
         .map(|&c| {
             IoKind::all()
                 .iter()
-                .map(|&k| run_one(c, k, scale).kb_per_sec())
+                .map(|&k| fig10_cell(c, k, scale, sink).kb_per_sec())
                 .collect()
         })
         .collect()
@@ -136,11 +209,11 @@ pub fn fig11_table(data: &Fig10Data) -> String {
 
 /// Figure 12: CPU seconds to read a 16 MB file via mmap, new vs old UFS.
 /// Returns `(rendered table, new_cpu_secs, old_cpu_secs)`.
-pub fn fig12_run(scale: RunScale) -> (String, f64, f64) {
-    let run = |tuning: Tuning| -> f64 {
+pub fn fig12_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, f64, f64) {
+    let run = |tuning: Tuning, id: &str| -> f64 {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let cpu = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
                 .await
                 .expect("world");
@@ -149,11 +222,15 @@ pub fn fig12_run(scale: RunScale) -> (String, f64, f64) {
                 .expect("cpu bench")
                 .cpu
                 .as_secs_f64()
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(format!("fig12/{id}"), &sim);
+        }
+        cpu
     };
     // The paper compares "4.1.1 UFS, no rotdelays" vs "4.1 UFS, rotdelays".
-    let new = run(Tuning::config_a());
-    let old = run(Tuning::config_d());
+    let new = run(Tuning::config_a(), "new");
+    let old = run(Tuning::config_d(), "old");
     let mut t = Table::new(&["CPU", "Notes"]);
     let mb = scale.cpu_file_bytes >> 20;
     t.row(vec![
@@ -169,7 +246,7 @@ pub fn fig12_run(scale: RunScale) -> (String, f64, f64) {
 
 /// The allocator-contiguity study. Returns `(rendered, best_mean_bytes,
 /// aged_mean_bytes)`.
-pub fn extents_run(quick: bool) -> (String, f64, f64) {
+pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) {
     // Best case: fill a fresh partition with one file.
     let sim = Sim::new();
     let s = sim.clone();
@@ -182,6 +259,9 @@ pub fn extents_run(quick: bool) -> (String, f64, f64) {
             .await
             .expect("probe")
     });
+    if let Some(sink) = sink {
+        sink.push("extents/best", &sim);
+    }
     // Worst case: fill the last 15% of a heavily fragmented partition.
     let sim2 = Sim::new();
     let s2 = sim2.clone();
@@ -204,6 +284,9 @@ pub fn extents_run(quick: bool) -> (String, f64, f64) {
             .await
             .expect("probe")
     });
+    if let Some(sink) = sink {
+        sink.push("extents/aged", &sim2);
+    }
     let mut t = Table::new(&["case", "file", "extents", "mean extent", "max extent"]);
     for (label, st) in [("empty fs", &best), ("aged fs (last 15%)", &worst)] {
         t.row(vec![
@@ -219,21 +302,25 @@ pub fn extents_run(quick: bool) -> (String, f64, f64) {
 
 /// MusBus comparison (should improve "only slightly"). Returns
 /// `(rendered, ratio_old_over_new)`.
-pub fn musbus_run() -> (String, f64) {
-    let run = |tuning: Tuning| {
+pub fn musbus_run(sink: Option<&StatsSink>) -> (String, f64) {
+    let run = |tuning: Tuning, id: &str| {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let r = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
                 .await
                 .expect("world");
             run_musbus(&s, &w, MusbusOptions::default())
                 .await
                 .expect("musbus")
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(format!("musbus/{id}"), &sim);
+        }
+        r
     };
-    let new = run(Tuning::config_a());
-    let old = run(Tuning::config_d());
+    let new = run(Tuning::config_a(), "A");
+    let old = run(Tuning::config_d(), "D");
     let ratio = old.mean_iteration.as_secs_f64() / new.mean_iteration.as_secs_f64();
     let mut t = Table::new(&["config", "mean script iteration", "bytes moved"]);
     t.row(vec![
@@ -253,11 +340,7 @@ pub fn musbus_run() -> (String, f64) {
 
 /// World with a customized drive (for the driver-clustering and
 /// track-buffer ablations).
-async fn custom_disk_world(
-    sim: &Sim,
-    tuning: Tuning,
-    disk_params: DiskParams,
-) -> ufs::World {
+async fn custom_disk_world(sim: &Sim, tuning: Tuning, disk_params: DiskParams) -> ufs::World {
     let mut params = ufs::UfsParams::with_tuning(tuning);
     params.maxbpg = None;
     ufs_build(sim, disk_params, params).await
@@ -302,32 +385,42 @@ async fn measure_ufs(sim: &Sim, w: &ufs::World, kind: IoKind, scale: RunScale) -
 /// The rejected "file system tuning" alternative (rotdelay 0, still
 /// block-at-a-time) and the rejected "driver clustering" alternative, vs
 /// the shipped configurations. Returns the rendered comparison.
-pub fn rejected_alternatives_run(scale: RunScale) -> String {
-    let run = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind| -> f64 {
+pub fn rejected_alternatives_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
+    let run = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind, id: &str| -> f64 {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let rate = sim.run_until(async move {
             let dp = DiskParams {
                 coalesce_limit: coalesce,
                 ..DiskParams::sun0424()
             };
             let w = custom_disk_world(&s, tuning, dp).await;
             measure_ufs(&s, &w, kind, scale).await
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(format!("alternatives/{id}/{}", kind.label()), &sim);
+        }
+        rate
     };
     let mut t = Table::new(&["alternative", "FSR", "FSW"]);
-    for (label, tuning, coalesce) in [
-        ("B: stock + heuristics", Tuning::config_b(), None),
-        ("tuning only (rotdelay=0)", Tuning::tuning_only(), None),
+    for (label, id, tuning, coalesce) in [
+        ("B: stock + heuristics", "B", Tuning::config_b(), None),
+        (
+            "tuning only (rotdelay=0)",
+            "tuning-only",
+            Tuning::tuning_only(),
+            None,
+        ),
         (
             "driver clustering (rotdelay=0)",
+            "driver-clustering",
             Tuning::tuning_only(),
             Some(112),
         ),
-        ("A: fs clustering", Tuning::config_a(), None),
+        ("A: fs clustering", "A", Tuning::config_a(), None),
     ] {
-        let fsr = run(tuning, coalesce, IoKind::SeqRead);
-        let fsw = run(tuning, coalesce, IoKind::SeqWrite);
+        let fsr = run(tuning, coalesce, IoKind::SeqRead, id);
+        let fsw = run(tuning, coalesce, IoKind::SeqWrite, id);
         t.row(vec![label.to_string(), kbs(fsr), kbs(fsw)]);
     }
     t.render()
@@ -335,11 +428,11 @@ pub fn rejected_alternatives_run(scale: RunScale) -> String {
 
 /// Clustered UFS vs the extent-based file system at several user-chosen
 /// extent sizes (the title claim). Returns the rendered comparison.
-pub fn extentfs_comparison_run(scale: RunScale) -> String {
+pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
     let run_extentfs = |extent_blocks: u32, kind: IoKind| -> f64 {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let rate = sim.run_until(async move {
             let cpu = Cpu::new(&s);
             let disk = Disk::new(&s, DiskParams::sun0424());
             let cache = PageCache::new(&s, PageCacheParams::sparcstation_8mb());
@@ -367,17 +460,28 @@ pub fn extentfs_comparison_run(scale: RunScale) -> String {
             .await
             .expect("iobench")
             .kb_per_sec()
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(
+                format!("extentfs/{extent_blocks}blk/{}", kind.label()),
+                &sim,
+            );
+        }
+        rate
     };
     let run_ufs = |tuning: Tuning, kind: IoKind| -> f64 {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let rate = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
                 .await
                 .expect("world");
             measure_ufs(&s, &w, kind, scale).await
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(format!("extentfs/ufs-A/{}", kind.label()), &sim);
+        }
+        rate
     };
     let mut t = Table::new(&["file system", "FSR", "FSW"]);
     for (label, blocks) in [
@@ -402,11 +506,11 @@ pub fn extentfs_comparison_run(scale: RunScale) -> String {
 /// Write-limit sweep: FRU throughput and writer-memory footprint with no
 /// limit vs several limits (the fairness tradeoff). Returns the rendered
 /// table.
-pub fn write_limit_sweep_run(scale: RunScale) -> String {
-    let run = |limit: Option<u32>| -> (f64, u64) {
+pub fn write_limit_sweep_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
+    let run = |limit: Option<u32>, id: &str| -> (f64, u64) {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let r = sim.run_until(async move {
             let tuning = Tuning {
                 write_limit: limit,
                 ..Tuning::config_a()
@@ -417,15 +521,19 @@ pub fn write_limit_sweep_run(scale: RunScale) -> String {
             let rate = measure_ufs(&s, &w, IoKind::RandUpdate, scale).await;
             let stalls = w.cache.stats().alloc_stalls;
             (rate, stalls)
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(format!("write-limit/{id}"), &sim);
+        }
+        r
     };
     let mut t = Table::new(&["write limit", "FRU KB/s", "page alloc stalls"]);
-    for (label, limit) in [
-        ("none (config D style)", None),
-        ("240KB (shipped)", Some(240 * 1024)),
-        ("24KB (too small)", Some(24 * 1024)),
+    for (label, id, limit) in [
+        ("none (config D style)", "none", None),
+        ("240KB (shipped)", "240KB", Some(240 * 1024)),
+        ("24KB (too small)", "24KB", Some(24 * 1024)),
     ] {
-        let (rate, stalls) = run(limit);
+        let (rate, stalls) = run(limit, id);
         t.row(vec![label.to_string(), kbs(rate), format!("{stalls}")]);
     }
     t.render()
@@ -435,11 +543,11 @@ pub fn write_limit_sweep_run(scale: RunScale) -> String {
 /// through memory while another "user" keeps a working set warm; measures
 /// how much of that working set survives and how hard the pageout daemon
 /// had to work. Returns `(rendered, survivors_with, survivors_without)`.
-pub fn free_behind_run(scale: RunScale) -> (String, usize, usize) {
+pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, usize, usize) {
     let run = |free_behind: bool| -> (usize, u64, u64) {
         let sim = Sim::new();
         let s = sim.clone();
-        sim.run_until(async move {
+        let r = sim.run_until(async move {
             let tuning = Tuning {
                 free_behind,
                 ..Tuning::config_a()
@@ -509,7 +617,14 @@ pub fn free_behind_run(scale: RunScale) -> (String, usize, usize) {
             let scans = w.daemon.stats().scanned;
             let fb = w.fs.stats().free_behinds;
             (survivors, scans, fb)
-        })
+        });
+        if let Some(sink) = sink {
+            sink.push(
+                format!("free-behind/{}", if free_behind { "on" } else { "off" }),
+                &sim,
+            );
+        }
+        r
     };
     let (with_fb, scans_with, fb_count) = run(true);
     let (without_fb, scans_without, _) = run(false);

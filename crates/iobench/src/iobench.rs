@@ -141,15 +141,18 @@ pub async fn run_iobench<F: FileSystem>(
     }
 
     // ---- measured phase ----
+    // Read workloads reuse one buffer across every call (the point of the
+    // `read_into` primitive): no per-request allocation in the hot loop.
+    let mut buf = vec![0u8; opts.io_bytes];
     let t0 = sim.now();
     let bytes = match kind {
         IoKind::SeqRead => {
             let mut total = 0u64;
             for i in 0..nio {
                 let got = file
-                    .read(i as u64 * opts.io_bytes as u64, opts.io_bytes, AccessMode::Copy)
+                    .read_into(i as u64 * opts.io_bytes as u64, &mut buf, AccessMode::Copy)
                     .await?;
-                total += got.len() as u64;
+                total += got as u64;
             }
             total
         }
@@ -165,9 +168,9 @@ pub async fn run_iobench<F: FileSystem>(
             let mut total = 0u64;
             for block in random_blocks(nio, opts.random_ops, opts.seed) {
                 let got = file
-                    .read(block * opts.io_bytes as u64, opts.io_bytes, AccessMode::Copy)
+                    .read_into(block * opts.io_bytes as u64, &mut buf, AccessMode::Copy)
                     .await?;
-                total += got.len() as u64;
+                total += got as u64;
             }
             total
         }
@@ -189,7 +192,6 @@ pub async fn run_iobench<F: FileSystem>(
 mod tests {
     use super::*;
     use crate::configs::{paper_world, Config, WorldOptions};
-    use vfs::FileSystem as _;
 
     fn small_opts() -> BenchOptions {
         BenchOptions {
@@ -224,12 +226,10 @@ mod tests {
                 )
                 .await
                 .unwrap();
-                assert!(
-                    t.kb_per_sec() > 0.0,
-                    "{}: zero throughput",
-                    kind.label()
-                );
-                w.fs.remove(&format!("bench-{}", kind.label())).await.unwrap();
+                assert!(t.kb_per_sec() > 0.0, "{}: zero throughput", kind.label());
+                w.fs.remove(&format!("bench-{}", kind.label()))
+                    .await
+                    .unwrap();
             }
         });
     }

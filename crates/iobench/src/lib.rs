@@ -16,9 +16,9 @@
 //! - [`report`]: fixed-width table rendering for the regenerated figures.
 
 pub mod aging;
-pub mod experiments;
 pub mod configs;
 pub mod cpu_bench;
+pub mod experiments;
 pub mod iobench;
 pub mod musbus;
 pub mod report;

@@ -48,12 +48,15 @@ pub struct MusbusResult {
 
 /// Runs the mix on `world`: each user edits/compiles/lists in a private
 /// directory with files no larger than 8 KB.
-pub async fn run_musbus(sim: &Sim, world: &ufs::World, opts: MusbusOptions) -> FsResult<MusbusResult> {
+pub async fn run_musbus(
+    sim: &Sim,
+    world: &ufs::World,
+    opts: MusbusOptions,
+) -> FsResult<MusbusResult> {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    let totals: Rc<RefCell<(SimDuration, u64)>> =
-        Rc::new(RefCell::new((SimDuration::ZERO, 0)));
+    let totals: Rc<RefCell<(SimDuration, u64)>> = Rc::new(RefCell::new((SimDuration::ZERO, 0)));
     let mut handles = Vec::new();
     for user in 0..opts.users {
         let dir = format!("user{user}");
@@ -67,14 +70,15 @@ pub async fn run_musbus(sim: &Sim, world: &ufs::World, opts: MusbusOptions) -> F
             let mut rng = SmallRng::seed_from_u64(opts2.seed + user as u64);
             for it in 0..opts2.iterations {
                 // Think.
-                let think = opts2
-                    .think
-                    .mul_f64(0.5 + rng.gen_range(0.0..1.0));
+                let think = opts2.think.mul_f64(0.5 + rng.gen_range(0.0..1.0));
                 sim2.sleep(think).await;
                 let t0 = sim2.now();
                 // "Run a small program": a burst of pure CPU.
-                cpu.charge("musbus-exec", SimDuration::from_millis(rng.gen_range(20..80)))
-                    .await;
+                cpu.charge(
+                    "musbus-exec",
+                    SimDuration::from_millis(rng.gen_range(20..80)),
+                )
+                .await;
                 // Write a small file (about 2-8 KB), read it back, list by
                 // opening a few files, occasionally remove one.
                 let name = format!("user{user}/tmp{}", it % 4);

@@ -7,6 +7,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use simkit::stats::Counter;
 use simkit::{Notify, Sim, SimDuration};
 
 /// Identifies a file for page naming purposes.
@@ -94,6 +95,35 @@ pub struct PageId {
     generation: u64,
 }
 
+/// Registry handles mirroring [`PageCacheStats`] into `sim.stats()`
+/// under the `cache.*` namespace (schema: DESIGN.md "Observability").
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    reclaims: Counter,
+    creates: Counter,
+    frees: Counter,
+    destroys: Counter,
+    alloc_stalls: Counter,
+    alloc_stall_ns: Counter,
+}
+
+impl CacheMetrics {
+    fn new(sim: &Sim) -> CacheMetrics {
+        let s = sim.stats();
+        CacheMetrics {
+            hits: s.counter("cache.hits"),
+            misses: s.counter("cache.misses"),
+            reclaims: s.counter("cache.reclaims"),
+            creates: s.counter("cache.creates"),
+            frees: s.counter("cache.frees"),
+            destroys: s.counter("cache.destroys"),
+            alloc_stalls: s.counter("cache.alloc_stalls"),
+            alloc_stall_ns: s.counter("cache.alloc_stall_ns"),
+        }
+    }
+}
+
 struct CacheInner {
     sim: Sim,
     params: PageCacheParams,
@@ -107,6 +137,7 @@ struct CacheInner {
     /// daemon waits here).
     pressure_notify: Notify,
     stats: RefCell<PageCacheStats>,
+    metrics: CacheMetrics,
 }
 
 /// The unified page cache. Clones share the same memory.
@@ -146,6 +177,7 @@ impl PageCache {
                 mem_notify: Notify::new(),
                 pressure_notify: Notify::new(),
                 stats: RefCell::new(PageCacheStats::default()),
+                metrics: CacheMetrics::new(sim),
             }),
         }
     }
@@ -211,14 +243,17 @@ impl PageCache {
                         .expect("page marked free but missing from free list");
                     free.remove(pos);
                     self.inner.stats.borrow_mut().reclaims += 1;
+                    self.inner.metrics.reclaims.inc();
                 }
                 page.referenced = true;
                 let generation = page.generation;
                 self.inner.stats.borrow_mut().hits += 1;
+                self.inner.metrics.hits.inc();
                 Some(PageId { idx, generation })
             }
             None => {
                 self.inner.stats.borrow_mut().misses += 1;
+                self.inner.metrics.misses.inc();
                 None
             }
         }
@@ -252,6 +287,7 @@ impl PageCache {
                     if !stalled {
                         stalled = true;
                         self.inner.stats.borrow_mut().alloc_stalls += 1;
+                        self.inner.metrics.alloc_stalls.inc();
                     }
                     // Out of memory: kick the daemon and wait for a free.
                     self.inner.pressure_notify.notify_all();
@@ -262,6 +298,7 @@ impl PageCache {
         if stalled {
             let waited = self.inner.sim.now().duration_since(start);
             self.inner.stats.borrow_mut().alloc_stall_time += waited;
+            self.inner.metrics.alloc_stall_ns.add(waited.as_nanos());
         }
         {
             let mut pages = self.inner.pages.borrow_mut();
@@ -272,6 +309,7 @@ impl PageCache {
             if let Some(old) = page.key.take() {
                 self.inner.hash.borrow_mut().remove(&old);
                 self.inner.stats.borrow_mut().destroys += 1;
+                self.inner.metrics.destroys.inc();
             }
             page.key = Some(key);
             page.generation += 1;
@@ -282,6 +320,7 @@ impl PageCache {
             page.data.fill(0);
             self.inner.hash.borrow_mut().insert(key, idx);
             self.inner.stats.borrow_mut().creates += 1;
+            self.inner.metrics.creates.inc();
             let generation = page.generation;
             drop(pages);
             self.maybe_signal_pressure();
@@ -420,6 +459,7 @@ impl PageCache {
         drop(pages);
         self.inner.free.borrow_mut().push_back(id.idx);
         self.inner.stats.borrow_mut().frees += 1;
+        self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
     }
 
@@ -451,6 +491,7 @@ impl PageCache {
                 self.inner.mem_notify.notify_all();
             }
             self.inner.stats.borrow_mut().destroys += 1;
+            self.inner.metrics.destroys.inc();
         }
     }
 
@@ -491,10 +532,7 @@ impl PageCache {
 
     // ---- pageout daemon access (crate-internal) ----
 
-    pub(crate) fn scan_snapshot(
-        &self,
-        idx: usize,
-    ) -> (Option<PageKey>, bool, bool, bool, bool) {
+    pub(crate) fn scan_snapshot(&self, idx: usize) -> (Option<PageKey>, bool, bool, bool, bool) {
         let pages = self.inner.pages.borrow();
         let p = &pages[idx];
         (p.key, p.busy, p.dirty, p.referenced, p.on_free_list)
@@ -515,6 +553,7 @@ impl PageCache {
         drop(pages);
         self.inner.free.borrow_mut().push_back(idx);
         self.inner.stats.borrow_mut().frees += 1;
+        self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
         true
     }
@@ -580,6 +619,7 @@ impl Future for LockBusy {
                 free.remove(pos);
                 drop(free);
                 self.cache.inner.stats.borrow_mut().reclaims += 1;
+                self.cache.inner.metrics.reclaims.inc();
                 let mut pages = self.cache.inner.pages.borrow_mut();
                 pages[self.id.idx].busy = true;
             } else {

@@ -12,6 +12,7 @@
 //! pages when the system is heavily I/O bound, since the I/O bound
 //! processes are doing it themselves."
 
+use simkit::stats::Counter;
 use simkit::{channel, Cpu, Receiver, Sender, Sim, SimDuration};
 
 use crate::cache::{PageCache, PageKey};
@@ -94,10 +95,11 @@ impl PageoutDaemon {
         let daemon = PageoutDaemon {
             stats: std::rc::Rc::clone(&stats),
         };
+        let metrics = PageoutMetrics::new(sim);
         let sim2 = sim.clone();
         let cache = cache.clone();
         sim.spawn(async move {
-            run_daemon(sim2, cache, cpu, params, tx, stats).await;
+            run_daemon(sim2, cache, cpu, params, tx, stats, metrics).await;
         });
         (daemon, rx)
     }
@@ -108,6 +110,28 @@ impl PageoutDaemon {
     }
 }
 
+/// Registry handles mirroring [`PageoutStats`] into `sim.stats()` under
+/// the `pageout.*` namespace. `pageout.freed` is the daemon's half of
+/// the free-behind comparison (`ufs.free_behind_pages` is the other).
+struct PageoutMetrics {
+    scanned: Counter,
+    freed: Counter,
+    cleans_requested: Counter,
+    wakeups: Counter,
+}
+
+impl PageoutMetrics {
+    fn new(sim: &Sim) -> PageoutMetrics {
+        let s = sim.stats();
+        PageoutMetrics {
+            scanned: s.counter("pageout.scanned"),
+            freed: s.counter("pageout.freed"),
+            cleans_requested: s.counter("pageout.cleans_requested"),
+            wakeups: s.counter("pageout.wakeups"),
+        }
+    }
+}
+
 async fn run_daemon(
     sim: Sim,
     cache: PageCache,
@@ -115,6 +139,7 @@ async fn run_daemon(
     params: PageoutParams,
     tx: Sender<CleanRequest>,
     stats: std::rc::Rc<std::cell::RefCell<PageoutStats>>,
+    metrics: PageoutMetrics,
 ) {
     let npages = cache.total_pages();
     let handspread = params.handspread.min(npages.saturating_sub(1)).max(1);
@@ -125,6 +150,7 @@ async fn run_daemon(
             // Quiescent: sleep until an allocation signals pressure.
             cache.pressure_notify().wait().await;
             stats.borrow_mut().wakeups += 1;
+            metrics.wakeups.inc();
             continue;
         }
         // Scan one chunk.
@@ -140,6 +166,7 @@ async fn run_daemon(
                 if !busy && !referenced && !on_free {
                     if dirty {
                         stats.borrow_mut().cleans_requested += 1;
+                        metrics.cleans_requested.inc();
                         // Receiver gone means no cleaner is registered;
                         // the victim stays dirty and will be revisited.
                         let _ = tx.send(CleanRequest { key });
@@ -147,11 +174,13 @@ async fn run_daemon(
                         let freed = cache.try_free_at(back);
                         if freed {
                             stats.borrow_mut().freed += 1;
+                            metrics.freed.inc();
                         }
                     }
                 }
             }
             stats.borrow_mut().scanned += 2;
+            metrics.scanned.add(2);
             front = (front + 1) % npages;
             back = (back + 1) % npages;
         }
@@ -288,6 +317,9 @@ mod tests {
             s.sleep(simkit::SimDuration::from_millis(50)).await;
         });
         assert_eq!(daemon.stats().scanned, 0, "no pressure, no scanning");
-        assert_eq!(sim.now(), SimTime::ZERO + simkit::SimDuration::from_millis(50));
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO + simkit::SimDuration::from_millis(50)
+        );
     }
 }

@@ -25,12 +25,7 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         senders: 1,
         receiver_alive: true,
     }));
-    (
-        Sender {
-            st: Rc::clone(&st),
-        },
-        Receiver { st },
-    )
+    (Sender { st: Rc::clone(&st) }, Receiver { st })
 }
 
 /// Error returned by [`Sender::send`] when the receiver is gone; carries the

@@ -30,7 +30,9 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::stats::StatsRegistry;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Recorder;
 
 /// Identifies a spawned task within one [`Sim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -83,8 +85,26 @@ impl PartialOrd for TimerEntry {
     }
 }
 
+/// A read-only handle to a [`Sim`]'s virtual clock.
+///
+/// Long-lived observers stored *inside* the executor (the metrics
+/// registry, shared [`Recorder`]s) hold this instead of a full `Sim`,
+/// which would create an `Rc` cycle through `Inner`.
+#[derive(Clone)]
+pub struct TimeHandle {
+    now: Rc<Cell<SimTime>>,
+}
+
+impl TimeHandle {
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+}
+
 struct Inner {
-    now: Cell<SimTime>,
+    now: Rc<Cell<SimTime>>,
+    stats: StatsRegistry,
     next_task: Cell<u64>,
     next_timer_seq: Cell<u64>,
     tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
@@ -131,9 +151,14 @@ impl Default for Sim {
 impl Sim {
     /// Creates an empty simulation at `t = 0` with no tasks.
     pub fn new() -> Self {
+        let now = Rc::new(Cell::new(SimTime::ZERO));
+        let stats = StatsRegistry::new(TimeHandle {
+            now: Rc::clone(&now),
+        });
         Sim {
             inner: Rc::new(Inner {
-                now: Cell::new(SimTime::ZERO),
+                now,
+                stats,
                 next_task: Cell::new(0),
                 next_timer_seq: Cell::new(0),
                 tasks: RefCell::new(HashMap::new()),
@@ -151,6 +176,25 @@ impl Sim {
     /// Returns the current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.now.get()
+    }
+
+    /// Returns a clock handle that reads this simulation's virtual time
+    /// without keeping the executor alive.
+    pub fn time_handle(&self) -> TimeHandle {
+        TimeHandle {
+            now: Rc::clone(&self.inner.now),
+        }
+    }
+
+    /// The simulation-wide metrics registry. See [`crate::stats`].
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.inner.stats
+    }
+
+    /// The shared event recorder for event type `E`, registered on first
+    /// use. Equivalent to `sim.stats().recorder::<E>()`.
+    pub fn recorder<E: 'static>(&self) -> Recorder<E> {
+        self.inner.stats.recorder::<E>()
     }
 
     /// Spawns a task and returns a handle that can be awaited for its result.

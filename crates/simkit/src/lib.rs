@@ -20,6 +20,8 @@
 //! - [`channel()`] — mpsc work queues (e.g. dirty-page cleaner)
 //! - [`Cpu`] — serialized compute-time charging with per-tag accounting
 //! - [`Recorder`] — timestamped event logs for trace-exact tests
+//! - [`stats`] — the per-`Sim` metrics registry (counters, gauges,
+//!   histograms, time-weighted means) with deterministic JSON snapshots
 //!
 //! ## Invariants
 //!
@@ -30,13 +32,15 @@
 pub mod channel;
 pub mod cpu;
 pub mod executor;
+pub mod stats;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
 pub use channel::{channel, Receiver, SendError, Sender};
 pub use cpu::{Cpu, TagStat};
-pub use executor::{JoinHandle, Sim, Sleep, TaskId, YieldNow};
+pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
+pub use stats::{Counter, Gauge, Histogram, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};
 pub use trace::Recorder;

@@ -1,0 +1,538 @@
+//! A deterministic, virtual-time-aware metrics registry.
+//!
+//! The paper's whole argument is quantitative — seeks saved, clusters
+//! formed, read-ahead hits — so every layer of the stack needs a cheap
+//! way to count what it does. The registry lives on [`Sim`](crate::Sim)
+//! (`sim.stats()`), which every component already receives at
+//! construction, so no extra handle threading is needed.
+//!
+//! Four metric kinds:
+//!
+//! - [`Counter`] — monotonic `u64` (disk seeks, cache hits).
+//! - [`Gauge`] — instantaneous `f64` (dirty bytes outstanding).
+//! - [`Histogram`] — fixed upper-bound buckets over `u64` observations
+//!   (seek distances, cluster sizes), plus count/sum/min/max.
+//! - [`TimeWeighted`] — a value integrated over **virtual** time, for
+//!   means like disk-queue depth; wall clocks are never consulted.
+//!
+//! Handles are `Rc`-backed and cheap to clone: register once at
+//! construction, record on the hot path without any name lookup.
+//! Registration is idempotent — asking for an existing name returns the
+//! same underlying metric, so independent components may share one
+//! (e.g. two mounts of the same filesystem type).
+//!
+//! Snapshots serialize to JSON with sorted keys and no wall-clock or
+//! pointer-derived content, so two identical simulations produce
+//! byte-identical snapshots. The schema is documented in DESIGN.md
+//! ("Observability") and asserted stable by tests.
+
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::executor::TimeHandle;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Recorder;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// An instantaneous value; last write wins.
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    pub fn add(&self, d: f64) {
+        self.0.set(self.0.get() + d);
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing. Observation `v` lands
+    /// in the first bucket with `v <= edges[i]`; larger values land in an
+    /// implicit overflow bucket, so `counts.len() == edges.len() + 1`.
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+#[derive(Clone)]
+pub struct Histogram(Rc<RefCell<HistogramInner>>);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        let i = h.edges.partition_point(|&e| e < v);
+        h.counts[i] += 1;
+        h.count += 1;
+        h.sum += v;
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    /// Mean observation, or 0.0 before the first one.
+    pub fn mean(&self) -> f64 {
+        let h = self.0.borrow();
+        if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        }
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.borrow().counts.clone()
+    }
+}
+
+struct TimeWeightedInner {
+    time: TimeHandle,
+    started: SimTime,
+    last_change: SimTime,
+    value: f64,
+    /// Integral of the value over virtual nanoseconds, up to `last_change`.
+    area: f64,
+    peak: f64,
+}
+
+impl TimeWeightedInner {
+    fn settle(&mut self) {
+        let now = self.time.now();
+        let dt = now.saturating_duration_since(self.last_change);
+        self.area += self.value * dt.as_nanos() as f64;
+        self.last_change = now;
+    }
+}
+
+/// A value whose **virtual-time-weighted** mean matters more than its
+/// current reading — e.g. disk-queue depth. `add(±1)` on enqueue/dequeue
+/// and the registry reports the mean depth over the whole run.
+#[derive(Clone)]
+pub struct TimeWeighted(Rc<RefCell<TimeWeightedInner>>);
+
+impl TimeWeighted {
+    pub fn set(&self, v: f64) {
+        let mut t = self.0.borrow_mut();
+        t.settle();
+        t.value = v;
+        t.peak = t.peak.max(v);
+    }
+
+    pub fn add(&self, d: f64) {
+        let v = self.0.borrow().value + d;
+        self.set(v);
+    }
+
+    pub fn value(&self) -> f64 {
+        self.0.borrow().value
+    }
+
+    pub fn peak(&self) -> f64 {
+        self.0.borrow().peak
+    }
+
+    /// Mean over `[registration, now]` in virtual time; the current value
+    /// if no time has elapsed.
+    pub fn mean(&self) -> f64 {
+        let mut t = self.0.borrow_mut();
+        t.settle();
+        let span = t.last_change.saturating_duration_since(t.started);
+        if span == SimDuration::ZERO {
+            t.value
+        } else {
+            t.area / span.as_nanos() as f64
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    TimeWeighted(TimeWeighted),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::TimeWeighted(_) => "time_weighted",
+        }
+    }
+}
+
+struct RegistryInner {
+    time: TimeHandle,
+    metrics: RefCell<BTreeMap<String, Metric>>,
+    recorders: RefCell<HashMap<TypeId, Box<dyn Any>>>,
+}
+
+/// The per-[`Sim`](crate::Sim) metrics registry. Obtained with
+/// `sim.stats()`; cheap to clone.
+#[derive(Clone)]
+pub struct StatsRegistry {
+    inner: Rc<RegistryInner>,
+}
+
+impl StatsRegistry {
+    pub(crate) fn new(time: TimeHandle) -> StatsRegistry {
+        StatsRegistry {
+            inner: Rc::new(RegistryInner {
+                time,
+                metrics: RefCell::new(BTreeMap::new()),
+                recorders: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Counter(Rc::new(Cell::new(0))))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge(Rc::new(Cell::new(0.0))))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram with the given inclusive
+    /// upper-bound bucket `edges` (strictly increasing, non-empty). When
+    /// the name already exists its original edges are kept; callers are
+    /// expected to agree on them.
+    pub fn histogram(&self, name: &str, edges: &[u64]) -> Histogram {
+        assert!(
+            !edges.is_empty(),
+            "histogram {name:?} needs at least one edge"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} edges must be strictly increasing"
+        );
+        let make = || {
+            Metric::Histogram(Histogram(Rc::new(RefCell::new(HistogramInner {
+                edges: edges.to_vec(),
+                counts: vec![0; edges.len() + 1],
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            }))))
+        };
+        match self.register(name, make) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a time-weighted value named `name`,
+    /// starting at 0.0 from the current virtual instant.
+    pub fn time_weighted(&self, name: &str) -> TimeWeighted {
+        let make = || {
+            let now = self.inner.time.now();
+            Metric::TimeWeighted(TimeWeighted(Rc::new(RefCell::new(TimeWeightedInner {
+                time: self.inner.time.clone(),
+                started: now,
+                last_change: now,
+                value: 0.0,
+                area: 0.0,
+                peak: 0.0,
+            }))))
+        };
+        match self.register(name, make) {
+            Metric::TimeWeighted(t) => t,
+            other => panic!("metric {name:?} is a {}, not time-weighted", other.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.inner.metrics.borrow_mut();
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The shared, type-indexed [`Recorder`] for event type `E`: every
+    /// call with the same `E` returns a clone of one underlying log, so
+    /// experiments no longer hand-thread `Recorder::new(&sim)` clones.
+    pub fn recorder<E: 'static>(&self) -> Recorder<E> {
+        let mut map = self.inner.recorders.borrow_mut();
+        let slot = map
+            .entry(TypeId::of::<Recorder<E>>())
+            .or_insert_with(|| Box::new(Recorder::<E>::with_time(self.inner.time.clone())));
+        slot.downcast_ref::<Recorder<E>>()
+            .expect("recorder typemap entry has the keyed type")
+            .clone()
+    }
+
+    /// Reads a counter's value by name (0 if absent). Intended for tests
+    /// and snapshot plumbing, not hot paths.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.inner.metrics.borrow().get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Serializes every metric to deterministic JSON: object keys are
+    /// sorted (BTreeMap order), floats use Rust's shortest-roundtrip
+    /// formatting, and nothing wall-clock- or address-derived is
+    /// included. Schema: see DESIGN.md "Observability".
+    pub fn to_json(&self) -> String {
+        let map = self.inner.metrics.borrow();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        let mut tw = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    push_entry(&mut counters, name, &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    push_entry(&mut gauges, name, &json_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let inner = h.0.borrow();
+                    let mut v = String::from("{");
+                    let _ = write!(
+                        v,
+                        "\"edges\":{},\"counts\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}",
+                        json_u64_array(&inner.edges),
+                        json_u64_array(&inner.counts),
+                        inner.count,
+                        inner.sum,
+                        if inner.count == 0 { 0 } else { inner.min },
+                        inner.max,
+                        json_f64(if inner.count == 0 {
+                            0.0
+                        } else {
+                            inner.sum as f64 / inner.count as f64
+                        }),
+                    );
+                    v.push('}');
+                    push_entry(&mut histograms, name, &v);
+                }
+                Metric::TimeWeighted(t) => {
+                    let mut v = String::from("{");
+                    let _ = write!(
+                        v,
+                        "\"last\":{},\"mean\":{},\"peak\":{}",
+                        json_f64(t.value()),
+                        json_f64(t.mean()),
+                        json_f64(t.peak()),
+                    );
+                    v.push('}');
+                    push_entry(&mut tw, name, &v);
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\
+             \"histograms\":{{{histograms}}},\"time_weighted\":{{{tw}}}}}"
+        )
+    }
+}
+
+fn push_entry(out: &mut String, name: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    let _ = write!(out, "{}:{}", json_string(name), value);
+}
+
+/// Escapes a metric name for use as a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+/// JSON has no NaN/Infinity; non-finite values serialize as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Sim, SimDuration};
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let sim = Sim::new();
+        let c = sim.stats().counter("test.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same underlying metric.
+        assert_eq!(sim.stats().counter("test.count").get(), 5);
+        let g = sim.stats().gauge("test.gauge");
+        g.set(1.5);
+        g.add(-0.5);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let sim = Sim::new();
+        let h = sim.stats().histogram("test.hist", &[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.observe(v);
+        }
+        // v <= 1 → bucket 0; 1 < v <= 4 → bucket 1; 4 < v <= 16 → bucket 2;
+        // v > 16 → overflow.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1045);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let sim = Sim::new();
+        sim.stats().histogram("bad", &[4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let sim = Sim::new();
+        sim.stats().gauge("x");
+        sim.stats().counter("x");
+    }
+
+    #[test]
+    fn time_weighted_mean_integrates_virtual_time() {
+        let sim = Sim::new();
+        let depth = sim.stats().time_weighted("test.depth");
+        let s = sim.clone();
+        let d2 = depth.clone();
+        sim.run_until(async move {
+            d2.set(4.0); // 4 for the first 1 ms…
+            s.sleep(SimDuration::from_millis(1)).await;
+            d2.set(0.0); // …0 for the remaining 3 ms.
+            s.sleep(SimDuration::from_millis(3)).await;
+        });
+        assert_eq!(depth.mean(), 1.0);
+        assert_eq!(depth.peak(), 4.0);
+        assert_eq!(depth.value(), 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_sorted() {
+        let build = || {
+            let sim = Sim::new();
+            // Register out of order; output must be sorted.
+            sim.stats().counter("z.last").add(2);
+            sim.stats().counter("a.first").inc();
+            sim.stats().gauge("m.gauge").set(0.25);
+            sim.stats().histogram("h.sizes", &[2, 8]).observe(3);
+            let tw = sim.stats().time_weighted("q.depth");
+            let s = sim.clone();
+            sim.run_until(async move {
+                tw.set(2.0);
+                s.sleep(SimDuration::from_millis(1)).await;
+            });
+            sim.stats().to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "identical runs produce byte-identical JSON");
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(a.contains("\"h.sizes\":{\"edges\":[2,8],\"counts\":[0,1,0]"));
+    }
+
+    #[test]
+    fn shared_recorder_keeps_take_semantics() {
+        let sim = Sim::new();
+        let rec = sim.recorder::<&'static str>();
+        let rec2 = sim.recorder::<&'static str>();
+        rec.record("one");
+        rec2.record("two");
+        // Both handles see one shared log, typed by E.
+        assert_eq!(rec.events(), vec!["one", "two"]);
+        let drained = rec.take();
+        assert_eq!(drained.len(), 2);
+        assert!(rec2.is_empty());
+        // A different event type gets a different log.
+        let other = sim.recorder::<u32>();
+        other.record(7);
+        assert_eq!(other.len(), 1);
+        assert!(rec.is_empty());
+    }
+}

@@ -7,19 +7,25 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::executor::Sim;
+use crate::executor::{Sim, TimeHandle};
 use crate::time::SimTime;
 
 /// A shared, timestamped event log.
+///
+/// Standalone construction via [`Recorder::new`] still works, but the
+/// registry surface (`sim.recorder::<E>()`) hands out one shared log per
+/// event type, so experiments don't have to thread recorder clones by
+/// hand. The recorder holds only a [`TimeHandle`], never a full `Sim`,
+/// so the registry can store it without creating an `Rc` cycle.
 pub struct Recorder<E> {
-    sim: Sim,
+    time: TimeHandle,
     events: Rc<RefCell<Vec<(SimTime, E)>>>,
 }
 
 impl<E> Clone for Recorder<E> {
     fn clone(&self) -> Self {
         Recorder {
-            sim: self.sim.clone(),
+            time: self.time.clone(),
             events: Rc::clone(&self.events),
         }
     }
@@ -28,15 +34,19 @@ impl<E> Clone for Recorder<E> {
 impl<E> Recorder<E> {
     /// Creates an empty recorder stamping events with `sim`'s clock.
     pub fn new(sim: &Sim) -> Self {
+        Self::with_time(sim.time_handle())
+    }
+
+    pub(crate) fn with_time(time: TimeHandle) -> Self {
         Recorder {
-            sim: sim.clone(),
+            time,
             events: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
     /// Appends an event stamped with the current virtual time.
     pub fn record(&self, event: E) {
-        self.events.borrow_mut().push((self.sim.now(), event));
+        self.events.borrow_mut().push((self.time.now(), event));
     }
 
     /// Number of recorded events.
@@ -63,7 +73,11 @@ impl<E> Recorder<E> {
 impl<E: Clone> Recorder<E> {
     /// Returns a copy of the events (timestamps dropped).
     pub fn events(&self) -> Vec<E> {
-        self.events.borrow().iter().map(|(_, e)| e.clone()).collect()
+        self.events
+            .borrow()
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect()
     }
 
     /// Returns a copy of the events with timestamps.

@@ -84,9 +84,7 @@ impl Ufs {
                 return Err(FsError::NoSpace);
             }
         }
-        let pbn = self
-            .alloc_near(pref)
-            .ok_or(FsError::NoSpace)?;
+        let pbn = self.alloc_near(pref).ok_or(FsError::NoSpace)?;
         ip.alloc_run.set(ip.alloc_run.get() + 1);
         if let Some(cgx) = self.inner.sb.borrow().cg_of_block(pbn) {
             ip.alloc_cg.set(cgx);
@@ -100,10 +98,7 @@ impl Ufs {
         let sb = self.inner.sb.borrow();
         let ncg = sb.ncg;
         let dpcg = sb.data_blocks_per_cg();
-        let pref_cg = sb
-            .cg_of_block(pref)
-            .unwrap_or(0)
-            .min(ncg - 1);
+        let pref_cg = sb.cg_of_block(pref).unwrap_or(0).min(ncg - 1);
         let pref_idx = {
             let start = sb.cg_data_start(pref_cg);
             if pref >= start && pref < start + dpcg as u64 {

@@ -87,6 +87,7 @@ impl Ufs {
         };
         self.charge("bmap", costs.bmap + extra).await;
         self.inner.stats.borrow_mut().bmap_calls += 1;
+        self.inner.metrics.bmap_calls.inc();
     }
 
     /// Read-path translation: physical block of `lbn`, or `None` for a
@@ -96,6 +97,7 @@ impl Ufs {
         if self.inner.params.tuning.bmap_cache {
             if let Some((pbn, _len)) = ip.bmap_cache.borrow_mut().lookup(lbn) {
                 self.inner.stats.borrow_mut().bmap_cache_hits += 1;
+                self.inner.metrics.bmap_cache_hits.inc();
                 return Ok(Some(pbn as u32));
             }
         }
@@ -119,6 +121,7 @@ impl Ufs {
         if self.inner.params.tuning.bmap_cache {
             if let Some((pbn, len)) = ip.bmap_cache.borrow_mut().lookup(lbn) {
                 self.inner.stats.borrow_mut().bmap_cache_hits += 1;
+                self.inner.metrics.bmap_cache_hits.inc();
                 return Ok(Some((pbn as u32, len.min(max_blocks))));
             }
         }
@@ -135,6 +138,7 @@ impl Ufs {
             }
             len += 1;
         }
+        self.inner.metrics.extent_len_blocks.observe(len as u64);
         if self.inner.params.tuning.bmap_cache {
             ip.bmap_cache.borrow_mut().insert(clufs::ExtentTuple {
                 lbn,
@@ -241,13 +245,13 @@ impl Ufs {
         let pref = self.blkpref(ip, 0, None);
         let pbn = self.alloc_block(ip, pref).await?;
         // Install zeroed content in the metadata cache (written on sync).
-        self.inner
-            .meta
-            .borrow_mut()
-            .insert(pbn as u64, std::rc::Rc::new(std::cell::RefCell::new(vec![
+        self.inner.meta.borrow_mut().insert(
+            pbn as u64,
+            std::rc::Rc::new(std::cell::RefCell::new(vec![
                 0u8;
                 crate::layout::BLOCK_SIZE
-            ])));
+            ])),
+        );
         self.meta_mark_dirty(pbn as u64);
         {
             let mut din = ip.din.borrow_mut();

@@ -258,7 +258,12 @@ impl Ufs {
             Some(data) => data,
             None => {
                 let size = ip.din.borrow().size as usize;
-                self.rdwr_read(&ip, 0, size, vfs::AccessMode::Copy).await?
+                let mut buf = vec![0u8; size];
+                let n = self
+                    .rdwr_read(&ip, 0, &mut buf, vfs::AccessMode::Copy)
+                    .await?;
+                buf.truncate(n);
+                buf
             }
         };
         String::from_utf8(bytes).map_err(|_| FsError::Corrupt)

@@ -7,14 +7,13 @@ use std::rc::Rc;
 
 use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, ReadAhead, Tuning, WriteThrottle};
 use diskmodel::{Disk, DiskOp, DiskRequest};
-use pagecache::{CleanRequest, PageCache, VnodeId};
+use pagecache::{CleanRequest, PageCache, PageKey, VnodeId};
+use simkit::stats::{Counter, Histogram};
 use simkit::{Cpu, Notify, Receiver, Sim, SimDuration};
 use vfs::{FsError, FsResult};
 
 use crate::costs::CpuCosts;
-use crate::layout::{
-    CgHeader, Dinode, FileKind, Superblock, BLOCK_SIZE, SECTORS_PER_BLOCK,
-};
+use crate::layout::{CgHeader, Dinode, FileKind, Superblock, BLOCK_SIZE, SECTORS_PER_BLOCK};
 
 /// Mount-time parameters.
 #[derive(Clone)]
@@ -94,6 +93,62 @@ pub struct UfsStats {
     pub ordered_meta_writes: u64,
     /// Pages written on behalf of the pageout daemon's cleaner.
     pub cleaner_pages: u64,
+}
+
+/// Registry handles mirroring [`UfsStats`] (and the policy observations the
+/// paper's tables are built from) into `sim.stats()` under the `ufs.*` and
+/// `core.*` namespaces. `ufs.free_behind_pages` is the I/O-bound-process
+/// half of the free-behind comparison (`pageout.freed` is the daemon's).
+pub(crate) struct UfsMetrics {
+    pub(crate) getpage_calls: Counter,
+    pub(crate) getpage_hits: Counter,
+    pub(crate) bmap_calls: Counter,
+    pub(crate) bmap_cache_hits: Counter,
+    pub(crate) sync_reads: Counter,
+    pub(crate) readaheads: Counter,
+    /// Pages created by the read-ahead path.
+    pub(crate) readahead_blocks: Counter,
+    /// Read-ahead pages later returned by `getpage` (prefetch accuracy =
+    /// used / issued blocks).
+    pub(crate) readahead_used: Counter,
+    pub(crate) blocks_read: Counter,
+    pub(crate) cluster_writes: Counter,
+    pub(crate) blocks_written: Counter,
+    pub(crate) free_behind_pages: Counter,
+    /// Blocks per cluster read, as issued to the disk.
+    pub(crate) cluster_read_blocks: Histogram,
+    /// Blocks per cluster write, as issued to the disk.
+    pub(crate) cluster_write_blocks: Histogram,
+    /// Contiguous extent length computed by `bmap` (capped at the I/O
+    /// cluster size) — the allocator's achieved contiguity.
+    pub(crate) extent_len_blocks: Histogram,
+}
+
+impl UfsMetrics {
+    /// Cluster and extent lengths in blocks; maxcontig presets are 1, 7
+    /// and 15 blocks, so power-of-two buckets up to 64 cover them.
+    const LEN_EDGES: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+    fn new(sim: &Sim) -> UfsMetrics {
+        let s = sim.stats();
+        UfsMetrics {
+            getpage_calls: s.counter("ufs.getpage_calls"),
+            getpage_hits: s.counter("ufs.getpage_hits"),
+            bmap_calls: s.counter("ufs.bmap_calls"),
+            bmap_cache_hits: s.counter("ufs.bmap_cache_hits"),
+            sync_reads: s.counter("ufs.sync_reads"),
+            readaheads: s.counter("ufs.readaheads"),
+            readahead_blocks: s.counter("ufs.readahead_blocks"),
+            readahead_used: s.counter("ufs.readahead_used"),
+            blocks_read: s.counter("ufs.blocks_read"),
+            cluster_writes: s.counter("ufs.cluster_writes"),
+            blocks_written: s.counter("ufs.blocks_written"),
+            free_behind_pages: s.counter("ufs.free_behind_pages"),
+            cluster_read_blocks: s.histogram("core.cluster_read_blocks", &Self::LEN_EDGES),
+            cluster_write_blocks: s.histogram("core.cluster_write_blocks", &Self::LEN_EDGES),
+            extent_len_blocks: s.histogram("ufs.extent_len_blocks", &Self::LEN_EDGES),
+        }
+    }
 }
 
 /// The in-core inode: dinode fields plus the paper's policy state.
@@ -183,6 +238,10 @@ pub(crate) struct UfsInner {
     pub(crate) meta_dirty: RefCell<std::collections::BTreeSet<u64>>,
     pub(crate) inodes: RefCell<HashMap<u32, Rc<Incore>>>,
     pub(crate) stats: RefCell<UfsStats>,
+    pub(crate) metrics: UfsMetrics,
+    /// Pages created by read-ahead and not yet touched by `getpage`; used
+    /// to measure prefetch accuracy (`ufs.readahead_used`).
+    pub(crate) ra_pending: RefCell<std::collections::HashSet<PageKey>>,
     /// Round-robin start for directory placement.
     pub(crate) next_dir_cg: Cell<u32>,
     /// Outstanding ordered metadata writes (B_ORDER mode).
@@ -215,13 +274,19 @@ impl Ufs {
             "this reproduction equates one page with one fs block"
         );
         let raw = disk
-            .read(crate::layout::SB_BLOCK * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
+            .read(
+                crate::layout::SB_BLOCK * SECTORS_PER_BLOCK as u64,
+                SECTORS_PER_BLOCK,
+            )
             .await;
         let mut sb = Superblock::decode(&raw).ok_or(FsError::Corrupt)?;
         let mut cgs = Vec::with_capacity(sb.ncg as usize);
         for cgx in 0..sb.ncg {
             let raw = disk
-                .read(sb.cg_start(cgx) * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
+                .read(
+                    sb.cg_start(cgx) * SECTORS_PER_BLOCK as u64,
+                    SECTORS_PER_BLOCK,
+                )
                 .await;
             let cg = CgHeader::decode(&raw).ok_or(FsError::Corrupt)?;
             if cg.cgx != cgx {
@@ -246,6 +311,8 @@ impl Ufs {
                 meta_dirty: RefCell::new(std::collections::BTreeSet::new()),
                 inodes: RefCell::new(HashMap::new()),
                 stats: RefCell::new(UfsStats::default()),
+                metrics: UfsMetrics::new(sim),
+                ra_pending: RefCell::new(std::collections::HashSet::new()),
                 next_dir_cg: Cell::new(0),
                 pending_meta_io: Cell::new(0),
                 meta_quiesce: Notify::new(),
@@ -351,10 +418,7 @@ impl Ufs {
             None => {
                 let data = self.read_block_raw(pbn).await;
                 let cell = Rc::new(RefCell::new(data));
-                self.inner
-                    .meta
-                    .borrow_mut()
-                    .insert(pbn, Rc::clone(&cell));
+                self.inner.meta.borrow_mut().insert(pbn, Rc::clone(&cell));
                 cell
             }
         }
@@ -524,7 +588,7 @@ impl Ufs {
                 Some(ip) => Rc::clone(ip),
                 None => continue, // Inode gone; page will be invalidated.
             };
-            let page = (req.key.offset / BLOCK_SIZE as u64) as u64;
+            let page = req.key.offset / BLOCK_SIZE as u64;
             // The victim may have been cleaned or freed since it was chosen.
             let key = req.key;
             let still_dirty = self

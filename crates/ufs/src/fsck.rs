@@ -85,9 +85,9 @@ pub async fn fsck(disk: &Disk) -> FsResult<FsckReport> {
             return false;
         }
         if let Some(prev) = claims.get(&pbn) {
-            report
-                .errors
-                .push(format!("block {pbn} claimed by both ino {prev} and ino {ino}"));
+            report.errors.push(format!(
+                "block {pbn} claimed by both ino {prev} and ino {ino}"
+            ));
             return false;
         }
         claims.insert(pbn, ino);
@@ -144,7 +144,9 @@ pub async fn fsck(disk: &Disk) -> FsResult<FsckReport> {
                     counted += 1;
                 }
                 let ind = read_block(disk, din.indirect as u64).await;
-                let covered = nblocks.saturating_sub(NDADDR as u64).min(PTRS_PER_BLOCK as u64);
+                let covered = nblocks
+                    .saturating_sub(NDADDR as u64)
+                    .min(PTRS_PER_BLOCK as u64);
                 for i in 0..covered as usize {
                     let p = read_ptr(&ind, i);
                     if p != 0 && claim(&mut report, ino, p as u64) {
@@ -181,9 +183,10 @@ pub async fn fsck(disk: &Disk) -> FsResult<FsckReport> {
                 ));
             }
         } else if din.blocks != 0 {
-            report
-                .errors
-                .push(format!("ino {ino}: inline data but blocks = {}", din.blocks));
+            report.errors.push(format!(
+                "ino {ino}: inline data but blocks = {}",
+                din.blocks
+            ));
         }
         dinodes.insert(ino, din);
     }

@@ -69,8 +69,12 @@ pub async fn build_world(
     let disk = Disk::new(sim, disk_params);
     let cache = PageCache::new(sim, cache_params);
     mkfs::mkfs(sim, &disk, mkfs_opts).await?;
-    let (daemon, cleaner_rx) =
-        PageoutDaemon::spawn(sim, &cache, Some(cpu.clone()), PageoutParams::sparcstation());
+    let (daemon, cleaner_rx) = PageoutDaemon::spawn(
+        sim,
+        &cache,
+        Some(cpu.clone()),
+        PageoutParams::sparcstation(),
+    );
     let fs = Ufs::mount(sim, &cpu, &cache, &disk, ufs_params, Some(cleaner_rx)).await?;
     Ok(World {
         sim: sim.clone(),

@@ -61,7 +61,7 @@ pub async fn mkfs(sim: &Sim, disk: &Disk, opts: MkfsOptions) -> FsResult<Superbl
     }
     let ncg = ((total_blocks - CG_START) / opts.blocks_per_cg as u64) as u32;
     assert!(
-        opts.inodes_per_cg % INODES_PER_BLOCK as u32 == 0,
+        opts.inodes_per_cg.is_multiple_of(INODES_PER_BLOCK as u32),
         "inodes_per_cg must fill whole blocks"
     );
     let mut sb = Superblock {

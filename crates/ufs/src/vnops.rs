@@ -88,12 +88,17 @@ impl Ufs {
     ) -> FsResult<PageId> {
         let costs = self.inner.params.costs;
         self.inner.stats.borrow_mut().getpage_calls += 1;
+        self.inner.metrics.getpage_calls.inc();
         let eof_blocks = Self::eof_blocks(ip);
         assert!(lbn < eof_blocks, "getpage beyond EOF");
         let key = self.page_key(ip, lbn);
         let cached = self.inner.cache.lookup(key);
         if cached.is_some() {
             self.inner.stats.borrow_mut().getpage_hits += 1;
+            self.inner.metrics.getpage_hits.inc();
+            if self.inner.ra_pending.borrow_mut().remove(&key) {
+                self.inner.metrics.readahead_used.inc();
+            }
             self.charge("fault", costs.page_hit).await;
         } else {
             self.charge("fault", costs.fault).await;
@@ -155,10 +160,7 @@ impl Ufs {
                 }
             }
         };
-        let req_cluster = known
-            .iter()
-            .find(|(p, _)| *p == lbn)
-            .and_then(|(_, v)| *v);
+        let req_cluster = known.iter().find(|(p, _)| *p == lbn).and_then(|(_, v)| *v);
         let next_cluster = plan
             .readahead
             .and_then(|run| known.iter().find(|(p, _)| *p == run.lbn))
@@ -183,13 +185,15 @@ impl Ufs {
                         .start_cluster_read(ip, run.lbn, pbn, run.blocks)
                         .await?;
                     self.inner.stats.borrow_mut().sync_reads += 1;
+                    self.inner.metrics.sync_reads.inc();
                     sync_io = Some((handle, pages));
                 }
             }
         }
         if let Some(run) = plan.readahead {
             if let Some((ra_pbn, _)) = next_cluster {
-                self.start_readahead(ip, run.lbn, ra_pbn, run.blocks).await?;
+                self.start_readahead(ip, run.lbn, ra_pbn, run.blocks)
+                    .await?;
             }
         }
 
@@ -221,12 +225,15 @@ impl Ufs {
             }
             (None, Some((handle, pages))) => {
                 let result = handle.wait().await;
-                self.charge("io_intr", self.inner.params.costs.io_intr).await;
+                self.charge("io_intr", self.inner.params.costs.io_intr)
+                    .await;
                 let data = result.data.expect("read returns data");
                 let mut first = None;
                 for (i, (run_lbn, id)) in pages.iter().enumerate() {
                     let off = i * BLOCK_SIZE;
-                    self.inner.cache.write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
+                    self.inner
+                        .cache
+                        .write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
                     self.inner.cache.unbusy(*id);
                     if *run_lbn == lbn {
                         first = Some(*id);
@@ -256,28 +263,28 @@ impl Ufs {
                 break; // Already resident: clip the cluster here.
             }
             let id = self.inner.cache.create(key).await;
+            // The page identity is fresh; drop any stale read-ahead claim
+            // a recycled predecessor left behind.
+            self.inner.ra_pending.borrow_mut().remove(&key);
             pages.push((lbn + i as u64, id));
             n += 1;
         }
         assert!(n > 0, "cluster read with zero absent pages");
-        self.charge("io_setup", self.inner.params.costs.io_setup).await;
+        self.charge("io_setup", self.inner.params.costs.io_setup)
+            .await;
         self.inner.stats.borrow_mut().blocks_read += n as u64;
-        let handle = self.inner.disk.submit_read(
-            pbn as u64 * SECTORS_PER_BLOCK as u64,
-            n * SECTORS_PER_BLOCK,
-        );
+        self.inner.metrics.blocks_read.add(n as u64);
+        self.inner.metrics.cluster_read_blocks.observe(n as u64);
+        let handle = self
+            .inner
+            .disk
+            .submit_read(pbn as u64 * SECTORS_PER_BLOCK as u64, n * SECTORS_PER_BLOCK);
         Ok((handle, pages))
     }
 
     /// Starts an asynchronous cluster read ahead; a completion task fills
     /// and releases the pages.
-    async fn start_readahead(
-        &self,
-        ip: &Rc<Incore>,
-        lbn: u64,
-        pbn: u32,
-        len: u32,
-    ) -> FsResult<()> {
+    async fn start_readahead(&self, ip: &Rc<Incore>, lbn: u64, pbn: u32, len: u32) -> FsResult<()> {
         // If the first page is already resident the read-ahead already
         // happened (or the data is cached): nothing to do.
         if self.inner.cache.lookup(self.page_key(ip, lbn)).is_some() {
@@ -285,6 +292,14 @@ impl Ufs {
         }
         let (handle, pages) = self.start_cluster_read(ip, lbn, pbn, len).await?;
         self.inner.stats.borrow_mut().readaheads += 1;
+        self.inner.metrics.readaheads.inc();
+        self.inner.metrics.readahead_blocks.add(pages.len() as u64);
+        {
+            let mut ra = self.inner.ra_pending.borrow_mut();
+            for (run_lbn, _) in &pages {
+                ra.insert(self.page_key(ip, *run_lbn));
+            }
+        }
         let fs = self.clone();
         self.inner.sim.spawn(async move {
             let result = handle.wait().await;
@@ -292,7 +307,9 @@ impl Ufs {
             let data = result.data.expect("read returns data");
             for (i, (_lbn, id)) in pages.iter().enumerate() {
                 let off = i * BLOCK_SIZE;
-                fs.inner.cache.write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
+                fs.inner
+                    .cache
+                    .write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
                 fs.inner.cache.unbusy(*id);
             }
         });
@@ -303,7 +320,8 @@ impl Ufs {
     /// and accumulates (Figures 7/8); the old path starts the block's write
     /// immediately.
     pub(crate) async fn putpage_write(&self, ip: &Rc<Incore>, lbn: u64) -> FsResult<()> {
-        self.charge("putpage", self.inner.params.costs.putpage).await;
+        self.charge("putpage", self.inner.params.costs.putpage)
+            .await;
         if self.inner.params.tuning.clustering {
             let action = ip
                 .dw
@@ -389,12 +407,16 @@ impl Ufs {
             }
             // Fairness: reserve write-queue space before submitting.
             let token = ip.throttle.begin_write(n as u64 * BLOCK_SIZE as u64).await;
-            self.charge("io_setup", self.inner.params.costs.io_setup).await;
+            self.charge("io_setup", self.inner.params.costs.io_setup)
+                .await;
             {
                 let mut stats = self.inner.stats.borrow_mut();
                 stats.cluster_writes += 1;
                 stats.blocks_written += n as u64;
             }
+            self.inner.metrics.cluster_writes.inc();
+            self.inner.metrics.blocks_written.add(n as u64);
+            self.inner.metrics.cluster_write_blocks.observe(n as u64);
             ip.io_started();
             let handle = self.inner.disk.submit_write(
                 pbn as u64 * SECTORS_PER_BLOCK as u64,
@@ -474,9 +496,9 @@ impl Ufs {
         &self,
         ip: &Rc<Incore>,
         off: u64,
-        len: usize,
+        buf: &mut [u8],
         mode: AccessMode,
-    ) -> FsResult<Vec<u8>> {
+    ) -> FsResult<usize> {
         let costs = self.inner.params.costs;
         // mmap access is a pure fault path: no syscall, no kernel
         // map/unmap, no copyout — exactly why the paper's Figure 12 uses
@@ -487,9 +509,9 @@ impl Ufs {
         let size = ip.din.borrow().size;
         if off >= size {
             ip.last_read_end.set(off);
-            return Ok(Vec::new());
+            return Ok(0);
         }
-        let len = len.min((size - off) as usize);
+        let len = buf.len().min((size - off) as usize);
         // Inline files are served from the inode cache (Further Work:
         // "the system could satisfy many requests directly from the inode
         // instead of the page cache"). mmap cannot use this path.
@@ -498,7 +520,9 @@ impl Ufs {
             if mode == AccessMode::Copy {
                 self.charge("copy", costs.copy(len)).await;
                 let end = (off as usize + len).min(data.len());
-                return Ok(data[off as usize..end].to_vec());
+                let n = end - off as usize;
+                buf[..n].copy_from_slice(&data[off as usize..end]);
+                return Ok(n);
             }
         }
         // Sequential-mode detection for free-behind.
@@ -508,8 +532,8 @@ impl Ufs {
         } else {
             0
         };
-        let mut out = Vec::with_capacity(len);
         let mut pos = off;
+        let mut dst = 0usize;
         let end = off + len as u64;
         while pos < end {
             let lbn = pos / BLOCK_SIZE as u64;
@@ -520,9 +544,9 @@ impl Ufs {
                 self.charge("map_unmap", costs.map_unmap).await;
                 self.charge("copy", costs.copy(n)).await;
             }
-            let mut piece = vec![0u8; n];
-            self.inner.cache.read_at(pid, in_page, &mut piece);
-            out.extend_from_slice(&piece);
+            self.inner
+                .cache
+                .read_at(pid, in_page, &mut buf[dst..dst + n]);
             // Free behind: triggered when rdwr unmaps the page.
             if self.inner.params.free_behind.should_free(
                 ip.seq_mode.get(),
@@ -534,11 +558,13 @@ impl Ufs {
             {
                 self.inner.cache.free_page(pid);
                 self.inner.stats.borrow_mut().free_behinds += 1;
+                self.inner.metrics.free_behind_pages.inc();
             }
             pos += n as u64;
+            dst += n;
         }
         ip.last_read_end.set(end);
-        Ok(out)
+        Ok(len)
     }
 
     pub(crate) async fn rdwr_write(
@@ -561,16 +587,17 @@ impl Ufs {
 
         // "Data in the inode": keep tiny files inline when enabled.
         if self.inner.params.inline_small {
-            let was_inline = ip.din.borrow().inline.is_some()
-                || (old_size == 0 && ip.din.borrow().blocks == 0);
+            let was_inline =
+                ip.din.borrow().inline.is_some() || (old_size == 0 && ip.din.borrow().blocks == 0);
             if was_inline && end as usize <= INLINE_MAX {
-                let mut din = ip.din.borrow_mut();
-                let mut content = din.inline.take().unwrap_or_default();
-                content.resize((end as usize).max(old_size as usize), 0);
-                content[off as usize..end as usize].copy_from_slice(data);
-                din.size = din.size.max(end);
-                din.inline = Some(content);
-                drop(din);
+                {
+                    let mut din = ip.din.borrow_mut();
+                    let mut content = din.inline.take().unwrap_or_default();
+                    content.resize((end as usize).max(old_size as usize), 0);
+                    content[off as usize..end as usize].copy_from_slice(data);
+                    din.size = din.size.max(end);
+                    din.inline = Some(content);
+                }
                 ip.dirty.set(true);
                 self.charge("copy", costs.copy(data.len())).await;
                 return Ok(());
@@ -767,8 +794,8 @@ impl Vnode for UfsFile {
         self.ip.din.borrow().size
     }
 
-    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>> {
-        self.fs.rdwr_read(&self.ip, off, len, mode).await
+    async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize> {
+        self.fs.rdwr_read(&self.ip, off, buf, mode).await
     }
 
     async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()> {

@@ -39,9 +39,8 @@ fn two_growing_files_interleave_without_overlap() {
         }
         // Interleaved growth costs contiguity, but each file should still
         // average multi-block extents (the allocator "thinks ahead").
-        let mean = |e: &Vec<(u64, u64, u32)>| {
-            e.iter().map(|x| x.2 as f64).sum::<f64>() / e.len() as f64
-        };
+        let mean =
+            |e: &Vec<(u64, u64, u32)>| e.iter().map(|x| x.2 as f64).sum::<f64>() / e.len() as f64;
         assert!(mean(&ea) >= 2.0, "file a fragmented: {ea:?}");
         assert!(mean(&eb) >= 2.0, "file b fragmented: {eb:?}");
         w.fs.clone().unmount().await.unwrap();
@@ -61,8 +60,12 @@ fn maxbpg_moves_large_files_to_new_groups() {
         let cpu = simkit::Cpu::new(&s);
         let disk = diskmodel::Disk::new(&s, diskmodel::DiskParams::small_test());
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());
-        let (_d, rx) =
-            pagecache::PageoutDaemon::spawn(&s, &cache, None, pagecache::PageoutParams::small_test());
+        let (_d, rx) = pagecache::PageoutDaemon::spawn(
+            &s,
+            &cache,
+            None,
+            pagecache::PageoutParams::small_test(),
+        );
         std::mem::forget(rx);
         // Several small groups so the maxbpg switch has somewhere to go
         // (the default small_test layout is a single group).

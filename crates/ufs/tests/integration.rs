@@ -6,7 +6,9 @@ use ufs::{build_test_world, fsck, FileKind};
 use vfs::{AccessMode, FileSystem, FsError, Vnode};
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -64,7 +66,13 @@ fn multi_megabyte_file_through_indirect_blocks() {
         assert_eq!(f.size(), 2 * 1024 * 1024);
         // Spot-check several regions, including across the direct/indirect
         // boundary at 96 KB.
-        for off in [0u64, 95 * 1024, 97 * 1024, 1024 * 1024, 2 * 1024 * 1024 - 4096] {
+        for off in [
+            0u64,
+            95 * 1024,
+            97 * 1024,
+            1024 * 1024,
+            2 * 1024 * 1024 - 4096,
+        ] {
             let got = f.read(off, 4096, AccessMode::Copy).await.unwrap();
             let expect: Vec<u8> = (0..4096)
                 .map(|i| {
@@ -219,7 +227,9 @@ fn holes_read_as_zeros() {
         let w = build_test_world(&s, Tuning::config_a()).await.unwrap();
         let f = w.fs.create("holey").await.unwrap();
         // Write at 0 and at 64 KB, leaving a hole between.
-        f.write(0, &pattern(4096, 4), AccessMode::Copy).await.unwrap();
+        f.write(0, &pattern(4096, 4), AccessMode::Copy)
+            .await
+            .unwrap();
         f.write(64 * 1024, &pattern(4096, 5), AccessMode::Copy)
             .await
             .unwrap();
@@ -499,10 +509,7 @@ fn fsck_detects_deliberate_corruption() {
         // Corrupt: point the root's first direct block into another file's
         // data... simpler: flip an allocation bit by rewriting a cg header
         // with one extra bit set.
-        let sb_raw = w
-            .disk
-            .read(ufs::layout::SB_BLOCK * 16, 16)
-            .await;
+        let sb_raw = w.disk.read(ufs::layout::SB_BLOCK * 16, 16).await;
         let sb = ufs::Superblock::decode(&sb_raw).unwrap();
         let cg_raw = w.disk.read(sb.cg_start(0) * 16, 16).await;
         let mut cg = ufs::layout::CgHeader::decode(&cg_raw).unwrap();

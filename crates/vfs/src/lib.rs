@@ -93,8 +93,24 @@ pub trait Vnode {
     /// Current file size in bytes.
     fn size(&self) -> u64;
 
-    /// Reads up to `len` bytes at `off`; short reads happen only at EOF.
-    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>>;
+    /// Reads up to `buf.len()` bytes at `off` into `buf`, returning how
+    /// many bytes were read; short reads happen only at EOF.
+    ///
+    /// This is the primitive read operation: implementations fill the
+    /// caller's buffer — the way `uio`-based `ufs_rdwr` fills the caller's
+    /// address space — so steady-state readers reuse one allocation across
+    /// calls instead of receiving a fresh `Vec` per request.
+    async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize>;
+
+    /// Allocating convenience wrapper over [`Vnode::read_into`]: reads up
+    /// to `len` bytes at `off` into a fresh buffer, truncated to the bytes
+    /// actually read.
+    async fn read(&self, off: u64, len: usize, mode: AccessMode) -> FsResult<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        let n = self.read_into(off, &mut buf, mode).await?;
+        buf.truncate(n);
+        Ok(buf)
+    }
 
     /// Writes `data` at `off`, extending the file if needed.
     async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()>;

@@ -47,8 +47,7 @@ fn main() {
         )
         .await
         .expect("aging");
-        let free_pct =
-            world2.fs.free_blocks() as f64 / world2.fs.capacity_blocks() as f64 * 100.0;
+        let free_pct = world2.fs.free_blocks() as f64 / world2.fs.capacity_blocks() as f64 * 100.0;
         println!("aged: {survivors} files survive, {free_pct:.0}% free\n");
 
         let worst = probe_extents(&world2, "home/big.dat", 16 << 20)

@@ -36,13 +36,11 @@ fn main() {
         world.fs.mkdir("demo").await.expect("mkdir");
         let file = world.fs.create("demo/data.bin").await.expect("create");
         let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
-        file.write(0, &payload, AccessMode::Copy).await.expect("write");
+        file.write(0, &payload, AccessMode::Copy)
+            .await
+            .expect("write");
         file.fsync().await.expect("fsync");
-        println!(
-            "wrote {} bytes at virtual time {}",
-            payload.len(),
-            s.now()
-        );
+        println!("wrote {} bytes at virtual time {}", payload.len(), s.now());
 
         // Where did the allocator put it? (Contiguously, modulo the
         // indirect block — this is what makes clustering possible.)

@@ -76,15 +76,13 @@ fn play(label: &str, tuning: Tuning) {
         }
         (dropped, worst)
     });
-    println!(
-        "{label:30} dropped {dropped:3}/{FRAMES} frames, worst lateness {rebuffer}"
-    );
+    println!("{label:30} dropped {dropped:3}/{FRAMES} frames, worst lateness {rebuffer}");
 }
 
 fn main() {
     println!(
         "streaming {} KB/s of video from disk ({} KB frames @ {} ms):\n",
-        FRAME_BYTES as u64 * 1000 / FRAME_PERIOD_MS as u64 / 1024,
+        FRAME_BYTES as u64 * 1000 / FRAME_PERIOD_MS / 1024,
         FRAME_BYTES / 1024,
         FRAME_PERIOD_MS
     );

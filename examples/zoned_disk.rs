@@ -83,8 +83,8 @@ fn main() {
     let spc = |cyl: u32| g.spt(cyl) as u64 * g.heads as u64;
     // Start LBAs at the head of each zone.
     let outer = 0u64;
-    let middle: u64 = (0..400).map(|c| spc(c)).sum();
-    let inner: u64 = (0..800).map(|c| spc(c)).sum();
+    let middle: u64 = (0..400).map(&spc).sum();
+    let inner: u64 = (0..800).map(&spc).sum();
     let media = |cyl: u32| g.spt(cyl) as f64 * 512.0 * 3600.0 / 60.0 / 1024.0; // KB/s
 
     println!(

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+#
+#   build (release)  +  full test suite  +  formatting  +  clippy clean
+#
+# Run from anywhere; operates on the repo root.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -114,7 +114,9 @@ fn ordered_metadata_is_crash_consistent_when_settled() {
         .unwrap();
         for i in 0..20 {
             let f = w.fs.create(&format!("f{i}")).await.unwrap();
-            f.write(0, &[i as u8; 5000], AccessMode::Copy).await.unwrap();
+            f.write(0, &[i as u8; 5000], AccessMode::Copy)
+                .await
+                .unwrap();
         }
         for i in (0..20).step_by(3) {
             w.fs.remove(&format!("f{i}")).await.unwrap();

@@ -88,7 +88,9 @@ fn ufs_hole_opt_skips_bmap_on_cache_hits() {
 
         // A holey file must NOT skip.
         let h = w.fs.create("holey").await.unwrap();
-        h.write(0, &pattern(8192, 3), AccessMode::Copy).await.unwrap();
+        h.write(0, &pattern(8192, 3), AccessMode::Copy)
+            .await
+            .unwrap();
         h.write(128 * 1024, &pattern(8192, 4), AccessMode::Copy)
             .await
             .unwrap();

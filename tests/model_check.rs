@@ -18,10 +18,22 @@ use vfs::{AccessMode, FileSystem, FsError, Vnode};
 enum Op {
     Create(u8),
     /// Write `len` bytes of `seed` at `off` into file `id`.
-    Write { id: u8, off: u32, len: u16, seed: u8 },
+    Write {
+        id: u8,
+        off: u32,
+        len: u16,
+        seed: u8,
+    },
     /// Read `len` bytes at `off` from file `id` and compare to the model.
-    Read { id: u8, off: u32, len: u16 },
-    Truncate { id: u8, size: u32 },
+    Read {
+        id: u8,
+        off: u32,
+        len: u16,
+    },
+    Truncate {
+        id: u8,
+        size: u32,
+    },
     Remove(u8),
     Fsync(u8),
     SyncAll,
@@ -35,11 +47,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u8..4).prop_map(Op::Create),
         (0u8..4, 0u32..400_000, 1u16..32_768, any::<u8>())
             .prop_map(|(id, off, len, seed)| Op::Write { id, off, len, seed }),
-        (0u8..4, 0u32..450_000, 1u16..32_768).prop_map(|(id, off, len)| Op::Read {
-            id,
-            off,
-            len
-        }),
+        (0u8..4, 0u32..450_000, 1u16..32_768).prop_map(|(id, off, len)| Op::Read { id, off, len }),
         (0u8..4, 0u32..450_000).prop_map(|(id, size)| Op::Truncate { id, size }),
         (0u8..4).prop_map(Op::Remove),
         (0u8..4).prop_map(Op::Fsync),
@@ -48,7 +56,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn fill(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 fn run_sequence(ops: Vec<Op>, tuning: Tuning) {
@@ -135,10 +145,7 @@ fn run_sequence(ops: Vec<Op>, tuning: Tuning) {
         // Final: full contents agree, then the image checks out on disk.
         for (id, content) in &model {
             let f = w.fs.open(&format!("f{id}")).await.unwrap();
-            let got = f
-                .read(0, content.len(), AccessMode::Copy)
-                .await
-                .unwrap();
+            let got = f.read(0, content.len(), AccessMode::Copy).await.unwrap();
             assert_eq!(&got, content, "final content f{id}");
         }
         w.cache.assert_consistent();
@@ -187,8 +194,12 @@ fn images_are_interchangeable_between_code_paths() {
         // needs a pageout daemon or large reads exhaust its 32 pages.)
         let cpu = simkit::Cpu::new(&s);
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());
-        let (_d1, rx1) =
-            pagecache::PageoutDaemon::spawn(&s, &cache, None, pagecache::PageoutParams::small_test());
+        let (_d1, rx1) = pagecache::PageoutDaemon::spawn(
+            &s,
+            &cache,
+            None,
+            pagecache::PageoutParams::small_test(),
+        );
         std::mem::forget(rx1);
         let mut params = ufs::UfsParams::test(Tuning::config_d());
         params.mount_id = 2;
@@ -205,8 +216,12 @@ fn images_are_interchangeable_between_code_paths() {
         old.clone().unmount().await.unwrap();
 
         let cache2 = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());
-        let (_d2, rx2) =
-            pagecache::PageoutDaemon::spawn(&s, &cache2, None, pagecache::PageoutParams::small_test());
+        let (_d2, rx2) = pagecache::PageoutDaemon::spawn(
+            &s,
+            &cache2,
+            None,
+            pagecache::PageoutParams::small_test(),
+        );
         std::mem::forget(rx2);
         let mut params = ufs::UfsParams::test(Tuning::config_a());
         params.mount_id = 3;

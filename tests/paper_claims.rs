@@ -96,8 +96,10 @@ fn tuning_only_destroys_write_performance() {
         let sim = Sim::new();
         let s = sim.clone();
         sim.run_until(async move {
-            let mut wo = WorldOptions::default();
-            wo.full_scale = true;
+            let wo = WorldOptions {
+                full_scale: true,
+                ..Default::default()
+            };
             let w = paper_world(&s, tuning, wo).await.unwrap();
             let cache = w.cache.clone();
             run_iobench(
@@ -177,7 +179,8 @@ fn clustered_ufs_matches_extent_fs() {
 fn clustering_reduces_cpu_per_byte() {
     // Figure 12: "The new UFS is approximately 25% more efficient in terms
     // of CPU cycles."
-    let (_, new, old) = iobench::experiments::fig12_run(iobench::experiments::RunScale::quick());
+    let (_, new, old) =
+        iobench::experiments::fig12_run(iobench::experiments::RunScale::quick(), None);
     assert!(
         old > new * 1.15,
         "clustered mmap read should use noticeably less CPU: new={new:.2}s old={old:.2}s"
@@ -200,7 +203,9 @@ fn write_limit_prevents_memory_lockdown() {
                 write_limit: limit,
                 ..Tuning::config_a()
             };
-            let w = paper_world(&s, tuning, WorldOptions::default()).await.unwrap();
+            let w = paper_world(&s, tuning, WorldOptions::default())
+                .await
+                .unwrap();
             let cache = w.cache.clone();
             // A fast sequential writer dirties memory at CPU speed
             // (~3 MB/s) while the disk drains at ~1.4 MB/s: without the
@@ -235,7 +240,7 @@ fn write_limit_prevents_memory_lockdown() {
 #[test]
 fn musbus_barely_improves() {
     // "The time-sharing benchmarks improved only slightly."
-    let (_, ratio) = iobench::experiments::musbus_run();
+    let (_, ratio) = iobench::experiments::musbus_run(None);
     assert!(
         (0.9..1.25).contains(&ratio),
         "timesharing old/new ratio {ratio:.2} should be near 1"

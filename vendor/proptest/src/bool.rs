@@ -1,0 +1,22 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// `true` with probability `p`.
+pub struct Weighted {
+    p: f64,
+}
+
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    Weighted { p }
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.p
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates registry, so external dependencies
+//! are vendored as minimal API-compatible stubs (see `vendor/README.md`).
+//! This implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, integer-range and tuple
+//! strategies, [`Just`], `any::<T>()`, `prop_oneof!`, weighted booleans,
+//! `collection::vec`, and the `proptest!` macro with an optional
+//! `proptest_config` attribute.
+//!
+//! Differences from real proptest, deliberate for a stub:
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (each `proptest!` body runs under
+//!   `#[track_caller]`-less plain asserts), but is not minimized.
+//! - **Fixed seeding.** Case `i` of test `t` uses a seed derived from
+//!   `(t, i)`, so every run explores the same inputs. This keeps CI and
+//!   the simulation's determinism tests stable.
+//! - `proptest-regressions` files are ignored.
+
+use std::fmt::Debug;
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured; `max_shrink_iters`
+/// exists so callers can use the real crate's struct-update idiom
+/// (`ProptestConfig { cases, ..Default::default() }`) without the update
+/// being a no-op (this stub never shrinks).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each `#[test]` inside `proptest!` runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Everything a property test file conventionally glob-imports.
+pub mod prelude {
+    /// `prop::bool::weighted(..)`, `prop::collection::vec(..)`, …
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+/// Stable per-test seed: FNV-1a over the test name.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::seed_for(stringify!($name));
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::new(base.wrapping_add(case));
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    // Real proptest bodies may `return Ok(())` early; run
+                    // the body in a closure with that signature.
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("property {} failed: {}", stringify!($name), e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Weighted arms (`3 => strat`) are not supported by this stub.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_oneof_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = (0u8..4, 10u32..20).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = strat.new_value(&mut rng);
+            assert!(a < 4 && (10..20).contains(&b));
+        }
+        let choice = prop_oneof![Just(1u8), Just(2u8), 5u8..7];
+        for _ in 0..200 {
+            let v = choice.new_value(&mut rng);
+            assert!([1, 2, 5, 6].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: patterns bind, asserts run.
+        #[test]
+        fn macro_smoke(v in prop::collection::vec(any::<u8>(), 1..10), flip in any::<bool>()) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

@@ -12,8 +12,8 @@
 //! something to sort — hence the paper's fairly large 240 KB default.
 
 use simkit::stats::Counter;
-use simkit::{Semaphore, SimDuration};
-use std::cell::{Cell, RefCell};
+use simkit::{Semaphore, SimDuration, TimeHandle};
+use std::cell::Cell;
 use std::rc::Rc;
 
 struct ThrottleInner {
@@ -26,19 +26,36 @@ struct ThrottleInner {
     /// on the same `Sim`.
     m_stalls: Counter,
     m_stall_ns: Counter,
+    /// Per-stream registry mirrors (`core.throttle_*{stream=N}`), so the
+    /// fairness experiments can attribute stalls to the stream that slept.
+    s_stalls: Counter,
+    s_stall_ns: Counter,
 }
 
 /// Per-file write throttle. Clones share the same limit.
+///
+/// Holds a [`TimeHandle`], not a full `Sim`: throttles live inside inodes
+/// the simulator (transitively) owns, and a `Sim` clone there would pin
+/// the executor in an `Rc` cycle.
 #[derive(Clone)]
 pub struct WriteThrottle {
     inner: Option<Rc<ThrottleInner>>,
-    clock: Rc<RefCell<Option<simkit::Sim>>>,
+    time: TimeHandle,
 }
 
 impl WriteThrottle {
     /// Creates a throttle admitting at most `limit` bytes of queued writes;
-    /// `None` disables throttling (config "D").
+    /// `None` disables throttling (config "D"). Stalls are attributed to
+    /// the untagged stream 0; use [`WriteThrottle::for_stream`] when the
+    /// owner has a stream identity.
     pub fn new(sim: &simkit::Sim, limit: Option<u32>) -> WriteThrottle {
+        WriteThrottle::for_stream(sim, limit, 0)
+    }
+
+    /// Like [`WriteThrottle::new`], but stalls also count against the
+    /// per-stream counters `core.throttle_stalls{stream=N}` /
+    /// `core.throttle_stall_ns{stream=N}`.
+    pub fn for_stream(sim: &simkit::Sim, limit: Option<u32>, stream: u32) -> WriteThrottle {
         WriteThrottle {
             inner: limit.map(|l| {
                 Rc::new(ThrottleInner {
@@ -48,9 +65,11 @@ impl WriteThrottle {
                     stall_count: Cell::new(0),
                     m_stalls: sim.stats().counter("core.throttle_stalls"),
                     m_stall_ns: sim.stats().counter("core.throttle_stall_ns"),
+                    s_stalls: sim.stats().stream_counter("core.throttle_stalls", stream),
+                    s_stall_ns: sim.stats().stream_counter("core.throttle_stall_ns", stream),
                 })
             }),
-            clock: Rc::new(RefCell::new(Some(sim.clone()))),
+            time: sim.time_handle(),
         }
     }
 
@@ -68,15 +87,16 @@ impl WriteThrottle {
         if ask == 0 {
             return WriteToken { bytes: 0 };
         }
-        let sim = self.clock.borrow().clone().expect("throttle clock present");
-        let before = sim.now();
+        let before = self.time.now();
         let permit = inner.sem.acquire(ask).await;
-        let waited = sim.now().duration_since(before);
+        let waited = self.time.now().duration_since(before);
         if !waited.is_zero() {
             inner.stalled.set(inner.stalled.get() + waited);
             inner.stall_count.set(inner.stall_count.get() + 1);
             inner.m_stalls.inc();
             inner.m_stall_ns.add(waited.as_nanos());
+            inner.s_stalls.inc();
+            inner.s_stall_ns.add(waited.as_nanos());
         }
         // The permit outlives this future: the disk interrupt releases it.
         permit.forget();
@@ -192,6 +212,44 @@ mod tests {
         let (stalled, count) = t.stall_stats();
         assert_eq!(count, 1);
         assert_eq!(stalled, simkit::SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn stalls_are_attributed_to_the_stream() {
+        let sim = Sim::new();
+        let t = WriteThrottle::for_stream(&sim, Some(8192), 3);
+        let pending: Rc<RefCell<Vec<WriteToken>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let t = t.clone();
+            let pending = Rc::clone(&pending);
+            sim.spawn(async move {
+                let tok = t.begin_write(8192).await;
+                pending.borrow_mut().push(tok);
+                let tok = t.begin_write(8192).await;
+                t.complete(tok);
+            });
+        }
+        {
+            let t = t.clone();
+            let pending = Rc::clone(&pending);
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(simkit::SimDuration::from_millis(2)).await;
+                let tok = pending.borrow_mut().remove(0);
+                t.complete(tok);
+            });
+        }
+        sim.run();
+        assert_eq!(sim.stats().counter_value("core.throttle_stalls"), 1);
+        assert_eq!(
+            sim.stats().counter_value("core.throttle_stalls{stream=3}"),
+            1
+        );
+        assert_eq!(
+            sim.stats()
+                .counter_value("core.throttle_stall_ns{stream=3}"),
+            2_000_000
+        );
     }
 
     #[test]

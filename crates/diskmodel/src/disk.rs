@@ -2,9 +2,10 @@
 //! transfers, advancing the virtual clock through each phase.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use simkit::stats::{Counter, Histogram, TimeWeighted};
+use simkit::stats::{Counter, Histogram, StatsRegistry, TimeWeighted};
 use simkit::{Notify, Sim, SimDuration};
 
 use crate::geometry::Geometry;
@@ -153,6 +154,12 @@ struct DiskMetrics {
     queue_wait_ns: Counter,
     busy_ns: Counter,
     queue_depth: TimeWeighted,
+    /// Registry handle for lazily materialized per-stream counters.
+    registry: StatsRegistry,
+    /// Cached `disk.sectors_*{stream=N}` handles, one per (stream, op)
+    /// pair ever seen; sectors are attributed per sub-request, so the
+    /// per-stream counters sum to the global `disk.sectors_*` exactly.
+    stream_sectors: RefCell<HashMap<(u32, DiskOp), Counter>>,
 }
 
 impl DiskMetrics {
@@ -177,7 +184,23 @@ impl DiskMetrics {
             queue_wait_ns: s.counter("disk.queue_wait_ns"),
             busy_ns: s.counter("disk.busy_ns"),
             queue_depth: s.time_weighted("disk.queue_depth"),
+            registry: s.clone(),
+            stream_sectors: RefCell::new(HashMap::new()),
         }
+    }
+
+    fn stream_sectors(&self, stream: u32, op: DiskOp) -> Counter {
+        self.stream_sectors
+            .borrow_mut()
+            .entry((stream, op))
+            .or_insert_with(|| {
+                let base = match op {
+                    DiskOp::Read => "disk.sectors_read",
+                    DiskOp::Write => "disk.sectors_written",
+                };
+                self.registry.stream_counter(base, stream)
+            })
+            .clone()
     }
 }
 
@@ -257,25 +280,44 @@ impl Disk {
         self.inner.notify.notify_all();
     }
 
-    /// Submits a read of `nsect` sectors at `lba`.
+    /// Submits a read of `nsect` sectors at `lba` (untagged stream).
     pub fn submit_read(&self, lba: u64, nsect: u32) -> IoHandle {
+        self.submit_read_tagged(lba, nsect, 0)
+    }
+
+    /// Submits a read of `nsect` sectors at `lba` on behalf of `stream`.
+    pub fn submit_read_tagged(&self, lba: u64, nsect: u32, stream: u32) -> IoHandle {
         self.submit(DiskRequest {
             op: DiskOp::Read,
             lba,
             nsect,
             data: None,
             ordered: false,
+            stream,
         })
     }
 
-    /// Submits a write of `data` (exactly `nsect` sectors) at `lba`.
+    /// Submits a write of `data` (exactly `nsect` sectors) at `lba`
+    /// (untagged stream).
     pub fn submit_write(&self, lba: u64, nsect: u32, data: Vec<u8>) -> IoHandle {
+        self.submit_write_tagged(lba, nsect, data, 0)
+    }
+
+    /// Submits a write of `data` at `lba` on behalf of `stream`.
+    pub fn submit_write_tagged(
+        &self,
+        lba: u64,
+        nsect: u32,
+        data: Vec<u8>,
+        stream: u32,
+    ) -> IoHandle {
         self.submit(DiskRequest {
             op: DiskOp::Write,
             lba,
             nsect,
             data: Some(data),
             ordered: false,
+            stream,
         })
     }
 
@@ -429,6 +471,11 @@ impl Disk {
                     m.writes.inc();
                     m.sectors_written.add(span_sectors as u64);
                 }
+            }
+            // Attribute sectors per sub-request: a coalesced batch may mix
+            // streams, and the per-stream counters must sum to the globals.
+            for q in &batch {
+                m.stream_sectors(q.req.stream, op).add(q.req.nsect as u64);
             }
         }
         // Complete every sub-request, slicing read data per requester.

@@ -202,6 +202,7 @@ mod tests {
                     None
                 },
                 ordered,
+                stream: 0,
             },
             event,
             slot,

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use simkit::{Event, SimTime};
 
 /// Direction of a transfer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DiskOp {
     /// Transfer from media to memory.
     Read,
@@ -29,6 +29,10 @@ pub struct DiskRequest {
     /// reordered with respect to any other request by `disksort`, the
     /// driver, or the controller.
     pub ordered: bool,
+    /// The I/O stream this request belongs to (0 = untagged: metadata and
+    /// other background traffic). Rides through the queue so per-stream
+    /// sector counters can attribute every transfer to its originator.
+    pub stream: u32,
 }
 
 /// Completion record delivered when a request finishes.

@@ -70,6 +70,7 @@ proptest! {
                         nsect: r.nsect,
                         data: r.write.then(|| payload(r.nsect, r.seed)),
                         ordered: r.ordered,
+                        stream: 0,
                     })
                 })
                 .collect();
@@ -124,6 +125,7 @@ proptest! {
                         nsect: r.nsect,
                         data: Some(payload(r.nsect, r.seed)),
                         ordered: r.ordered,
+                        stream: 0,
                     })
                 })
                 .collect();

@@ -18,16 +18,20 @@
 //! table and bitmap are held in core; only the data path is simulated in
 //! full, because only the data path is measured.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use clufs::{DelayedWrite, ReadAhead, WriteAction};
 use diskmodel::Disk;
 use pagecache::{PageCache, PageId, PageKey};
-use simkit::{Cpu, Notify, Sim};
+use simkit::{Cpu, Sim};
 use ufs::CpuCosts;
-use vfs::{AccessMode, FileSystem, FsError, FsResult, Vnode, VnodeId};
+use vfs::iopath::{
+    BlockMap, Executed, FileStream, IoCosts, IoIntent, IoPath, ReadCluster, ReadReason,
+    WriteCluster, WriteReason,
+};
+use vfs::{AccessMode, FileSystem, FsError, FsResult, StreamId, Vnode, VnodeId};
 
 /// Bytes per file system block (same as UFS for apples-to-apples).
 pub const BLOCK_SIZE: usize = 8192;
@@ -81,8 +85,9 @@ struct ExtInode {
 struct OpenState {
     ra: RefCell<ReadAhead>,
     dw: RefCell<DelayedWrite>,
-    pending_io: Cell<u32>,
-    quiesce: Notify,
+    /// Stream identity + pending-write quiesce (extentfs has no write
+    /// limit, so the stream's throttle is unlimited).
+    io: Rc<FileStream>,
 }
 
 struct Inner {
@@ -91,11 +96,33 @@ struct Inner {
     disk: Disk,
     cache: PageCache,
     params: ExtentFsParams,
+    /// Shared I/O executor (the same engine UFS drives).
+    iopath: IoPath,
     data_start: u64,
     bitmap: RefCell<Vec<bool>>, // One per data block.
     inodes: RefCell<Vec<Option<ExtInode>>>,
     open: RefCell<HashMap<u32, Rc<OpenState>>>,
     stats: RefCell<ExtentFsStats>,
+}
+
+/// [`BlockMap`] view of one extent file: translation is a table walk, the
+/// transfer cap is the mount's extent unit.
+struct ExtMap<'a> {
+    fs: &'a ExtentFs,
+    ino: u32,
+}
+
+impl BlockMap for ExtMap<'_> {
+    async fn extent(&self, lbn: u64, cap: u32) -> FsResult<Option<(u32, u32)>> {
+        Ok(self
+            .fs
+            .translate(self.ino, lbn)
+            .map(|(pbn, len)| (pbn, len.min(cap))))
+    }
+
+    fn max_cluster(&self) -> u32 {
+        self.fs.inner.params.extent_blocks
+    }
 }
 
 /// Mount-wide counters.
@@ -149,6 +176,16 @@ impl ExtentFs {
             return Err(FsError::Invalid);
         }
         let data_blocks = (total_blocks - data_start) as usize;
+        let iopath = IoPath::new(
+            sim,
+            cpu,
+            disk,
+            cache,
+            IoCosts {
+                io_setup: params.costs.io_setup,
+                io_intr: params.costs.io_intr,
+            },
+        );
         Ok(ExtentFs {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
@@ -156,6 +193,7 @@ impl ExtentFs {
                 disk: disk.clone(),
                 cache: cache.clone(),
                 params,
+                iopath,
                 data_start,
                 bitmap: RefCell::new(vec![false; data_blocks]),
                 inodes: RefCell::new((0..ninodes).map(|_| None).collect()),
@@ -284,8 +322,7 @@ impl ExtentFs {
                     ReadAhead::disabled()
                 }),
                 dw: RefCell::new(DelayedWrite::new()),
-                pending_io: Cell::new(0),
-                quiesce: Notify::new(),
+                io: FileStream::new(&self.inner.sim, self.vid(ino), None),
             })
         }))
     }
@@ -298,7 +335,7 @@ impl ExtentFs {
             vnode: self.vid(f.ino),
             offset: lbn * BLOCK_SIZE as u64,
         };
-        let cached = self.inner.cache.lookup(key);
+        let cached = self.inner.cache.lookup_for(key, f.state.io.id().as_u32());
         self.charge(
             "fault",
             if cached.is_some() {
@@ -331,28 +368,48 @@ impl ExtentFs {
                 0,
             )
         };
+        let map = ExtMap {
+            fs: self,
+            ino: f.ino,
+        };
         let mut sync_io = None;
         if cached.is_none() {
             let run = plan.sync.expect("uncached read plans I/O");
             debug_assert_eq!(run.lbn, lbn);
-            let io = self.start_unit_read(f, run.lbn, pbn, run.blocks).await?;
+            let intent = IoIntent::ReadCluster(ReadCluster {
+                lbn: run.lbn,
+                pbn,
+                len: run.blocks,
+                reason: ReadReason::Demand,
+            });
+            let io = match self.inner.iopath.execute(&f.state.io, &map, intent).await? {
+                Executed::ReadIssued(io) => io,
+                _ => unreachable!("demand reads are issued"),
+            };
+            {
+                let mut st = self.inner.stats.borrow_mut();
+                st.unit_reads += 1;
+                st.blocks_read += io.blocks() as u64;
+            }
             sync_io = Some(io);
         }
         if let Some(run) = plan.readahead {
             if let Some((ra_pbn, ra_len)) = self.translate(f.ino, run.lbn) {
                 let n = run.blocks.min(clip(run.lbn, ra_len));
-                let first_key = PageKey {
-                    vnode: self.vid(f.ino),
-                    offset: run.lbn * BLOCK_SIZE as u64,
-                };
-                if n > 0 && self.inner.cache.lookup(first_key).is_none() {
-                    let (handle, pages) = self.start_unit_read(f, run.lbn, ra_pbn, n).await?;
-                    let fs = self.clone();
-                    self.inner.sim.spawn(async move {
-                        let result = handle.wait().await;
-                        fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
-                        fs.fill_pages(&pages, &result.data.expect("read data"));
+                if n > 0 {
+                    let intent = IoIntent::ReadCluster(ReadCluster {
+                        lbn: run.lbn,
+                        pbn: ra_pbn,
+                        len: n,
+                        reason: ReadReason::Readahead,
                     });
+                    if let Executed::ReadaheadIssued { blocks } =
+                        self.inner.iopath.execute(&f.state.io, &map, intent).await?
+                    {
+                        let mut st = self.inner.stats.borrow_mut();
+                        st.unit_reads += 1;
+                        st.blocks_read += blocks as u64;
+                    }
                 }
             }
         }
@@ -361,145 +418,39 @@ impl ExtentFs {
                 self.inner.cache.wait_unbusy(id).await;
                 Ok(id)
             }
-            (None, Some((handle, pages))) => {
-                let result = handle.wait().await;
-                self.charge("io_intr", costs.io_intr).await;
-                let data = result.data.expect("read data");
-                let first = pages[0].1;
-                self.fill_pages(&pages, &data);
-                Ok(first)
-            }
+            (None, Some(io)) => Ok(self.inner.iopath.finish_read(io, lbn).await),
             (None, None) => unreachable!(),
         }
     }
 
-    fn fill_pages(&self, pages: &[(u64, PageId)], data: &[u8]) {
-        for (i, (_lbn, id)) in pages.iter().enumerate() {
-            self.inner
-                .cache
-                .write_at(*id, 0, &data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]);
-            self.inner.cache.unbusy(*id);
-        }
-    }
-
-    async fn start_unit_read(
+    /// Pushes the dirty pages of `[range)` through the shared executor,
+    /// one extent-contiguous unit at a time.
+    async fn flush_range(
         &self,
         f: &ExtFile,
-        lbn: u64,
-        pbn: u32,
-        len: u32,
-    ) -> FsResult<(diskmodel::IoHandle, Vec<(u64, PageId)>)> {
-        let mut pages = Vec::new();
-        for i in 0..len.max(1) {
-            let key = PageKey {
-                vnode: self.vid(f.ino),
-                offset: (lbn + i as u64) * BLOCK_SIZE as u64,
-            };
-            if self.inner.cache.lookup(key).is_some() {
-                break;
-            }
-            let id = self.inner.cache.create(key).await;
-            pages.push((lbn + i as u64, id));
-        }
-        let n = pages.len() as u32;
-        assert!(n > 0, "unit read with zero absent pages");
-        self.charge("io_setup", self.inner.params.costs.io_setup)
-            .await;
-        {
-            let mut st = self.inner.stats.borrow_mut();
-            st.unit_reads += 1;
-            st.blocks_read += n as u64;
-        }
-        let handle = self
-            .inner
-            .disk
-            .submit_read(pbn as u64 * SECTORS_PER_BLOCK as u64, n * SECTORS_PER_BLOCK);
-        Ok((handle, pages))
-    }
-
-    async fn flush_range(&self, f: &ExtFile, range: std::ops::Range<u64>) -> FsResult<()> {
-        let mut cur = range.start;
-        while cur < range.end {
-            let key = PageKey {
-                vnode: self.vid(f.ino),
-                offset: cur * BLOCK_SIZE as u64,
-            };
-            let id = match self.inner.cache.lookup(key) {
-                Some(id) if self.inner.cache.is_dirty(id) => id,
-                _ => {
-                    cur += 1;
-                    continue;
-                }
-            };
-            if !self.inner.cache.lock_busy(id).await {
-                cur += 1;
-                continue;
-            }
-            if !self.inner.cache.is_dirty(id) {
-                self.inner.cache.unbusy(id);
-                cur += 1;
-                continue;
-            }
-            let (pbn, contig) = self.translate(f.ino, cur).ok_or(FsError::Corrupt)?;
-            let cap = contig
-                .min((range.end - cur) as u32)
-                .min(self.inner.params.extent_blocks);
-            let mut run = vec![id];
-            for i in 1..cap {
-                let k = PageKey {
-                    vnode: self.vid(f.ino),
-                    offset: (cur + i as u64) * BLOCK_SIZE as u64,
-                };
-                match self.inner.cache.lookup(k) {
-                    Some(pid) if self.inner.cache.is_dirty(pid) => {
-                        if !self.inner.cache.lock_busy(pid).await {
-                            break;
-                        }
-                        if !self.inner.cache.is_dirty(pid) {
-                            self.inner.cache.unbusy(pid);
-                            break;
-                        }
-                        run.push(pid);
-                    }
-                    _ => break,
-                }
-            }
-            let n = run.len() as u32;
-            let mut payload = Vec::with_capacity(n as usize * BLOCK_SIZE);
-            for pid in &run {
-                payload.extend_from_slice(&self.inner.cache.read_page(*pid));
-            }
-            self.charge("io_setup", self.inner.params.costs.io_setup)
-                .await;
-            {
+        range: std::ops::Range<u64>,
+        reason: WriteReason,
+    ) -> FsResult<()> {
+        let map = ExtMap {
+            fs: self,
+            ino: f.ino,
+        };
+        let intent = IoIntent::WriteCluster(WriteCluster {
+            range,
+            reason,
+            free_behind: false,
+        });
+        match self.inner.iopath.execute(&f.state.io, &map, intent).await? {
+            Executed::Wrote { cluster_blocks } => {
                 let mut st = self.inner.stats.borrow_mut();
-                st.unit_writes += 1;
-                st.blocks_written += n as u64;
+                for n in cluster_blocks {
+                    st.unit_writes += 1;
+                    st.blocks_written += n as u64;
+                }
+                Ok(())
             }
-            f.state.pending_io.set(f.state.pending_io.get() + 1);
-            let handle = self.inner.disk.submit_write(
-                pbn as u64 * SECTORS_PER_BLOCK as u64,
-                n * SECTORS_PER_BLOCK,
-                payload,
-            );
-            let fs = self.clone();
-            let state = Rc::clone(&f.state);
-            self.inner.sim.spawn(async move {
-                handle.wait().await;
-                fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
-                for pid in &run {
-                    fs.inner.cache.clear_dirty(*pid);
-                    fs.inner.cache.unbusy(*pid);
-                }
-                let p = state.pending_io.get();
-                state.pending_io.set(p - 1);
-                if p == 1 {
-                    state.quiesce.notify_all();
-                }
-            });
-            cur += n as u64;
+            _ => unreachable!("write sweeps resolve to Wrote"),
         }
-        Ok(())
     }
 
     fn find(&self, name: &str) -> Option<u32> {
@@ -554,6 +505,10 @@ impl Vnode for ExtFile {
             .as_ref()
             .map(|i| i.size)
             .unwrap_or(0)
+    }
+
+    fn stream(&self) -> StreamId {
+        self.state.io.id()
     }
 
     async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize> {
@@ -687,7 +642,7 @@ impl Vnode for ExtFile {
             match action {
                 WriteAction::Delay => {}
                 WriteAction::Push(r) | WriteAction::PushThenDelay(r) => {
-                    self.fs.flush_range(self, r).await?;
+                    self.fs.flush_range(self, r, WriteReason::Flush).await?;
                 }
             }
             pos += n as u64;
@@ -699,16 +654,14 @@ impl Vnode for ExtFile {
     async fn fsync(&self) -> FsResult<()> {
         let pending = self.state.dw.borrow_mut().flush();
         if let Some(r) = pending {
-            self.fs.flush_range(self, r).await?;
+            self.fs.flush_range(self, r, WriteReason::Fsync).await?;
         }
         let offsets = self.fs.inner.cache.dirty_offsets(self.id());
         if let (Some(&first), Some(&last)) = (offsets.first(), offsets.last()) {
             let range = first / BLOCK_SIZE as u64..last / BLOCK_SIZE as u64 + 1;
-            self.fs.flush_range(self, range).await?;
+            self.fs.flush_range(self, range, WriteReason::Fsync).await?;
         }
-        while self.state.pending_io.get() > 0 {
-            self.state.quiesce.wait().await;
-        }
+        self.state.io.quiesce().await;
         Ok(())
     }
 

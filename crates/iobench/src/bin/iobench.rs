@@ -2,23 +2,27 @@
 //!
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
-//!         write-limit|free-behind|all [--quick] [--stats-json <path>]
+//!         write-limit|free-behind|streams|all \
+//!         [--quick] [--streams N] [--stats-json <path>]
 //! ```
 //!
 //! `--stats-json <path>` writes every simulated run's full metrics-registry
-//! snapshot (schema `iobench-stats/v1`; see DESIGN.md "Observability") so
-//! benchmark trajectories can be diffed across changes.
+//! snapshot (schema `iobench-stats/v2`; see DESIGN.md "Observability") so
+//! benchmark trajectories can be diffed across changes. `--streams N` sets
+//! the stream count for the multi-stream fairness workload (and selects it
+//! when no experiment is named).
 
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
-    fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, write_limit_sweep_run,
-    RunScale, StatsSink,
+    fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
+    write_limit_sweep_run, RunScale, StatsSink,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
-         extentfs|write-limit|free-behind|all [--quick] [--stats-json <path>]"
+         extentfs|write-limit|free-behind|streams|all \
+         [--quick] [--streams N] [--stats-json <path>]"
     );
     std::process::exit(2);
 }
@@ -37,17 +41,39 @@ fn main() {
         }
         None => None,
     };
+    let nstreams = match args.iter().position(|a| a == "--streams") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--streams requires a count argument");
+                usage();
+            }
+            let n: u32 = match args[i + 1].parse() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--streams requires a positive count");
+                    usage();
+                }
+            };
+            args.remove(i + 1);
+            args.remove(i);
+            Some(n)
+        }
+        None => None,
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick {
         RunScale::quick()
     } else {
         RunScale::paper()
     };
+    // A bare `--streams N` selects the streams experiment.
+    let default_what = if nstreams.is_some() { "streams" } else { "all" };
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
-        .unwrap_or("all");
+        .unwrap_or(default_what);
+    let nstreams = nstreams.unwrap_or(4);
 
     let sink = stats_path.as_ref().map(|_| StatsSink::new());
     let sref = sink.as_ref();
@@ -99,6 +125,10 @@ fn main() {
             println!("Free-behind cache survival\n");
             println!("{table}");
         }
+        "streams" => {
+            println!("Multi-stream fairness ({nstreams} tagged streams)\n");
+            println!("{}", streams_run(nstreams, scale, sref));
+        }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
@@ -122,6 +152,8 @@ fn main() {
             let (tf, _, _) = free_behind_run(scale, sref);
             println!("Free-behind cache survival\n");
             println!("{tf}");
+            println!("Multi-stream fairness ({nstreams} tagged streams)\n");
+            println!("{}", streams_run(nstreams, scale, sref));
         }
         other => {
             eprintln!("unknown experiment: {other}");

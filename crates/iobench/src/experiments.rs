@@ -16,15 +16,17 @@ use crate::cpu_bench::mmap_read_cpu;
 use crate::iobench::{run_iobench, BenchOptions, IoKind, Throughput};
 use crate::musbus::{run_musbus, MusbusOptions};
 use crate::report::{kbs, ratio, Table};
+use crate::streams::{run_streams, StreamsOptions};
 
 /// Collects labeled per-run metrics snapshots during an experiment.
 ///
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run; the driver captures each run's full
 /// registry here, and the `--stats-json` flag serializes the collection as
-/// one document (schema `iobench-stats/v1`, documented in DESIGN.md
-/// "Observability"). Snapshots are pure functions of the virtual-time
-/// simulation, so two identical runs produce byte-identical documents.
+/// one document (schema `iobench-stats/v2`, documented in DESIGN.md
+/// "Observability"; v2 adds the labelled `base{stream=N}` metric names).
+/// Snapshots are pure functions of the virtual-time simulation, so two
+/// identical runs produce byte-identical documents.
 #[derive(Default)]
 pub struct StatsSink {
     /// `(run id, registry JSON)` in run order.
@@ -70,7 +72,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v1\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v2\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }
@@ -647,6 +649,92 @@ pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, us
         "0".into(),
     ]);
     (t.render(), with_fb, without_fb)
+}
+
+/// Multi-stream fairness: `streams` concurrent sequential streams —
+/// alternating writers and readers — compete for one config-A mount. The
+/// labelled `…{stream=N}` metrics attribute disk traffic, write-throttle
+/// stalls, and achieved write-cluster sizes to each stream; the per-stream
+/// disk columns (plus the untagged stream-0 remainder: metadata and
+/// cleaner traffic) sum to the global `disk.sectors_*` counters. Returns
+/// the rendered table.
+pub fn streams_run(streams: u32, scale: RunScale, sink: Option<&StatsSink>) -> String {
+    let sim = Sim::new();
+    let s = sim.clone();
+    let per_stream_bytes = (scale.file_bytes / 4).max(512 * 1024);
+    let runs = sim.run_until(async move {
+        let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+            .await
+            .expect("world");
+        let cache = w.cache.clone();
+        run_streams(
+            &s,
+            &w.fs,
+            move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+            StreamsOptions {
+                streams,
+                file_bytes: per_stream_bytes,
+                io_bytes: 8192,
+            },
+        )
+        .await
+        .expect("streams")
+    });
+    if let Some(sink) = sink {
+        sink.push(format!("streams/{streams}"), &sim);
+    }
+    let st = sim.stats();
+    let per = |base: &str| -> std::collections::BTreeMap<u32, u64> {
+        st.stream_counter_values(base).into_iter().collect()
+    };
+    let rd = per("disk.sectors_read");
+    let wr = per("disk.sectors_written");
+    let stalls = per("core.throttle_stalls");
+    // 512-byte sectors → KB.
+    let sector_kb = |m: &std::collections::BTreeMap<u32, u64>, stream: u32| {
+        m.get(&stream).copied().unwrap_or(0) / 2
+    };
+    let mut t = Table::new(&[
+        "stream",
+        "file",
+        "role",
+        "KB/s",
+        "disk rd KB",
+        "disk wr KB",
+        "stalls",
+        "avg wr cluster",
+    ]);
+    for r in &runs {
+        let avg = st
+            .histogram_totals(&simkit::stats::StatsRegistry::stream_name(
+                "iopath.cluster_write_blocks",
+                r.stream,
+            ))
+            .filter(|&(n, _)| n > 0)
+            .map(|(n, sum)| format!("{:.1}", sum as f64 / n as f64))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            format!("{}", r.stream),
+            r.name.clone(),
+            r.role.label().to_string(),
+            kbs(r.kb_per_sec()),
+            format!("{}", sector_kb(&rd, r.stream)),
+            format!("{}", sector_kb(&wr, r.stream)),
+            format!("{}", stalls.get(&r.stream).copied().unwrap_or(0)),
+            avg,
+        ]);
+    }
+    t.row(vec![
+        "0".into(),
+        "(untagged)".into(),
+        "meta".into(),
+        "-".into(),
+        format!("{}", sector_kb(&rd, 0)),
+        format!("{}", sector_kb(&wr, 0)),
+        format!("{}", stalls.get(&0).copied().unwrap_or(0)),
+        "-".into(),
+    ]);
+    t.render()
 }
 
 #[cfg(test)]

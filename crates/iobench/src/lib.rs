@@ -13,6 +13,9 @@
 //!   that clustering should barely improve.
 //! - [`aging`]: the allocator-contiguity study (mean extent sizes on empty
 //!   vs aged file systems).
+//! - [`streams`]: the multi-stream fairness workload — N concurrent tagged
+//!   streams whose per-stream (`…{stream=N}`) metrics attribute disk
+//!   bandwidth and throttle stalls to each competitor.
 //! - [`report`]: fixed-width table rendering for the regenerated figures.
 
 pub mod aging;
@@ -22,6 +25,8 @@ pub mod experiments;
 pub mod iobench;
 pub mod musbus;
 pub mod report;
+pub mod streams;
 
 pub use configs::{paper_world, Config, WorldOptions};
 pub use iobench::{run_iobench, IoKind, Throughput};
+pub use streams::{run_streams, StreamRole, StreamRun, StreamsOptions};

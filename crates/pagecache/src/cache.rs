@@ -106,6 +106,11 @@ struct CacheMetrics {
     destroys: Counter,
     alloc_stalls: Counter,
     alloc_stall_ns: Counter,
+    /// Registry handle for lazily materialized per-stream counters.
+    registry: simkit::stats::StatsRegistry,
+    /// Cached `cache.hits{stream=N}` / `cache.misses{stream=N}` handles for
+    /// lookups attributed to a stream via [`PageCache::lookup_for`].
+    stream_lookups: RefCell<HashMap<(u32, bool), Counter>>,
 }
 
 impl CacheMetrics {
@@ -120,7 +125,20 @@ impl CacheMetrics {
             destroys: s.counter("cache.destroys"),
             alloc_stalls: s.counter("cache.alloc_stalls"),
             alloc_stall_ns: s.counter("cache.alloc_stall_ns"),
+            registry: s.clone(),
+            stream_lookups: RefCell::new(HashMap::new()),
         }
+    }
+
+    fn stream_lookup(&self, stream: u32, hit: bool) -> Counter {
+        self.stream_lookups
+            .borrow_mut()
+            .entry((stream, hit))
+            .or_insert_with(|| {
+                let base = if hit { "cache.hits" } else { "cache.misses" };
+                self.registry.stream_counter(base, stream)
+            })
+            .clone()
     }
 }
 
@@ -257,6 +275,20 @@ impl PageCache {
                 None
             }
         }
+    }
+
+    /// [`PageCache::lookup`], with the hit or miss additionally attributed
+    /// to `stream` (`cache.hits{stream=N}` / `cache.misses{stream=N}`).
+    /// Used by the demand-fault path, where the faulting stream is known;
+    /// internal probes (cluster clipping, writeback gathering) stay
+    /// unattributed.
+    pub fn lookup_for(&self, key: PageKey, stream: u32) -> Option<PageId> {
+        let found = self.lookup(key);
+        self.inner
+            .metrics
+            .stream_lookup(stream, found.is_some())
+            .inc();
+        found
     }
 
     /// Allocates a page for `key`, waiting for free memory if necessary.

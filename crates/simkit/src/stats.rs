@@ -206,6 +206,9 @@ struct RegistryInner {
     time: TimeHandle,
     metrics: RefCell<BTreeMap<String, Metric>>,
     recorders: RefCell<HashMap<TypeId, Box<dyn Any>>>,
+    /// Next stream label handed out by [`StatsRegistry::alloc_stream`].
+    /// Stream 0 is reserved for untagged (background/metadata) I/O.
+    next_stream: Cell<u32>,
 }
 
 /// The per-[`Sim`](crate::Sim) metrics registry. Obtained with
@@ -222,8 +225,18 @@ impl StatsRegistry {
                 time,
                 metrics: RefCell::new(BTreeMap::new()),
                 recorders: RefCell::new(HashMap::new()),
+                next_stream: Cell::new(1),
             }),
         }
+    }
+
+    /// Allocates the next stream label. Deterministic: ids are handed out
+    /// in construction order, starting at 1 (0 is the untagged stream used
+    /// for background and metadata I/O).
+    pub fn alloc_stream(&self) -> u32 {
+        let id = self.inner.next_stream.get();
+        self.inner.next_stream.set(id + 1);
+        id
     }
 
     /// Registers (or retrieves) a counter named `name`.
@@ -298,6 +311,60 @@ impl StatsRegistry {
     fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
         let mut map = self.inner.metrics.borrow_mut();
         map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The registry name of metric `base` labelled with `stream`:
+    /// `base{stream=N}`. Labelled metrics live in the same flat namespace
+    /// as everything else, so snapshots stay sorted and deterministic.
+    pub fn stream_name(base: &str, stream: u32) -> String {
+        format!("{base}{{stream={stream}}}")
+    }
+
+    /// Registers (or retrieves) the per-stream counter `base{stream=N}`.
+    pub fn stream_counter(&self, base: &str, stream: u32) -> Counter {
+        self.counter(&Self::stream_name(base, stream))
+    }
+
+    /// Registers (or retrieves) the per-stream histogram `base{stream=N}`.
+    pub fn stream_histogram(&self, base: &str, stream: u32, edges: &[u64]) -> Histogram {
+        self.histogram(&Self::stream_name(base, stream), edges)
+    }
+
+    /// Every `(stream, value)` pair registered under `base{stream=N}`,
+    /// sorted by stream id. Intended for reports and tests.
+    pub fn stream_counter_values(&self, base: &str) -> Vec<(u32, u64)> {
+        let prefix = format!("{base}{{stream=");
+        let map = self.inner.metrics.borrow();
+        let mut out: Vec<(u32, u64)> = map
+            .iter()
+            .filter_map(|(name, metric)| {
+                let rest = name.strip_prefix(&prefix)?.strip_suffix('}')?;
+                let stream: u32 = rest.parse().ok()?;
+                match metric {
+                    Metric::Counter(c) => Some((stream, c.get())),
+                    _ => None,
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sum of every per-stream counter registered under `base{stream=N}`.
+    pub fn stream_counter_sum(&self, base: &str) -> u64 {
+        self.stream_counter_values(base)
+            .iter()
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// `(count, sum)` of a histogram by name, or `None` if absent. Like
+    /// [`StatsRegistry::counter_value`], meant for tests and reports.
+    pub fn histogram_totals(&self, name: &str) -> Option<(u64, u64)> {
+        match self.inner.metrics.borrow().get(name) {
+            Some(Metric::Histogram(h)) => Some((h.count(), h.sum())),
+            _ => None,
+        }
     }
 
     /// The shared, type-indexed [`Recorder`] for event type `E`: every
@@ -515,6 +582,48 @@ mod tests {
         assert_eq!(a, b, "identical runs produce byte-identical JSON");
         assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
         assert!(a.contains("\"h.sizes\":{\"edges\":[2,8],\"counts\":[0,1,0]"));
+    }
+
+    #[test]
+    fn stream_ids_are_sequential_from_one() {
+        let sim = Sim::new();
+        assert_eq!(sim.stats().alloc_stream(), 1);
+        assert_eq!(sim.stats().alloc_stream(), 2);
+        let other = Sim::new();
+        assert_eq!(other.stats().alloc_stream(), 1, "per-Sim allocator");
+    }
+
+    #[test]
+    fn stream_counters_are_labelled_and_enumerable() {
+        let sim = Sim::new();
+        let st = sim.stats();
+        st.stream_counter("disk.bytes", 2).add(10);
+        st.stream_counter("disk.bytes", 0).add(5);
+        st.stream_counter("disk.bytes", 11).add(1);
+        st.counter("disk.bytes").add(99); // unlabelled sibling, not a stream
+        st.stream_counter("other.bytes", 3).add(7);
+        assert_eq!(
+            st.stream_counter_values("disk.bytes"),
+            vec![(0, 5), (2, 10), (11, 1)]
+        );
+        assert_eq!(st.stream_counter_sum("disk.bytes"), 16);
+        assert_eq!(st.counter_value("disk.bytes{stream=2}"), 10);
+        let json = st.to_json();
+        assert!(json.contains("\"disk.bytes{stream=2}\":10"));
+    }
+
+    #[test]
+    fn stream_histograms_share_a_namespace_per_stream() {
+        let sim = Sim::new();
+        let h = sim.stats().stream_histogram("c.len", 4, &[1, 8]);
+        h.observe(6);
+        let again = sim.stats().stream_histogram("c.len", 4, &[1, 8]);
+        assert_eq!(again.count(), 1);
+        assert_eq!(
+            sim.stats().histogram_totals("c.len{stream=4}"),
+            Some((1, 6))
+        );
+        assert_eq!(sim.stats().histogram_totals("absent"), None);
     }
 
     #[test]

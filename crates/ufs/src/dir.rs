@@ -224,6 +224,7 @@ impl Ufs {
             crate::layout::Dinode::new(FileKind::Symlink),
             &self.inner.sim,
             &self.inner.params.tuning,
+            self.vid(ino),
         );
         {
             let mut din = ip.din.borrow_mut();
@@ -294,6 +295,7 @@ impl Ufs {
             crate::layout::Dinode::new(FileKind::Directory),
             &self.inner.sim,
             &self.inner.params.tuning,
+            self.vid(ino),
         );
         self.inner.inodes.borrow_mut().insert(ino, Rc::clone(&ip));
         self.iflush(&ip, true).await;

@@ -5,11 +5,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, ReadAhead, Tuning, WriteThrottle};
+use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, ReadAhead, Tuning};
 use diskmodel::{Disk, DiskOp, DiskRequest};
-use pagecache::{CleanRequest, PageCache, PageKey, VnodeId};
+use pagecache::{CleanRequest, PageCache, VnodeId};
 use simkit::stats::{Counter, Histogram};
 use simkit::{Cpu, Notify, Receiver, Sim, SimDuration};
+use vfs::iopath::{FileStream, IoCosts, IoPath};
 use vfs::{FsError, FsResult};
 
 use crate::costs::CpuCosts;
@@ -163,8 +164,10 @@ pub struct Incore {
     pub ra: RefCell<ReadAhead>,
     /// Delayed-write accumulator (`delayoff`/`delaylen`), in page units.
     pub dw: RefCell<DelayedWrite>,
-    /// Per-file write limit.
-    pub throttle: WriteThrottle,
+    /// Per-open-file I/O identity: the stream label every request this
+    /// file issues carries, the paper's write throttle, and the
+    /// pending-write count used to quiesce before truncate/remove.
+    pub io: Rc<FileStream>,
     /// Further Work extent-tuple cache.
     pub bmap_cache: RefCell<BmapCache>,
     /// Conservative "may have holes" flag for the UFS_HOLE optimization.
@@ -173,10 +176,6 @@ pub struct Incore {
     pub last_read_end: Cell<u64>,
     /// Whether rdwr currently sees a sequential read pattern.
     pub seq_mode: Cell<bool>,
-    /// Outstanding asynchronous writes (data pages).
-    pub pending_io: Cell<u32>,
-    /// Signaled whenever `pending_io` drops to zero.
-    pub quiesce: Notify,
     /// Blocks allocated in the current cylinder group since the last
     /// allocator move (for `maxbpg`).
     pub alloc_run: Cell<u32>,
@@ -185,7 +184,13 @@ pub struct Incore {
 }
 
 impl Incore {
-    pub(crate) fn new(ino: u32, din: Dinode, sim: &Sim, tuning: &Tuning) -> Rc<Incore> {
+    pub(crate) fn new(
+        ino: u32,
+        din: Dinode,
+        sim: &Sim,
+        tuning: &Tuning,
+        vid: VnodeId,
+    ) -> Rc<Incore> {
         Rc::new(Incore {
             ino,
             din: RefCell::new(din),
@@ -196,29 +201,14 @@ impl Incore {
                 ReadAhead::disabled()
             }),
             dw: RefCell::new(DelayedWrite::new()),
-            throttle: WriteThrottle::new(sim, tuning.write_limit),
+            io: FileStream::new(sim, vid, tuning.write_limit),
             bmap_cache: RefCell::new(BmapCache::new(8)),
             may_have_holes: Cell::new(true),
             last_read_end: Cell::new(0),
             seq_mode: Cell::new(false),
-            pending_io: Cell::new(0),
-            quiesce: Notify::new(),
             alloc_run: Cell::new(0),
             alloc_cg: Cell::new(u32::MAX),
         })
-    }
-
-    pub(crate) fn io_started(&self) {
-        self.pending_io.set(self.pending_io.get() + 1);
-    }
-
-    pub(crate) fn io_finished(&self) {
-        let n = self.pending_io.get();
-        debug_assert!(n > 0, "io_finished underflow");
-        self.pending_io.set(n - 1);
-        if n == 1 {
-            self.quiesce.notify_all();
-        }
     }
 }
 
@@ -239,9 +229,9 @@ pub(crate) struct UfsInner {
     pub(crate) inodes: RefCell<HashMap<u32, Rc<Incore>>>,
     pub(crate) stats: RefCell<UfsStats>,
     pub(crate) metrics: UfsMetrics,
-    /// Pages created by read-ahead and not yet touched by `getpage`; used
-    /// to measure prefetch accuracy (`ufs.readahead_used`).
-    pub(crate) ra_pending: RefCell<std::collections::HashSet<PageKey>>,
+    /// Shared I/O executor: resolves `IoIntent`s against the cache and
+    /// disk, and tracks readahead-pending pages for prefetch accuracy.
+    pub(crate) iopath: IoPath,
     /// Round-robin start for directory placement.
     pub(crate) next_dir_cg: Cell<u32>,
     /// Outstanding ordered metadata writes (B_ORDER mode).
@@ -296,6 +286,16 @@ impl Ufs {
         }
         sb.clean = false;
         let ncg = sb.ncg as usize;
+        let iopath = IoPath::new(
+            sim,
+            cpu,
+            disk,
+            cache,
+            IoCosts {
+                io_setup: params.costs.io_setup,
+                io_intr: params.costs.io_intr,
+            },
+        );
         let ufs = Ufs {
             inner: Rc::new(UfsInner {
                 sim: sim.clone(),
@@ -312,7 +312,7 @@ impl Ufs {
                 inodes: RefCell::new(HashMap::new()),
                 stats: RefCell::new(UfsStats::default()),
                 metrics: UfsMetrics::new(sim),
-                ra_pending: RefCell::new(std::collections::HashSet::new()),
+                iopath,
                 next_dir_cg: Cell::new(0),
                 pending_meta_io: Cell::new(0),
                 meta_quiesce: Notify::new(),
@@ -452,6 +452,7 @@ impl Ufs {
                 nsect: SECTORS_PER_BLOCK,
                 data: Some(data),
                 ordered: true,
+                stream: 0,
             });
             let fs = self.clone();
             self.inner
@@ -488,7 +489,13 @@ impl Ufs {
         if din.kind == FileKind::Free {
             return Err(FsError::NotFound);
         }
-        let ip = Incore::new(ino, din, &self.inner.sim, &self.inner.params.tuning);
+        let ip = Incore::new(
+            ino,
+            din,
+            &self.inner.sim,
+            &self.inner.params.tuning,
+            self.vid(ino),
+        );
         self.inner.inodes.borrow_mut().insert(ino, Rc::clone(&ip));
         Ok(ip)
     }
@@ -613,7 +620,9 @@ impl Ufs {
                     _ => page..page + 1,
                 }
             };
-            let _ = self.flush_page_range(&ip, flush, true).await;
+            let _ = self
+                .flush_page_range(&ip, flush, vfs::iopath::WriteReason::Cleaner, true)
+                .await;
         }
     }
 }

@@ -6,10 +6,30 @@ use std::rc::Rc;
 
 use clufs::WriteAction;
 use pagecache::{PageId, PageKey};
-use vfs::{AccessMode, FileSystem, FsError, FsResult, Vnode, VnodeId};
+use vfs::iopath::{
+    BlockMap, Executed, FreeBehind, IoIntent, ReadCluster, ReadReason, WriteCluster, WriteReason,
+};
+use vfs::{AccessMode, FileSystem, FsError, FsResult, StreamId, Vnode, VnodeId};
 
 use crate::fs::{Incore, Ufs};
-use crate::layout::{Dinode, FileKind, BLOCK_SIZE, INLINE_MAX, SECTORS_PER_BLOCK};
+use crate::layout::{Dinode, FileKind, BLOCK_SIZE, INLINE_MAX};
+
+/// [`BlockMap`] view of one UFS file: extents come from `bmap` (with its
+/// cache and hole handling), the transfer cap from the mount's tuning.
+struct UfsMap<'a> {
+    fs: &'a Ufs,
+    ip: &'a Rc<Incore>,
+}
+
+impl BlockMap for UfsMap<'_> {
+    async fn extent(&self, lbn: u64, cap: u32) -> FsResult<Option<(u32, u32)>> {
+        self.fs.bmap_extent(self.ip, lbn, cap).await
+    }
+
+    fn max_cluster(&self) -> u32 {
+        self.fs.inner.params.tuning.io_cluster_blocks()
+    }
+}
 
 /// An open UFS file.
 pub struct UfsFile {
@@ -92,11 +112,11 @@ impl Ufs {
         let eof_blocks = Self::eof_blocks(ip);
         assert!(lbn < eof_blocks, "getpage beyond EOF");
         let key = self.page_key(ip, lbn);
-        let cached = self.inner.cache.lookup(key);
+        let cached = self.inner.cache.lookup_for(key, ip.io.id().as_u32());
         if cached.is_some() {
             self.inner.stats.borrow_mut().getpage_hits += 1;
             self.inner.metrics.getpage_hits.inc();
-            if self.inner.ra_pending.borrow_mut().remove(&key) {
+            if self.inner.iopath.take_ra_pending(key) {
                 self.inner.metrics.readahead_used.inc();
             }
             self.charge("fault", costs.page_hit).await;
@@ -169,7 +189,8 @@ impl Ufs {
         // Issue the synchronous read (if the page is absent) and the
         // read-ahead BEFORE waiting, so both requests queue at the disk
         // together.
-        let mut sync_io: Option<(diskmodel::IoHandle, Vec<(u64, PageId)>)> = None;
+        let map = UfsMap { fs: self, ip };
+        let mut sync_io: Option<vfs::iopath::ClusterRead> = None;
         if cached.is_none() {
             match req_cluster {
                 None => {
@@ -181,19 +202,53 @@ impl Ufs {
                 Some((pbn, _len)) => {
                     let run = plan.sync.expect("uncached non-hole access plans a read");
                     debug_assert_eq!(run.lbn, lbn);
-                    let (handle, pages) = self
-                        .start_cluster_read(ip, run.lbn, pbn, run.blocks)
-                        .await?;
-                    self.inner.stats.borrow_mut().sync_reads += 1;
+                    let intent = IoIntent::ReadCluster(ReadCluster {
+                        lbn: run.lbn,
+                        pbn,
+                        len: run.blocks,
+                        reason: ReadReason::Demand,
+                    });
+                    let io = match self.inner.iopath.execute(&ip.io, &map, intent).await? {
+                        Executed::ReadIssued(io) => io,
+                        _ => unreachable!("demand reads are issued"),
+                    };
+                    let n = io.blocks() as u64;
+                    {
+                        let mut stats = self.inner.stats.borrow_mut();
+                        stats.sync_reads += 1;
+                        stats.blocks_read += n;
+                    }
                     self.inner.metrics.sync_reads.inc();
-                    sync_io = Some((handle, pages));
+                    self.inner.metrics.blocks_read.add(n);
+                    self.inner.metrics.cluster_read_blocks.observe(n);
+                    sync_io = Some(io);
                 }
             }
         }
         if let Some(run) = plan.readahead {
             if let Some((ra_pbn, _)) = next_cluster {
-                self.start_readahead(ip, run.lbn, ra_pbn, run.blocks)
-                    .await?;
+                let intent = IoIntent::ReadCluster(ReadCluster {
+                    lbn: run.lbn,
+                    pbn: ra_pbn,
+                    len: run.blocks,
+                    reason: ReadReason::Readahead,
+                });
+                if let Executed::ReadaheadIssued { blocks } =
+                    self.inner.iopath.execute(&ip.io, &map, intent).await?
+                {
+                    {
+                        let mut stats = self.inner.stats.borrow_mut();
+                        stats.readaheads += 1;
+                        stats.blocks_read += blocks as u64;
+                    }
+                    self.inner.metrics.readaheads.inc();
+                    self.inner.metrics.readahead_blocks.add(blocks as u64);
+                    self.inner.metrics.blocks_read.add(blocks as u64);
+                    self.inner
+                        .metrics
+                        .cluster_read_blocks
+                        .observe(blocks as u64);
+                }
             }
         }
 
@@ -223,97 +278,9 @@ impl Ufs {
                     None => Box::pin(self.getpage(ip, lbn, hint_blocks)).await,
                 }
             }
-            (None, Some((handle, pages))) => {
-                let result = handle.wait().await;
-                self.charge("io_intr", self.inner.params.costs.io_intr)
-                    .await;
-                let data = result.data.expect("read returns data");
-                let mut first = None;
-                for (i, (run_lbn, id)) in pages.iter().enumerate() {
-                    let off = i * BLOCK_SIZE;
-                    self.inner
-                        .cache
-                        .write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
-                    self.inner.cache.unbusy(*id);
-                    if *run_lbn == lbn {
-                        first = Some(*id);
-                    }
-                }
-                Ok(first.expect("requested page is in the run"))
-            }
+            (None, Some(io)) => Ok(self.inner.iopath.finish_read(io, lbn).await),
             (None, None) => unreachable!("uncached access either holes or reads"),
         }
-    }
-
-    /// Creates busy pages for `[lbn, lbn+len)` (clipped at the first
-    /// already-cached page) and submits one contiguous read. Returns the
-    /// handle and the created pages.
-    async fn start_cluster_read(
-        &self,
-        ip: &Rc<Incore>,
-        lbn: u64,
-        pbn: u32,
-        len: u32,
-    ) -> FsResult<(diskmodel::IoHandle, Vec<(u64, PageId)>)> {
-        let mut pages = Vec::new();
-        let mut n = 0u32;
-        for i in 0..len {
-            let key = self.page_key(ip, lbn + i as u64);
-            if self.inner.cache.lookup(key).is_some() {
-                break; // Already resident: clip the cluster here.
-            }
-            let id = self.inner.cache.create(key).await;
-            // The page identity is fresh; drop any stale read-ahead claim
-            // a recycled predecessor left behind.
-            self.inner.ra_pending.borrow_mut().remove(&key);
-            pages.push((lbn + i as u64, id));
-            n += 1;
-        }
-        assert!(n > 0, "cluster read with zero absent pages");
-        self.charge("io_setup", self.inner.params.costs.io_setup)
-            .await;
-        self.inner.stats.borrow_mut().blocks_read += n as u64;
-        self.inner.metrics.blocks_read.add(n as u64);
-        self.inner.metrics.cluster_read_blocks.observe(n as u64);
-        let handle = self
-            .inner
-            .disk
-            .submit_read(pbn as u64 * SECTORS_PER_BLOCK as u64, n * SECTORS_PER_BLOCK);
-        Ok((handle, pages))
-    }
-
-    /// Starts an asynchronous cluster read ahead; a completion task fills
-    /// and releases the pages.
-    async fn start_readahead(&self, ip: &Rc<Incore>, lbn: u64, pbn: u32, len: u32) -> FsResult<()> {
-        // If the first page is already resident the read-ahead already
-        // happened (or the data is cached): nothing to do.
-        if self.inner.cache.lookup(self.page_key(ip, lbn)).is_some() {
-            return Ok(());
-        }
-        let (handle, pages) = self.start_cluster_read(ip, lbn, pbn, len).await?;
-        self.inner.stats.borrow_mut().readaheads += 1;
-        self.inner.metrics.readaheads.inc();
-        self.inner.metrics.readahead_blocks.add(pages.len() as u64);
-        {
-            let mut ra = self.inner.ra_pending.borrow_mut();
-            for (run_lbn, _) in &pages {
-                ra.insert(self.page_key(ip, *run_lbn));
-            }
-        }
-        let fs = self.clone();
-        self.inner.sim.spawn(async move {
-            let result = handle.wait().await;
-            fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
-            let data = result.data.expect("read returns data");
-            for (i, (_lbn, id)) in pages.iter().enumerate() {
-                let off = i * BLOCK_SIZE;
-                fs.inner
-                    .cache
-                    .write_at(*id, 0, &data[off..off + BLOCK_SIZE]);
-                fs.inner.cache.unbusy(*id);
-            }
-        });
-        Ok(())
     }
 
     /// `ufs_putpage` policy for one dirtied page: the clustered path lies
@@ -330,117 +297,49 @@ impl Ufs {
             match action {
                 WriteAction::Delay => Ok(()),
                 WriteAction::Push(r) | WriteAction::PushThenDelay(r) => {
-                    self.flush_page_range(ip, r, false).await
+                    self.flush_page_range(ip, r, WriteReason::Flush, false)
+                        .await
                 }
             }
         } else {
-            self.flush_page_range(ip, lbn..lbn + 1, false).await
+            self.flush_page_range(ip, lbn..lbn + 1, WriteReason::Flush, false)
+                .await
         }
     }
 
-    /// Writes out the dirty pages in `[range)`, one bmap-contiguous cluster
-    /// at a time (the Figure 8 while loop). With `free_after`, pages are
-    /// freed once written (pageout-initiated cleaning).
+    /// Writes out the dirty pages in `[range)` through the shared executor,
+    /// one bmap-contiguous cluster at a time (the Figure 8 while loop).
+    /// With `free_after`, pages are freed once written (pageout-initiated
+    /// cleaning).
     pub(crate) async fn flush_page_range(
         &self,
         ip: &Rc<Incore>,
         range: std::ops::Range<u64>,
+        reason: WriteReason,
         free_after: bool,
     ) -> FsResult<()> {
-        let mut cur = range.start;
-        while cur < range.end {
-            // Find the next dirty resident page in the range and lock it.
-            // Re-check dirtiness after the lock: a concurrent flush (fsync
-            // racing putpage, or the cleaner) may have written it while we
-            // waited.
-            let key = self.page_key(ip, cur);
-            let id = match self.inner.cache.lookup(key) {
-                Some(id) if self.inner.cache.is_dirty(id) => id,
-                _ => {
-                    cur += 1;
-                    continue;
-                }
-            };
-            if !self.inner.cache.lock_busy(id).await {
-                cur += 1;
-                continue; // Page recycled while we waited.
-            }
-            if !self.inner.cache.is_dirty(id) {
-                self.inner.cache.unbusy(id);
-                cur += 1;
-                continue;
-            }
-            // How far can one transfer go? bmap tells us the contiguity.
-            let cap = ((range.end - cur) as u32).min(self.inner.params.tuning.io_cluster_blocks());
-            let (pbn, contig) = match self.bmap_extent(ip, cur, cap).await? {
-                Some(v) => v,
-                None => {
-                    // Dirty page over a hole cannot happen: writes allocate.
-                    self.inner.cache.unbusy(id);
-                    return Err(FsError::Corrupt);
-                }
-            };
-            // Gather the dirty run (clipped at the first clean/absent page),
-            // locking as we go.
-            let mut run: Vec<PageId> = vec![id];
-            for i in 1..contig {
-                let k = self.page_key(ip, cur + i as u64);
-                match self.inner.cache.lookup(k) {
-                    Some(pid) if self.inner.cache.is_dirty(pid) => {
-                        if !self.inner.cache.lock_busy(pid).await {
-                            break; // Recycled while waiting.
-                        }
-                        if !self.inner.cache.is_dirty(pid) {
-                            self.inner.cache.unbusy(pid);
-                            break;
-                        }
-                        run.push(pid);
+        let map = UfsMap { fs: self, ip };
+        let intent = IoIntent::WriteCluster(WriteCluster {
+            range,
+            reason,
+            free_behind: free_after,
+        });
+        match self.inner.iopath.execute(&ip.io, &map, intent).await? {
+            Executed::Wrote { cluster_blocks } => {
+                for n in cluster_blocks {
+                    {
+                        let mut stats = self.inner.stats.borrow_mut();
+                        stats.cluster_writes += 1;
+                        stats.blocks_written += n as u64;
                     }
-                    _ => break,
+                    self.inner.metrics.cluster_writes.inc();
+                    self.inner.metrics.blocks_written.add(n as u64);
+                    self.inner.metrics.cluster_write_blocks.observe(n as u64);
                 }
+                Ok(())
             }
-            let n = run.len() as u32;
-            // Snapshot contents for the transfer.
-            let mut payload = Vec::with_capacity(n as usize * BLOCK_SIZE);
-            for pid in &run {
-                payload.extend_from_slice(&self.inner.cache.read_page(*pid));
-            }
-            // Fairness: reserve write-queue space before submitting.
-            let token = ip.throttle.begin_write(n as u64 * BLOCK_SIZE as u64).await;
-            self.charge("io_setup", self.inner.params.costs.io_setup)
-                .await;
-            {
-                let mut stats = self.inner.stats.borrow_mut();
-                stats.cluster_writes += 1;
-                stats.blocks_written += n as u64;
-            }
-            self.inner.metrics.cluster_writes.inc();
-            self.inner.metrics.blocks_written.add(n as u64);
-            self.inner.metrics.cluster_write_blocks.observe(n as u64);
-            ip.io_started();
-            let handle = self.inner.disk.submit_write(
-                pbn as u64 * SECTORS_PER_BLOCK as u64,
-                n * SECTORS_PER_BLOCK,
-                payload,
-            );
-            let fs = self.clone();
-            let ip2 = Rc::clone(ip);
-            self.inner.sim.spawn(async move {
-                handle.wait().await;
-                fs.charge("io_intr", fs.inner.params.costs.io_intr).await;
-                for pid in &run {
-                    fs.inner.cache.clear_dirty(*pid);
-                    fs.inner.cache.unbusy(*pid);
-                    if free_after {
-                        fs.inner.cache.free_page(*pid);
-                    }
-                }
-                ip2.throttle.complete(token);
-                ip2.io_finished();
-            });
-            cur += n as u64;
+            _ => unreachable!("write sweeps resolve to Wrote"),
         }
-        Ok(())
     }
 
     /// Flushes delayed writes and all dirty pages of the file, waits for
@@ -448,16 +347,16 @@ impl Ufs {
     pub(crate) async fn fsync_inode(&self, ip: &Rc<Incore>) -> FsResult<()> {
         let pending = ip.dw.borrow_mut().flush();
         if let Some(r) = pending {
-            self.flush_page_range(ip, r, false).await?;
+            self.flush_page_range(ip, r, WriteReason::Fsync, false)
+                .await?;
         }
         // Any other dirty pages (random writes, cleaner races).
         let offsets = self.inner.cache.dirty_offsets(self.vid(ip.ino));
         for chunk in contiguous_runs(&offsets) {
-            self.flush_page_range(ip, chunk, false).await?;
+            self.flush_page_range(ip, chunk, WriteReason::Fsync, false)
+                .await?;
         }
-        while ip.pending_io.get() > 0 {
-            ip.quiesce.wait().await;
-        }
+        ip.io.quiesce().await;
         if ip.dirty.get() {
             self.iflush(ip, true).await;
         }
@@ -547,18 +446,23 @@ impl Ufs {
             self.inner
                 .cache
                 .read_at(pid, in_page, &mut buf[dst..dst + n]);
-            // Free behind: triggered when rdwr unmaps the page.
+            // Free behind: triggered when rdwr unmaps the page. The policy
+            // decides; the executor releases (unless the page got busy or
+            // dirty since we looked).
             if self.inner.params.free_behind.should_free(
                 ip.seq_mode.get(),
                 pos,
                 self.inner.cache.free_count(),
                 self.inner.cache.lotsfree(),
-            ) && !self.inner.cache.is_busy(pid)
-                && !self.inner.cache.is_dirty(pid)
-            {
-                self.inner.cache.free_page(pid);
-                self.inner.stats.borrow_mut().free_behinds += 1;
-                self.inner.metrics.free_behind_pages.inc();
+            ) {
+                let map = UfsMap { fs: self, ip };
+                let intent = IoIntent::FreeBehind(FreeBehind { lbn, page: pid });
+                if let Executed::Freed(true) =
+                    self.inner.iopath.execute(&ip.io, &map, intent).await?
+                {
+                    self.inner.stats.borrow_mut().free_behinds += 1;
+                    self.inner.metrics.free_behind_pages.inc();
+                }
             }
             pos += n as u64;
             dst += n;
@@ -702,6 +606,7 @@ impl Ufs {
             Dinode::new(FileKind::Regular),
             &self.inner.sim,
             &self.inner.params.tuning,
+            self.vid(ino),
         );
         ip.may_have_holes.set(false); // Fresh files are dense until proven otherwise.
         self.inner.inodes.borrow_mut().insert(ino, Rc::clone(&ip));
@@ -746,9 +651,7 @@ impl Ufs {
         if remaining == 0 {
             // Quiesce in-flight writes, discard pages, release storage.
             ip.dw.borrow_mut().flush();
-            while ip.pending_io.get() > 0 {
-                ip.quiesce.wait().await;
-            }
+            ip.io.quiesce().await;
             self.inner.cache.invalidate_vnode(self.vid(ino), 0);
             self.free_blocks_from(&ip, 0).await?;
             {
@@ -794,6 +697,10 @@ impl Vnode for UfsFile {
         self.ip.din.borrow().size
     }
 
+    fn stream(&self) -> StreamId {
+        self.ip.io.id()
+    }
+
     async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize> {
         self.fs.rdwr_read(&self.ip, off, buf, mode).await
     }
@@ -810,9 +717,7 @@ impl Vnode for UfsFile {
         let ip = &self.ip;
         // Settle pending I/O so pages can be invalidated.
         ip.dw.borrow_mut().flush();
-        while ip.pending_io.get() > 0 {
-            ip.quiesce.wait().await;
-        }
+        ip.io.quiesce().await;
         let old = ip.din.borrow().size;
         if size < old {
             if ip.din.borrow().inline.is_some() {

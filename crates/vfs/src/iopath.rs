@@ -1,0 +1,521 @@
+//! The shared I/O execution engine.
+//!
+//! The paper's contribution is policy layered over unchanged mechanism:
+//! read-ahead, delayed-write accumulation, free-behind and write limits
+//! decide *what* to transfer, while the code that creates busy pages,
+//! charges setup/interrupt CPU, talks to the disk and completes pages is
+//! the same in every kernel. This module is that mechanism, factored out
+//! of `ufs::vnops` so both `ufs` and `extentfs` drive one executor:
+//! policy engines emit typed [`IoIntent`] values and [`IoPath::execute`]
+//! resolves them against the page cache and the disk.
+//!
+//! Every open file carries a [`FileStream`] whose [`StreamId`] rides each
+//! request end to end — demand-fault cache lookups, cluster issues,
+//! throttle stalls and `diskmodel` queue entries are all labelled with the
+//! originating stream, so the registry can answer "which stream got what
+//! share of the disk" (`disk.sectors_*{stream=N}`,
+//! `core.throttle_stalls{stream=N}`, `iopath.cluster_*_blocks{stream=N}`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::rc::Rc;
+
+use clufs::WriteThrottle;
+use diskmodel::{Disk, IoHandle};
+use pagecache::{PageCache, PageId, PageKey};
+use simkit::stats::Histogram;
+use simkit::{Cpu, Notify, Sim, SimDuration};
+
+use crate::{FsError, FsResult, StreamId, VnodeId};
+
+/// Why a cluster read is being issued.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadReason {
+    /// A faulting access needs the first block now; the caller waits.
+    Demand,
+    /// Speculative read-ahead; the executor fills pages asynchronously.
+    Readahead,
+}
+
+/// Why dirty pages are being pushed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteReason {
+    /// The delayed-write policy decided a cluster is full (putpage push).
+    Flush,
+    /// An explicit fsync is forcing everything out.
+    Fsync,
+    /// The pageout daemon is cleaning under memory pressure.
+    Cleaner,
+}
+
+/// A cluster read: `len` blocks starting at logical block `lbn`, backed by
+/// physical block `pbn`. The executor clips the transfer at the first
+/// already-cached page.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadCluster {
+    pub lbn: u64,
+    pub pbn: u32,
+    pub len: u32,
+    pub reason: ReadReason,
+}
+
+/// A writeback sweep over `[range)` of dirty pages, one block-map
+/// contiguous cluster at a time. With `free_behind`, pages are freed once
+/// written (pageout-initiated cleaning).
+#[derive(Clone, Debug)]
+pub struct WriteCluster {
+    pub range: Range<u64>,
+    pub reason: WriteReason,
+    pub free_behind: bool,
+}
+
+/// Release one consumed page behind a sequential reader (the free-behind
+/// policy already decided it should go).
+#[derive(Clone, Copy, Debug)]
+pub struct FreeBehind {
+    pub lbn: u64,
+    pub page: PageId,
+}
+
+/// A typed I/O request emitted by policy code and resolved by
+/// [`IoPath::execute`].
+#[derive(Clone, Debug)]
+pub enum IoIntent {
+    ReadCluster(ReadCluster),
+    WriteCluster(WriteCluster),
+    FreeBehind(FreeBehind),
+}
+
+/// What executing an [`IoIntent`] did.
+pub enum Executed {
+    /// A demand read is in flight; wait for it with [`IoPath::finish_read`].
+    ReadIssued(ClusterRead),
+    /// A read-ahead was issued; `blocks` pages are being filled
+    /// asynchronously by the executor's completion task.
+    ReadaheadIssued { blocks: u32 },
+    /// The first page was already resident; no I/O was started.
+    AlreadyCached,
+    /// The writeback sweep issued one cluster per entry (`blocks` each);
+    /// completions run asynchronously — quiesce via [`FileStream`].
+    Wrote { cluster_blocks: Vec<u32> },
+    /// Whether the free-behind page was actually released (busy or dirty
+    /// pages are left alone).
+    Freed(bool),
+}
+
+/// An issued cluster read: the disk handle plus the busy pages created for
+/// it, in block order.
+pub struct ClusterRead {
+    handle: IoHandle,
+    pages: Vec<(u64, PageId)>,
+}
+
+impl ClusterRead {
+    /// Number of blocks in the transfer.
+    pub fn blocks(&self) -> u32 {
+        self.pages.len() as u32
+    }
+}
+
+/// Translation from logical file blocks to physical placement — the one
+/// thing the executor must ask the file system. UFS answers with `bmap`
+/// (indirect-block walks, bmap cache); extentfs with a table lookup.
+#[allow(async_fn_in_trait)] // Single-threaded simulation: futures are !Send by design.
+pub trait BlockMap {
+    /// `(pbn, contiguous_blocks)` at `lbn`, with the run clipped to at
+    /// most `cap` blocks; `None` means a hole.
+    async fn extent(&self, lbn: u64, cap: u32) -> FsResult<Option<(u32, u32)>>;
+
+    /// The largest blocks-per-transfer this mount allows (UFS: the tuned
+    /// I/O cluster size; extentfs: the extent unit).
+    fn max_cluster(&self) -> u32;
+}
+
+/// Per-open-file I/O identity: the stream label, the paper's per-inode
+/// write throttle, and the in-flight write count used to quiesce before
+/// truncate/remove/fsync completion.
+pub struct FileStream {
+    vnode: VnodeId,
+    stream: StreamId,
+    throttle: WriteThrottle,
+    pending_io: Cell<u32>,
+    quiesce: Notify,
+}
+
+impl FileStream {
+    /// Allocates a fresh stream id from the sim's registry and builds the
+    /// file's throttle against `write_limit` (None = unlimited).
+    pub fn new(sim: &Sim, vnode: VnodeId, write_limit: Option<u32>) -> Rc<FileStream> {
+        let stream = StreamId::new(sim.stats().alloc_stream());
+        Rc::new(FileStream {
+            vnode,
+            stream,
+            throttle: WriteThrottle::for_stream(sim, write_limit, stream.as_u32()),
+            pending_io: Cell::new(0),
+            quiesce: Notify::new(),
+        })
+    }
+
+    /// Page-cache identity of the file this stream belongs to.
+    pub fn vnode(&self) -> VnodeId {
+        self.vnode
+    }
+
+    /// The stream label carried on every request this file issues.
+    pub fn id(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The file's write throttle (the paper's counting semaphore).
+    pub fn throttle(&self) -> &WriteThrottle {
+        &self.throttle
+    }
+
+    /// Writes currently in flight for this file.
+    pub fn pending_io(&self) -> u32 {
+        self.pending_io.get()
+    }
+
+    /// Marks one write started (paired with [`FileStream::io_finished`]).
+    pub fn io_started(&self) {
+        self.pending_io.set(self.pending_io.get() + 1);
+    }
+
+    /// Marks one write finished, waking quiescers when the count drains.
+    pub fn io_finished(&self) {
+        let p = self.pending_io.get();
+        self.pending_io.set(p - 1);
+        if p == 1 {
+            self.quiesce.notify_all();
+        }
+    }
+
+    /// Waits until no writes are in flight.
+    pub async fn quiesce(&self) {
+        while self.pending_io.get() > 0 {
+            self.quiesce.wait().await;
+        }
+    }
+}
+
+/// CPU charges the executor pays on behalf of the file system.
+#[derive(Clone, Copy, Debug)]
+pub struct IoCosts {
+    /// Per-transfer setup (driver + controller command build).
+    pub io_setup: SimDuration,
+    /// Per-transfer completion interrupt.
+    pub io_intr: SimDuration,
+}
+
+/// Cached per-stream metric handles (`iopath.cluster_*_blocks{stream=N}`).
+#[derive(Clone)]
+struct PerStream {
+    read_blocks: Histogram,
+    write_blocks: Histogram,
+}
+
+struct IoPathInner {
+    sim: Sim,
+    cpu: Cpu,
+    disk: Disk,
+    cache: PageCache,
+    costs: IoCosts,
+    block_size: usize,
+    sectors_per_block: u32,
+    /// Pages created by read-ahead and not yet claimed by a demand access
+    /// (feeds the "readahead used" accounting in the caller).
+    ra_pending: RefCell<HashSet<PageKey>>,
+    streams: RefCell<HashMap<u32, PerStream>>,
+}
+
+/// The per-mount I/O executor. Clones share the engine.
+#[derive(Clone)]
+pub struct IoPath {
+    inner: Rc<IoPathInner>,
+}
+
+impl IoPath {
+    /// Cluster-length buckets, matching the file systems' histograms.
+    const LEN_EDGES: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+    /// Builds an executor over the mount's devices. The block size is the
+    /// cache's page size and must be a whole number of disk sectors.
+    pub fn new(sim: &Sim, cpu: &Cpu, disk: &Disk, cache: &PageCache, costs: IoCosts) -> IoPath {
+        let block_size = cache.page_size();
+        let sector = disk.geometry().sector_size as usize;
+        assert_eq!(block_size % sector, 0, "page size must be whole sectors");
+        IoPath {
+            inner: Rc::new(IoPathInner {
+                sim: sim.clone(),
+                cpu: cpu.clone(),
+                disk: disk.clone(),
+                cache: cache.clone(),
+                costs,
+                block_size,
+                sectors_per_block: (block_size / sector) as u32,
+                ra_pending: RefCell::new(HashSet::new()),
+                streams: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The transfer unit (one page = one file system block).
+    pub fn block_size(&self) -> usize {
+        self.inner.block_size
+    }
+
+    fn key(&self, fstream: &FileStream, lbn: u64) -> PageKey {
+        PageKey {
+            vnode: fstream.vnode,
+            offset: lbn * self.inner.block_size as u64,
+        }
+    }
+
+    fn per_stream(&self, stream: StreamId) -> PerStream {
+        self.inner
+            .streams
+            .borrow_mut()
+            .entry(stream.as_u32())
+            .or_insert_with(|| {
+                let s = self.inner.sim.stats();
+                PerStream {
+                    read_blocks: s.stream_histogram(
+                        "iopath.cluster_read_blocks",
+                        stream.as_u32(),
+                        &Self::LEN_EDGES,
+                    ),
+                    write_blocks: s.stream_histogram(
+                        "iopath.cluster_write_blocks",
+                        stream.as_u32(),
+                        &Self::LEN_EDGES,
+                    ),
+                }
+            })
+            .clone()
+    }
+
+    /// True if `key` was produced by read-ahead and not yet claimed;
+    /// claims it. Call on a demand hit to account read-ahead usefulness.
+    pub fn take_ra_pending(&self, key: PageKey) -> bool {
+        self.inner.ra_pending.borrow_mut().remove(&key)
+    }
+
+    /// Resolves one typed intent against the cache and the disk.
+    pub async fn execute(
+        &self,
+        fstream: &Rc<FileStream>,
+        map: &impl BlockMap,
+        intent: IoIntent,
+    ) -> FsResult<Executed> {
+        match intent {
+            IoIntent::ReadCluster(rc) => self.read_cluster(fstream, rc).await,
+            IoIntent::WriteCluster(wc) => self.write_clusters(fstream, map, wc).await,
+            IoIntent::FreeBehind(fb) => Ok(Executed::Freed(self.free_page(fb))),
+        }
+    }
+
+    /// Creates busy pages for `[lbn, lbn+len)` — clipped at the first
+    /// already-cached page — and submits one contiguous, stream-tagged
+    /// read. Demand reads return the in-flight [`ClusterRead`]; read-ahead
+    /// spawns the fill task and returns immediately.
+    async fn read_cluster(&self, fstream: &Rc<FileStream>, rc: ReadCluster) -> FsResult<Executed> {
+        let inner = &*self.inner;
+        if rc.reason == ReadReason::Readahead
+            && inner.cache.lookup(self.key(fstream, rc.lbn)).is_some()
+        {
+            // The data already arrived (or was never evicted): nothing to do.
+            return Ok(Executed::AlreadyCached);
+        }
+        let mut pages = Vec::new();
+        for i in 0..rc.len.max(1) {
+            let key = self.key(fstream, rc.lbn + i as u64);
+            if inner.cache.lookup(key).is_some() {
+                break; // Already resident: clip the cluster here.
+            }
+            let id = inner.cache.create(key).await;
+            // The page identity is fresh; drop any stale read-ahead claim
+            // a recycled predecessor left behind.
+            inner.ra_pending.borrow_mut().remove(&key);
+            pages.push((rc.lbn + i as u64, id));
+        }
+        let n = pages.len() as u32;
+        assert!(n > 0, "cluster read with zero absent pages");
+        inner.cpu.charge("io_setup", inner.costs.io_setup).await;
+        self.per_stream(fstream.id()).read_blocks.observe(n as u64);
+        let handle = inner.disk.submit_read_tagged(
+            rc.pbn as u64 * inner.sectors_per_block as u64,
+            n * inner.sectors_per_block,
+            fstream.id().as_u32(),
+        );
+        let io = ClusterRead { handle, pages };
+        match rc.reason {
+            ReadReason::Demand => Ok(Executed::ReadIssued(io)),
+            ReadReason::Readahead => {
+                let blocks = io.blocks();
+                {
+                    let mut ra = inner.ra_pending.borrow_mut();
+                    for (run_lbn, _) in &io.pages {
+                        ra.insert(self.key(fstream, *run_lbn));
+                    }
+                }
+                self.spawn_fill(io);
+                Ok(Executed::ReadaheadIssued { blocks })
+            }
+        }
+    }
+
+    /// Waits out a demand read, charges the interrupt, fills and releases
+    /// every page of the run, and returns the page for `want_lbn`.
+    pub async fn finish_read(&self, io: ClusterRead, want_lbn: u64) -> PageId {
+        let inner = &*self.inner;
+        let result = io.handle.wait().await;
+        inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+        let data = result.data.expect("read returns data");
+        let bs = inner.block_size;
+        let mut want = None;
+        for (i, (run_lbn, id)) in io.pages.iter().enumerate() {
+            inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+            inner.cache.unbusy(*id);
+            if *run_lbn == want_lbn {
+                want = Some(*id);
+            }
+        }
+        want.expect("requested page is in the run")
+    }
+
+    /// Asynchronous completion for read-ahead: wait, charge the interrupt,
+    /// fill and release.
+    fn spawn_fill(&self, io: ClusterRead) {
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let inner = &*this.inner;
+            let result = io.handle.wait().await;
+            inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+            let data = result.data.expect("read returns data");
+            let bs = inner.block_size;
+            for (i, (_lbn, id)) in io.pages.iter().enumerate() {
+                inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                inner.cache.unbusy(*id);
+            }
+        });
+    }
+
+    /// The paper's Figure 8 while loop: sweep `[range)` for dirty resident
+    /// pages, gather each block-map-contiguous dirty run under page locks,
+    /// reserve throttle space, and push one stream-tagged write per run.
+    /// Completions (interrupt charge, page release, throttle credit) run
+    /// asynchronously; [`FileStream::quiesce`] waits them out.
+    async fn write_clusters(
+        &self,
+        fstream: &Rc<FileStream>,
+        map: &impl BlockMap,
+        wc: WriteCluster,
+    ) -> FsResult<Executed> {
+        let inner = &*self.inner;
+        let bs = inner.block_size;
+        let mut cluster_blocks = Vec::new();
+        let mut cur = wc.range.start;
+        while cur < wc.range.end {
+            // Find the next dirty resident page in the range and lock it.
+            // Re-check dirtiness after the lock: a concurrent flush (fsync
+            // racing putpage, or the cleaner) may have written it while we
+            // waited.
+            let key = self.key(fstream, cur);
+            let id = match inner.cache.lookup(key) {
+                Some(id) if inner.cache.is_dirty(id) => id,
+                _ => {
+                    cur += 1;
+                    continue;
+                }
+            };
+            if !inner.cache.lock_busy(id).await {
+                cur += 1;
+                continue; // Page recycled while we waited.
+            }
+            if !inner.cache.is_dirty(id) {
+                inner.cache.unbusy(id);
+                cur += 1;
+                continue;
+            }
+            // How far can one transfer go? The block map knows.
+            let cap = ((wc.range.end - cur) as u32).min(map.max_cluster());
+            let (pbn, contig) = match map.extent(cur, cap).await? {
+                Some(v) => v,
+                None => {
+                    // A dirty page over a hole cannot happen: writes allocate.
+                    inner.cache.unbusy(id);
+                    return Err(FsError::Corrupt);
+                }
+            };
+            // Gather the dirty run (clipped at the first clean/absent page),
+            // locking as we go.
+            let mut run: Vec<PageId> = vec![id];
+            for i in 1..contig {
+                let k = self.key(fstream, cur + i as u64);
+                match inner.cache.lookup(k) {
+                    Some(pid) if inner.cache.is_dirty(pid) => {
+                        if !inner.cache.lock_busy(pid).await {
+                            break; // Recycled while waiting.
+                        }
+                        if !inner.cache.is_dirty(pid) {
+                            inner.cache.unbusy(pid);
+                            break;
+                        }
+                        run.push(pid);
+                    }
+                    _ => break,
+                }
+            }
+            let n = run.len() as u32;
+            // Snapshot contents for the transfer.
+            let mut payload = Vec::with_capacity(n as usize * bs);
+            for pid in &run {
+                payload.extend_from_slice(&inner.cache.read_page(*pid));
+            }
+            // Fairness: reserve write-queue space before submitting.
+            let token = fstream.throttle.begin_write(n as u64 * bs as u64).await;
+            inner.cpu.charge("io_setup", inner.costs.io_setup).await;
+            self.per_stream(fstream.id()).write_blocks.observe(n as u64);
+            fstream.io_started();
+            let handle = inner.disk.submit_write_tagged(
+                pbn as u64 * inner.sectors_per_block as u64,
+                n * inner.sectors_per_block,
+                payload,
+                fstream.id().as_u32(),
+            );
+            let this = self.clone();
+            let fstream2 = Rc::clone(fstream);
+            let free_after = wc.free_behind;
+            inner.sim.spawn(async move {
+                handle.wait().await;
+                let inner = &*this.inner;
+                inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+                for pid in &run {
+                    inner.cache.clear_dirty(*pid);
+                    inner.cache.unbusy(*pid);
+                    if free_after {
+                        inner.cache.free_page(*pid);
+                    }
+                }
+                fstream2.throttle.complete(token);
+                fstream2.io_finished();
+            });
+            cluster_blocks.push(n);
+            cur += n as u64;
+        }
+        Ok(Executed::Wrote { cluster_blocks })
+    }
+
+    /// Free-behind mechanism: release the page unless it became busy or
+    /// dirty since the policy looked.
+    fn free_page(&self, fb: FreeBehind) -> bool {
+        let inner = &*self.inner;
+        if !inner.cache.is_busy(fb.page) && !inner.cache.is_dirty(fb.page) {
+            inner.cache.free_page(fb.page);
+            true
+        } else {
+            false
+        }
+    }
+}

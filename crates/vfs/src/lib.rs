@@ -13,9 +13,41 @@
 
 use std::fmt;
 
+pub mod iopath;
+
 /// Identifies a file for page cache naming; equals
 /// [`pagecache::VnodeId`].
 pub type VnodeId = u64;
+
+/// Identity of an I/O stream, allocated per open file (see
+/// [`iopath::FileStream`]). The id labels every request the file issues —
+/// page-cache lookups, cluster transfers, throttle stalls and disk queue
+/// entries — so per-stream metrics (`…{stream=N}`) can attribute the
+/// disk's bandwidth. Stream 0 is reserved for untagged background and
+/// metadata traffic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StreamId(u32);
+
+impl StreamId {
+    /// The background/metadata stream.
+    pub const UNTAGGED: StreamId = StreamId(0);
+
+    /// Wraps a raw id (normally produced by `sim.stats().alloc_stream()`).
+    pub fn new(id: u32) -> StreamId {
+        StreamId(id)
+    }
+
+    /// The raw label used in metric names.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// How `rdwr` moves bytes.
 ///
@@ -92,6 +124,13 @@ pub trait Vnode {
 
     /// Current file size in bytes.
     fn size(&self) -> u64;
+
+    /// The I/O stream this open file's requests are attributed to.
+    /// Defaults to the untagged stream for implementations that don't
+    /// thread a [`iopath::FileStream`].
+    fn stream(&self) -> StreamId {
+        StreamId::UNTAGGED
+    }
 
     /// Reads up to `buf.len()` bytes at `off` into `buf`, returning how
     /// many bytes were read; short reads happen only at EOF.

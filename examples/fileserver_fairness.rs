@@ -3,8 +3,11 @@
 //! system to be temporarily unusable."
 //!
 //! A "core dumper" writes a huge file flat out while an interactive user
-//! tries to do small edits. We measure the interactive user's operation
-//! latencies with and without the paper's per-file write limit.
+//! tries to do small edits. Every open file carries a [`vfs::StreamId`],
+//! so the latency observations and the per-stream registry metrics
+//! (`disk.sectors_*{stream=N}`, `core.throttle_stalls{stream=N}`) say
+//! exactly which stream paid and which stream was throttled — with and
+//! without the paper's per-file write limit.
 //!
 //! ```text
 //! cargo run --release --example fileserver_fairness
@@ -15,10 +18,15 @@ use iobench::{paper_world, WorldOptions};
 use simkit::{Sim, SimDuration};
 use vfs::{AccessMode, FileSystem, Vnode};
 
+/// Editor op latency buckets, in microseconds (1 ms .. 1 s).
+const LAT_EDGES_US: [u64; 8] = [
+    1_000, 2_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+];
+
 fn run(label: &str, write_limit: Option<u32>) {
     let sim = Sim::new();
     let s = sim.clone();
-    let (mean, worst, dumper_rate) = sim.run_until(async move {
+    let (dumper_rate, dumper_stream, editor_stream, op_lat) = sim.run_until(async move {
         let tuning = Tuning {
             write_limit,
             ..Tuning::config_a()
@@ -40,7 +48,8 @@ fn run(label: &str, write_limit: Option<u32>) {
                     .expect("write");
             }
             f.fsync().await.expect("fsync");
-            (24 << 20) as f64 / 1024.0 / s2.now().duration_since(t0).as_secs_f64()
+            let rate = (24 << 20) as f64 / 1024.0 / s2.now().duration_since(t0).as_secs_f64();
+            (rate, f.stream().as_u32())
         });
 
         // The interactive user: every 400 ms, save a small draft and
@@ -48,9 +57,12 @@ fn run(label: &str, write_limit: Option<u32>) {
         // Reloading needs three dozen page allocations — the operation the
         // core dump starves when every page in the machine is dirty and
         // locked in the disk queue.
-        let mut latencies = Vec::new();
         world.fs.mkdir("home").await.expect("mkdir");
         let doc = world.fs.create("home/thesis.txt").await.expect("create");
+        let editor_stream = doc.stream().as_u32();
+        let op_lat =
+            s.stats()
+                .stream_histogram("fairness.editor_op_us", editor_stream, &LAT_EDGES_US);
         for i in 0..16u64 {
             doc.write(i * 256 * 1024, &vec![7u8; 256 * 1024], AccessMode::Copy)
                 .await
@@ -76,17 +88,44 @@ fn run(label: &str, write_limit: Option<u32>) {
                 .await
                 .expect("read");
             assert_eq!(back.len(), 256 * 1024);
-            latencies.push(s.now().duration_since(t0));
+            op_lat.observe(s.now().duration_since(t0).as_nanos() / 1_000);
         }
-        let dumper_rate = dumper.await;
-        let worst = latencies.iter().copied().max().unwrap();
-        let mean: SimDuration =
-            latencies.iter().copied().sum::<SimDuration>() / latencies.len() as u64;
-        (mean, worst, dumper_rate)
+        let (dumper_rate, dumper_stream) = dumper.await;
+        (dumper_rate, dumper_stream, editor_stream, op_lat)
     });
+
+    // The histogram carries the latency distribution; the highest occupied
+    // bucket bounds the worst op.
+    let worst = match op_lat
+        .bucket_counts()
+        .iter()
+        .rposition(|&n| n > 0)
+        .expect("observed ops")
+    {
+        i if i < LAT_EDGES_US.len() => format!("<= {:.0} ms", LAT_EDGES_US[i] as f64 / 1_000.0),
+        _ => "> 1 s".to_string(),
+    };
     println!(
-        "{label:28} editor op latency: mean {mean}, worst {worst}; dumper ran at {dumper_rate:.0} KB/s"
+        "{label:28} editor op latency: mean {:.1} ms over {} ops, worst {worst}; dumper ran at {dumper_rate:.0} KB/s",
+        op_lat.mean() / 1_000.0,
+        op_lat.count(),
     );
+    let st = sim.stats();
+    let per = |base: &str, stream: u32| {
+        st.stream_counter_values(base)
+            .into_iter()
+            .find(|&(id, _)| id == stream)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    for (who, id) in [("dumper", dumper_stream), ("editor doc", editor_stream)] {
+        println!(
+            "  {who:10} stream {id}: {:5} KB written, {:5} KB read, {} throttle stalls",
+            per("disk.sectors_written", id) / 2,
+            per("disk.sectors_read", id) / 2,
+            per("core.throttle_stalls", id),
+        );
+    }
 }
 
 fn main() {

@@ -8,7 +8,7 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --workspace
+cargo build --release --workspace --all-targets
 cargo test --workspace -q
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -12,7 +12,7 @@
 //! something to sort — hence the paper's fairly large 240 KB default.
 
 use simkit::stats::Counter;
-use simkit::{Semaphore, SimDuration, TimeHandle};
+use simkit::{Semaphore, SimDuration, SpanId, TimeHandle, Tracer};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -30,6 +30,10 @@ struct ThrottleInner {
     /// fairness experiments can attribute stalls to the stream that slept.
     s_stalls: Counter,
     s_stall_ns: Counter,
+    /// The owning stream, stamped onto `throttle.stall` trace spans.
+    stream: u32,
+    /// Span tracer (like the counters, holds no `Sim`).
+    tracer: Tracer,
 }
 
 /// Per-file write throttle. Clones share the same limit.
@@ -67,6 +71,8 @@ impl WriteThrottle {
                     m_stall_ns: sim.stats().counter("core.throttle_stall_ns"),
                     s_stalls: sim.stats().stream_counter("core.throttle_stalls", stream),
                     s_stall_ns: sim.stats().stream_counter("core.throttle_stall_ns", stream),
+                    stream,
+                    tracer: sim.tracer().clone(),
                 })
             }),
             time: sim.time_handle(),
@@ -80,6 +86,15 @@ impl WriteThrottle {
     /// Requests larger than the whole limit are clamped (they could never
     /// be admitted otherwise).
     pub async fn begin_write(&self, bytes: u64) -> WriteToken {
+        self.begin_write_traced(bytes, SpanId::NONE).await
+    }
+
+    /// Like [`WriteThrottle::begin_write`], additionally recording any
+    /// stall as a `throttle.stall` trace span under `parent`. Stalls are
+    /// only discovered after the semaphore wait, so the span is recorded
+    /// retroactively — and only when time was actually lost, keeping
+    /// traces free of zero-width noise.
+    pub async fn begin_write_traced(&self, bytes: u64, parent: SpanId) -> WriteToken {
         let Some(inner) = &self.inner else {
             return WriteToken { bytes: 0 };
         };
@@ -89,7 +104,8 @@ impl WriteThrottle {
         }
         let before = self.time.now();
         let permit = inner.sem.acquire(ask).await;
-        let waited = self.time.now().duration_since(before);
+        let after = self.time.now();
+        let waited = after.duration_since(before);
         if !waited.is_zero() {
             inner.stalled.set(inner.stalled.get() + waited);
             inner.stall_count.set(inner.stall_count.get() + 1);
@@ -97,6 +113,10 @@ impl WriteThrottle {
             inner.m_stall_ns.add(waited.as_nanos());
             inner.s_stalls.inc();
             inner.s_stall_ns.add(waited.as_nanos());
+            let span = inner
+                .tracer
+                .record("throttle.stall", inner.stream, parent, before, after);
+            inner.tracer.arg(span, "bytes", ask);
         }
         // The permit outlives this future: the disk interrupt releases it.
         permit.forget();

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use simkit::stats::{Counter, Histogram, StatsRegistry, TimeWeighted};
-use simkit::{Notify, Sim, SimDuration};
+use simkit::{Notify, Sim, SimDuration, SpanId};
 
 use crate::geometry::Geometry;
 use crate::queue::{DiskQueue, Queued};
@@ -160,6 +160,13 @@ struct DiskMetrics {
     /// pair ever seen; sectors are attributed per sub-request, so the
     /// per-stream counters sum to the global `disk.sectors_*` exactly.
     stream_sectors: RefCell<HashMap<(u32, DiskOp), Counter>>,
+    /// Cached `disk.busy_ns{stream=N}` handles. Each stream present in a
+    /// serviced batch is charged the batch's full service interval — the
+    /// same interval its `disk.service` span covers — so per-stream span
+    /// sums and these counters agree exactly. (A coalesced batch that
+    /// mixes streams charges the interval to each stream, so the
+    /// per-stream values can exceed the global `disk.busy_ns`.)
+    stream_busy: RefCell<HashMap<u32, Counter>>,
 }
 
 impl DiskMetrics {
@@ -186,6 +193,7 @@ impl DiskMetrics {
             queue_depth: s.time_weighted("disk.queue_depth"),
             registry: s.clone(),
             stream_sectors: RefCell::new(HashMap::new()),
+            stream_busy: RefCell::new(HashMap::new()),
         }
     }
 
@@ -200,6 +208,14 @@ impl DiskMetrics {
                 };
                 self.registry.stream_counter(base, stream)
             })
+            .clone()
+    }
+
+    fn stream_busy(&self, stream: u32) -> Counter {
+        self.stream_busy
+            .borrow_mut()
+            .entry(stream)
+            .or_insert_with(|| self.registry.stream_counter("disk.busy_ns", stream))
             .clone()
     }
 }
@@ -287,6 +303,12 @@ impl Disk {
 
     /// Submits a read of `nsect` sectors at `lba` on behalf of `stream`.
     pub fn submit_read_tagged(&self, lba: u64, nsect: u32, stream: u32) -> IoHandle {
+        self.submit_read_for(lba, nsect, stream, SpanId::NONE)
+    }
+
+    /// Submits a read on behalf of `stream`, parenting the drive's trace
+    /// spans under `span`.
+    pub fn submit_read_for(&self, lba: u64, nsect: u32, stream: u32, span: SpanId) -> IoHandle {
         self.submit(DiskRequest {
             op: DiskOp::Read,
             lba,
@@ -294,6 +316,7 @@ impl Disk {
             data: None,
             ordered: false,
             stream,
+            span,
         })
     }
 
@@ -311,6 +334,19 @@ impl Disk {
         data: Vec<u8>,
         stream: u32,
     ) -> IoHandle {
+        self.submit_write_for(lba, nsect, data, stream, SpanId::NONE)
+    }
+
+    /// Submits a write on behalf of `stream`, parenting the drive's trace
+    /// spans under `span`.
+    pub fn submit_write_for(
+        &self,
+        lba: u64,
+        nsect: u32,
+        data: Vec<u8>,
+        stream: u32,
+        span: SpanId,
+    ) -> IoHandle {
         self.submit(DiskRequest {
             op: DiskOp::Write,
             lba,
@@ -318,6 +354,7 @@ impl Disk {
             data: Some(data),
             ordered: false,
             stream,
+            span,
         })
     }
 
@@ -408,6 +445,7 @@ impl Disk {
 
     async fn service_batch(&self, batch: Vec<Queued>) {
         let started = self.inner.sim.now();
+        let tracer = self.inner.sim.tracer().clone();
         {
             let mut stats = self.inner.stats.borrow_mut();
             let merged = (batch.len() as u64).saturating_sub(1);
@@ -417,6 +455,15 @@ impl Disk {
                 let waited = started.duration_since(q.submitted_at);
                 stats.queue_wait += waited;
                 self.inner.metrics.queue_wait_ns.add(waited.as_nanos());
+                // The wait is only known once service begins, so the queue
+                // span is recorded retroactively.
+                tracer.record(
+                    "disk.queue",
+                    q.req.stream,
+                    q.req.span,
+                    q.submitted_at,
+                    started,
+                );
             }
         }
         let op = batch[0].req.op;
@@ -428,6 +475,13 @@ impl Disk {
                 .all(|w| w[0].req.lba + w[0].req.nsect as u64 == w[1].req.lba),
             "batch must be contiguous"
         );
+        // One live service span for the whole batch, parented under the
+        // first sub-request's originator; additional streams in a coalesced
+        // batch get their own retroactive copy below so every stream's
+        // service time is visible in its own trace row.
+        let svc = tracer.start("disk.service", batch[0].req.stream, batch[0].req.span);
+        tracer.arg(svc, "lba", span_lba);
+        tracer.arg(svc, "nsect", span_sectors as u64);
 
         self.inner
             .sim
@@ -436,7 +490,9 @@ impl Disk {
 
         let span_data = match op {
             DiskOp::Read => {
-                let data = self.media_read(span_lba, span_sectors).await;
+                let data = self
+                    .media_read(span_lba, span_sectors, batch[0].req.stream, svc)
+                    .await;
                 Some(data)
             }
             DiskOp::Write => {
@@ -452,12 +508,34 @@ impl Disk {
         };
 
         let finished_at = self.inner.sim.now();
+        tracer.end(svc);
         {
             let mut stats = self.inner.stats.borrow_mut();
             let m = &self.inner.metrics;
             stats.busy += finished_at.duration_since(started);
             m.busy_ns
                 .add(finished_at.duration_since(started).as_nanos());
+            // Per-stream busy attribution (and service spans for streams a
+            // coalesced batch merged in behind batch[0]'s): each distinct
+            // stream is charged the full service interval once.
+            let mut seen: Vec<u32> = Vec::new();
+            for q in &batch {
+                if seen.contains(&q.req.stream) {
+                    continue;
+                }
+                seen.push(q.req.stream);
+                m.stream_busy(q.req.stream)
+                    .add(finished_at.duration_since(started).as_nanos());
+                if q.req.stream != batch[0].req.stream {
+                    tracer.record(
+                        "disk.service",
+                        q.req.stream,
+                        q.req.span,
+                        started,
+                        finished_at,
+                    );
+                }
+            }
             match op {
                 DiskOp::Read => {
                     stats.reads += 1;
@@ -553,7 +631,7 @@ impl Disk {
         }
     }
 
-    async fn media_read(&self, lba: u64, nsect: u32) -> Vec<u8> {
+    async fn media_read(&self, lba: u64, nsect: u32, stream: u32, svc: SpanId) -> Vec<u8> {
         let g = self.inner.params.geometry.clone();
         let mut remaining = nsect;
         let mut cur = lba;
@@ -594,6 +672,15 @@ impl Disk {
                     host_until = start + bus;
                     self.inner.stats.borrow_mut().transfer_time += bus;
                     self.inner.metrics.transfer_time_ns.add(bus.as_nanos());
+                    // The hit's cost is the overlapped bus transfer window.
+                    let hit = self.inner.sim.tracer().record(
+                        "disk.trackbuf_hit",
+                        stream,
+                        svc,
+                        start,
+                        host_until,
+                    );
+                    self.inner.sim.tracer().arg(hit, "sectors", run as u64);
                 }
                 BufProbe::Miss => {
                     if self.inner.params.track_buffer {

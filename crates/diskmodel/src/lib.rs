@@ -269,6 +269,7 @@ mod tests {
                 data: Some(vec![1u8; 1024]),
                 ordered: true,
                 stream: 0,
+                span: simkit::SpanId::NONE,
             });
             // ...then a tempting nearby write submitted after it.
             let late = d.submit_write(spc * 50 + 8, 2, vec![2u8; 1024]);

@@ -203,6 +203,7 @@ mod tests {
                 },
                 ordered,
                 stream: 0,
+                span: simkit::SpanId::NONE,
             },
             event,
             slot,

@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use simkit::{Event, SimTime};
+use simkit::{Event, SimTime, SpanId};
 
 /// Direction of a transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -33,6 +33,11 @@ pub struct DiskRequest {
     /// other background traffic). Rides through the queue so per-stream
     /// sector counters can attribute every transfer to its originator.
     pub stream: u32,
+    /// The tracer span this request belongs to (`SpanId::NONE` when the
+    /// submitter is not tracing). The drive parents its `disk.queue` and
+    /// `disk.service` child spans here, so a request's time in the driver
+    /// nests under the file-system operation that issued it.
+    pub span: SpanId,
 }
 
 /// Completion record delivered when a request finishes.

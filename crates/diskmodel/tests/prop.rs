@@ -71,6 +71,7 @@ proptest! {
                         data: r.write.then(|| payload(r.nsect, r.seed)),
                         ordered: r.ordered,
                         stream: 0,
+                        span: simkit::SpanId::NONE,
                     })
                 })
                 .collect();
@@ -126,6 +127,7 @@ proptest! {
                         data: Some(payload(r.nsect, r.seed)),
                         ordered: r.ordered,
                         stream: 0,
+                        span: simkit::SpanId::NONE,
                     })
                 })
                 .collect();

@@ -25,7 +25,7 @@ use std::rc::Rc;
 use clufs::{DelayedWrite, ReadAhead, WriteAction};
 use diskmodel::Disk;
 use pagecache::{PageCache, PageId, PageKey};
-use simkit::{Cpu, Sim};
+use simkit::{Cpu, Sim, SpanId};
 use ufs::CpuCosts;
 use vfs::iopath::{
     BlockMap, Executed, FileStream, IoCosts, IoIntent, IoPath, ReadCluster, ReadReason,
@@ -329,13 +329,37 @@ impl ExtentFs {
 
     /// Reads the I/O unit containing `lbn` into the cache (plus read-ahead
     /// of the next unit) and returns the page.
-    async fn getpage(&self, f: &ExtFile, lbn: u64, eof_blocks: u64) -> FsResult<PageId> {
+    async fn getpage(
+        &self,
+        f: &ExtFile,
+        lbn: u64,
+        eof_blocks: u64,
+        parent: SpanId,
+    ) -> FsResult<PageId> {
+        let tracer = self.inner.sim.tracer();
+        let span = tracer.start("fs.getpage", f.state.io.id().as_u32(), parent);
+        tracer.arg(span, "lbn", lbn);
+        let r = self.getpage_inner(f, lbn, eof_blocks, span).await;
+        self.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn getpage_inner(
+        &self,
+        f: &ExtFile,
+        lbn: u64,
+        eof_blocks: u64,
+        span: SpanId,
+    ) -> FsResult<PageId> {
         let costs = self.inner.params.costs;
         let key = PageKey {
             vnode: self.vid(f.ino),
             offset: lbn * BLOCK_SIZE as u64,
         };
-        let cached = self.inner.cache.lookup_for(key, f.state.io.id().as_u32());
+        let cached = self
+            .inner
+            .cache
+            .lookup_traced(key, f.state.io.id().as_u32(), span);
         self.charge(
             "fault",
             if cached.is_some() {
@@ -382,7 +406,12 @@ impl ExtentFs {
                 len: run.blocks,
                 reason: ReadReason::Demand,
             });
-            let io = match self.inner.iopath.execute(&f.state.io, &map, intent).await? {
+            let io = match self
+                .inner
+                .iopath
+                .execute_traced(&f.state.io, &map, intent, span)
+                .await?
+            {
                 Executed::ReadIssued(io) => io,
                 _ => unreachable!("demand reads are issued"),
             };
@@ -512,6 +541,54 @@ impl Vnode for ExtFile {
     }
 
     async fn read_into(&self, off: u64, buf: &mut [u8], mode: AccessMode) -> FsResult<usize> {
+        // One root span per request, same shape as UFS (`fs.read`), so the
+        // trace analyzer treats both mounts identically.
+        let tracer = self.fs.inner.sim.tracer();
+        let span = tracer.start("fs.read", self.state.io.id().as_u32(), SpanId::NONE);
+        tracer.arg(span, "off", off);
+        tracer.arg(span, "bytes", buf.len() as u64);
+        let r = self.read_into_inner(off, buf, mode, span).await;
+        self.fs.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()> {
+        let tracer = self.fs.inner.sim.tracer();
+        let span = tracer.start("fs.write", self.state.io.id().as_u32(), SpanId::NONE);
+        tracer.arg(span, "off", off);
+        tracer.arg(span, "bytes", data.len() as u64);
+        let r = self.write_inner(off, data, mode, span).await;
+        self.fs.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn fsync(&self) -> FsResult<()> {
+        let pending = self.state.dw.borrow_mut().flush();
+        if let Some(r) = pending {
+            self.fs.flush_range(self, r, WriteReason::Fsync).await?;
+        }
+        let offsets = self.fs.inner.cache.dirty_offsets(self.id());
+        if let (Some(&first), Some(&last)) = (offsets.first(), offsets.last()) {
+            let range = first / BLOCK_SIZE as u64..last / BLOCK_SIZE as u64 + 1;
+            self.fs.flush_range(self, range, WriteReason::Fsync).await?;
+        }
+        self.state.io.quiesce().await;
+        Ok(())
+    }
+
+    async fn truncate(&self, size: u64) -> FsResult<()> {
+        self.truncate_impl(size).await
+    }
+}
+
+impl ExtFile {
+    async fn read_into_inner(
+        &self,
+        off: u64,
+        buf: &mut [u8],
+        mode: AccessMode,
+        span: SpanId,
+    ) -> FsResult<usize> {
         let costs = self.fs.inner.params.costs;
         self.fs.charge("syscall", costs.syscall).await;
         let size = self.size();
@@ -527,7 +604,7 @@ impl Vnode for ExtFile {
             let lbn = pos / BLOCK_SIZE as u64;
             let in_page = (pos % BLOCK_SIZE as u64) as usize;
             let n = ((BLOCK_SIZE - in_page) as u64).min(end - pos) as usize;
-            let pid = self.fs.getpage(self, lbn, eof_blocks).await?;
+            let pid = self.fs.getpage(self, lbn, eof_blocks, span).await?;
             self.fs.charge("map_unmap", costs.map_unmap).await;
             if mode == AccessMode::Copy {
                 self.fs.charge("copy", costs.copy(n)).await;
@@ -542,7 +619,13 @@ impl Vnode for ExtFile {
         Ok(len)
     }
 
-    async fn write(&self, off: u64, data: &[u8], mode: AccessMode) -> FsResult<()> {
+    async fn write_inner(
+        &self,
+        off: u64,
+        data: &[u8],
+        mode: AccessMode,
+        span: SpanId,
+    ) -> FsResult<()> {
         let costs = self.fs.inner.params.costs;
         self.fs.charge("syscall", costs.syscall).await;
         if data.is_empty() {
@@ -572,7 +655,12 @@ impl Vnode for ExtFile {
                         pid
                     }
                     None => {
-                        let pid = self.fs.inner.cache.create(key).await;
+                        let pid = self
+                            .fs
+                            .inner
+                            .cache
+                            .create_traced(key, self.state.io.id().as_u32(), span)
+                            .await;
                         self.fs.inner.cache.unbusy(pid); // Created zeroed.
                         pid
                     }
@@ -598,7 +686,12 @@ impl Vnode for ExtFile {
                     pid
                 }
                 None => {
-                    let pid = self.fs.inner.cache.create(key).await;
+                    let pid = self
+                        .fs
+                        .inner
+                        .cache
+                        .create_traced(key, self.state.io.id().as_u32(), span)
+                        .await;
                     if !full && lbn < old_blocks {
                         // Read-modify-write of an existing partial block.
                         let (pbn, _) = self.fs.translate(self.ino, lbn).ok_or(FsError::Corrupt)?;
@@ -651,21 +744,7 @@ impl Vnode for ExtFile {
         Ok(())
     }
 
-    async fn fsync(&self) -> FsResult<()> {
-        let pending = self.state.dw.borrow_mut().flush();
-        if let Some(r) = pending {
-            self.fs.flush_range(self, r, WriteReason::Fsync).await?;
-        }
-        let offsets = self.fs.inner.cache.dirty_offsets(self.id());
-        if let (Some(&first), Some(&last)) = (offsets.first(), offsets.last()) {
-            let range = first / BLOCK_SIZE as u64..last / BLOCK_SIZE as u64 + 1;
-            self.fs.flush_range(self, range, WriteReason::Fsync).await?;
-        }
-        self.state.io.quiesce().await;
-        Ok(())
-    }
-
-    async fn truncate(&self, size: u64) -> FsResult<()> {
+    async fn truncate_impl(&self, size: u64) -> FsResult<()> {
         self.fsync().await?;
         let keep_blocks = size.div_ceil(BLOCK_SIZE as u64);
         self.fs

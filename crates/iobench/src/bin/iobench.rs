@@ -3,44 +3,50 @@
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
 //!         write-limit|free-behind|streams|all \
-//!         [--quick] [--streams N] [--stats-json <path>]
+//!         [--quick] [--streams N] [--stats-json <path>] [--trace <path>]
 //! ```
 //!
 //! `--stats-json <path>` writes every simulated run's full metrics-registry
-//! snapshot (schema `iobench-stats/v2`; see DESIGN.md "Observability") so
-//! benchmark trajectories can be diffed across changes. `--streams N` sets
-//! the stream count for the multi-stream fairness workload (and selects it
-//! when no experiment is named).
+//! snapshot (schema `iobench-stats/v3`; see DESIGN.md "Observability") so
+//! benchmark trajectories can be diffed across changes. `--trace <path>`
+//! records per-request spans through the whole I/O path and writes them as
+//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto), and
+//! prints each run's latency-attribution table. `--streams N` sets the
+//! stream count for the multi-stream fairness workload (and selects it
+//! when no experiment is named). Unrecognized flags are an error.
 
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
     fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
     write_limit_sweep_run, RunScale, StatsSink,
 };
+use iobench::traceout;
 
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
          extentfs|write-limit|free-behind|streams|all \
-         [--quick] [--streams N] [--stats-json <path>]"
+         [--quick] [--streams N] [--stats-json <path>] [--trace <path>]"
     );
     std::process::exit(2);
 }
 
+/// Extracts `--flag <value>` from `args`, if present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+        eprintln!("{flag} requires a path argument");
+        usage();
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let stats_path = match args.iter().position(|a| a == "--stats-json") {
-        Some(i) => {
-            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
-                eprintln!("--stats-json requires a path argument");
-                usage();
-            }
-            let path = args.remove(i + 1);
-            args.remove(i);
-            Some(path)
-        }
-        None => None,
-    };
+    let stats_path = take_value_flag(&mut args, "--stats-json");
+    let trace_path = take_value_flag(&mut args, "--trace");
     let nstreams = match args.iter().position(|a| a == "--streams") {
         Some(i) => {
             if i + 1 >= args.len() {
@@ -60,7 +66,23 @@ fn main() {
         }
         None => None,
     };
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = match args.iter().position(|a| a == "--quick") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    // Every recognized flag has been consumed: anything left that looks
+    // like a flag is a typo the user should hear about, not a silent no-op.
+    if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("unrecognized flag: {bad}");
+        usage();
+    }
+    if args.len() > 1 {
+        eprintln!("unexpected argument: {}", args[1]);
+        usage();
+    }
     let scale = if quick {
         RunScale::quick()
     } else {
@@ -68,14 +90,16 @@ fn main() {
     };
     // A bare `--streams N` selects the streams experiment.
     let default_what = if nstreams.is_some() { "streams" } else { "all" };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .unwrap_or(default_what);
+    let what = args.first().map(|s| s.as_str()).unwrap_or(default_what);
     let nstreams = nstreams.unwrap_or(4);
 
-    let sink = stats_path.as_ref().map(|_| StatsSink::new());
+    let sink = if trace_path.is_some() {
+        Some(StatsSink::with_tracing())
+    } else if stats_path.is_some() {
+        Some(StatsSink::new())
+    } else {
+        None
+    };
     let sref = sink.as_ref();
 
     let run_fig10 = |scale: RunScale, sref: Option<&StatsSink>| {
@@ -164,6 +188,29 @@ fn main() {
     if let (Some(path), Some(sink)) = (&stats_path, &sink) {
         match std::fs::write(path, sink.to_json(what)) {
             Ok(()) => eprintln!("wrote {} run snapshot(s) to {path}", sink.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        let traces = sink.traces();
+        println!("Per-run latency attribution (from --trace spans)\n");
+        for (id, spans) in &traces {
+            println!("{id}:");
+            println!("{}", traceout::attribution_table(spans));
+        }
+        if let Some((id, spans)) = traces.first() {
+            println!("Per-fault action timeline (first tree per root kind, {id})\n");
+            println!("{}", traceout::timeline_table(spans, 1));
+        }
+        match std::fs::write(path, traceout::chrome_trace_json(&traces)) {
+            Ok(()) => eprintln!(
+                "wrote {} span(s) across {} run(s) to {path}",
+                traces.iter().map(|(_, s)| s.len()).sum::<usize>(),
+                traces.len()
+            ),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);

@@ -18,19 +18,25 @@ use crate::musbus::{run_musbus, MusbusOptions};
 use crate::report::{kbs, ratio, Table};
 use crate::streams::{run_streams, StreamsOptions};
 
-/// Collects labeled per-run metrics snapshots during an experiment.
+/// Collects labeled per-run metrics snapshots (and, with
+/// [`StatsSink::with_tracing`], span traces) during an experiment.
 ///
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
-/// registry) per simulated run; the driver captures each run's full
-/// registry here, and the `--stats-json` flag serializes the collection as
-/// one document (schema `iobench-stats/v2`, documented in DESIGN.md
-/// "Observability"; v2 adds the labelled `base{stream=N}` metric names).
-/// Snapshots are pure functions of the virtual-time simulation, so two
-/// identical runs produce byte-identical documents.
+/// registry) per simulated run via [`StatsSink::sim`]; the driver captures
+/// each run's full registry here, and the `--stats-json` flag serializes
+/// the collection as one document (schema `iobench-stats/v3`, documented in
+/// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
+/// names, v3 adds interpolated `p50`/`p95`/`p99` quantiles to histogram
+/// snapshots). Snapshots are pure functions of the virtual-time simulation,
+/// so two identical runs produce byte-identical documents.
 #[derive(Default)]
 pub struct StatsSink {
     /// `(run id, registry JSON)` in run order.
     runs: RefCell<Vec<(String, String)>>,
+    /// Whether [`StatsSink::sim`] arms the span tracer on new sims.
+    tracing: bool,
+    /// `(run id, drained spans)` in run order (empty unless tracing).
+    traces: RefCell<Vec<(String, Vec<simkit::Span>)>>,
 }
 
 impl StatsSink {
@@ -39,12 +45,39 @@ impl StatsSink {
         StatsSink::default()
     }
 
+    /// An empty sink that also captures span traces: sims built through
+    /// [`StatsSink::sim`] get their tracer enabled before the run, and
+    /// [`StatsSink::push`] drains the recorded spans.
+    pub fn with_tracing() -> StatsSink {
+        StatsSink {
+            tracing: true,
+            ..StatsSink::default()
+        }
+    }
+
+    /// Builds the sim an experiment run should use, with the span tracer
+    /// enabled when this sink traces. Experiments call this (via
+    /// [`sink_sim`]) instead of `Sim::new()` so `--trace` reaches every
+    /// run without per-experiment plumbing.
+    pub fn sim(&self) -> Sim {
+        let sim = Sim::new();
+        if self.tracing {
+            sim.tracer().set_enabled(true);
+        }
+        sim
+    }
+
     /// Captures `sim`'s entire metrics registry under `id`
-    /// (`experiment/run` path style, e.g. `fig10/A/FSR`).
+    /// (`experiment/run` path style, e.g. `fig10/A/FSR`), draining the
+    /// run's spans alongside when tracing.
     pub fn push(&self, id: impl Into<String>, sim: &Sim) {
-        self.runs
-            .borrow_mut()
-            .push((id.into(), sim.stats().to_json()));
+        let id = id.into();
+        if self.tracing {
+            self.traces
+                .borrow_mut()
+                .push((id.clone(), sim.tracer().take_spans()));
+        }
+        self.runs.borrow_mut().push((id, sim.stats().to_json()));
     }
 
     /// Number of captured runs.
@@ -62,6 +95,12 @@ impl StatsSink {
         self.runs.borrow().clone()
     }
 
+    /// The captured `(run id, spans)` traces, in run order (empty unless
+    /// built with [`StatsSink::with_tracing`]).
+    pub fn traces(&self) -> Vec<(String, Vec<simkit::Span>)> {
+        self.traces.borrow().clone()
+    }
+
     /// Serializes the collection as the `--stats-json` document.
     pub fn to_json(&self, experiment: &str) -> String {
         let runs = self
@@ -72,9 +111,16 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v2\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v3\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
+}
+
+/// The [`Sim`] for one experiment run: `sink.sim()` when a sink is
+/// attached (arming the tracer under `--trace`), a plain `Sim::new()`
+/// otherwise.
+fn sink_sim(sink: Option<&StatsSink>) -> Sim {
+    sink.map(|s| s.sim()).unwrap_or_default()
 }
 
 /// Sizing for a full (paper-scale) or quick (CI-scale) run.
@@ -145,7 +191,7 @@ pub fn fig10_cell(
     scale: RunScale,
     sink: Option<&StatsSink>,
 ) -> Throughput {
-    let sim = Sim::new();
+    let sim = sink_sim(sink);
     let s = sim.clone();
     let t = sim.run_until(async move {
         let w = paper_world(&s, config.tuning(), WorldOptions::default())
@@ -213,7 +259,7 @@ pub fn fig11_table(data: &Fig10Data) -> String {
 /// Returns `(rendered table, new_cpu_secs, old_cpu_secs)`.
 pub fn fig12_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, f64, f64) {
     let run = |tuning: Tuning, id: &str| -> f64 {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let cpu = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
@@ -250,7 +296,7 @@ pub fn fig12_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, f64, f64
 /// aged_mean_bytes)`.
 pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) {
     // Best case: fill a fresh partition with one file.
-    let sim = Sim::new();
+    let sim = sink_sim(sink);
     let s = sim.clone();
     let (probe_mb, aged_target) = if quick { (4u64, 0.7) } else { (13u64, 0.88) };
     let best = sim.run_until(async move {
@@ -265,7 +311,7 @@ pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) 
         sink.push("extents/best", &sim);
     }
     // Worst case: fill the last 15% of a heavily fragmented partition.
-    let sim2 = Sim::new();
+    let sim2 = sink_sim(sink);
     let s2 = sim2.clone();
     let probe2_mb = if quick { 4u64 } else { 16 };
     let worst = sim2.run_until(async move {
@@ -306,7 +352,7 @@ pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) 
 /// `(rendered, ratio_old_over_new)`.
 pub fn musbus_run(sink: Option<&StatsSink>) -> (String, f64) {
     let run = |tuning: Tuning, id: &str| {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let r = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
@@ -389,7 +435,7 @@ async fn measure_ufs(sim: &Sim, w: &ufs::World, kind: IoKind, scale: RunScale) -
 /// the shipped configurations. Returns the rendered comparison.
 pub fn rejected_alternatives_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
     let run = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind, id: &str| -> f64 {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let rate = sim.run_until(async move {
             let dp = DiskParams {
@@ -432,7 +478,7 @@ pub fn rejected_alternatives_run(scale: RunScale, sink: Option<&StatsSink>) -> S
 /// extent sizes (the title claim). Returns the rendered comparison.
 pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
     let run_extentfs = |extent_blocks: u32, kind: IoKind| -> f64 {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let rate = sim.run_until(async move {
             let cpu = Cpu::new(&s);
@@ -472,7 +518,7 @@ pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> Str
         rate
     };
     let run_ufs = |tuning: Tuning, kind: IoKind| -> f64 {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let rate = sim.run_until(async move {
             let w = paper_world(&s, tuning, WorldOptions::default())
@@ -510,7 +556,7 @@ pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> Str
 /// table.
 pub fn write_limit_sweep_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
     let run = |limit: Option<u32>, id: &str| -> (f64, u64) {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let r = sim.run_until(async move {
             let tuning = Tuning {
@@ -547,7 +593,7 @@ pub fn write_limit_sweep_run(scale: RunScale, sink: Option<&StatsSink>) -> Strin
 /// had to work. Returns `(rendered, survivors_with, survivors_without)`.
 pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, usize, usize) {
     let run = |free_behind: bool| -> (usize, u64, u64) {
-        let sim = Sim::new();
+        let sim = sink_sim(sink);
         let s = sim.clone();
         let r = sim.run_until(async move {
             let tuning = Tuning {
@@ -659,7 +705,7 @@ pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, us
 /// cleaner traffic) sum to the global `disk.sectors_*` counters. Returns
 /// the rendered table.
 pub fn streams_run(streams: u32, scale: RunScale, sink: Option<&StatsSink>) -> String {
-    let sim = Sim::new();
+    let sim = sink_sim(sink);
     let s = sim.clone();
     let per_stream_bytes = (scale.file_bytes / 4).max(512 * 1024);
     let runs = sim.run_until(async move {

@@ -17,6 +17,8 @@
 //!   streams whose per-stream (`…{stream=N}`) metrics attribute disk
 //!   bandwidth and throttle stalls to each competitor.
 //! - [`report`]: fixed-width table rendering for the regenerated figures.
+//! - [`traceout`]: Chrome trace-event export (`iobench --trace`) plus the
+//!   latency-attribution and per-fault timeline tables built from spans.
 
 pub mod aging;
 pub mod configs;
@@ -26,6 +28,7 @@ pub mod iobench;
 pub mod musbus;
 pub mod report;
 pub mod streams;
+pub mod traceout;
 
 pub use configs::{paper_world, Config, WorldOptions};
 pub use iobench::{run_iobench, IoKind, Throughput};

@@ -8,7 +8,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 use simkit::stats::Counter;
-use simkit::{Notify, Sim, SimDuration};
+use simkit::{Notify, Sim, SimDuration, SpanId};
 
 /// Identifies a file for page naming purposes.
 pub type VnodeId = u64;
@@ -283,11 +283,28 @@ impl PageCache {
     /// internal probes (cluster clipping, writeback gathering) stay
     /// unattributed.
     pub fn lookup_for(&self, key: PageKey, stream: u32) -> Option<PageId> {
+        self.lookup_traced(key, stream, SpanId::NONE)
+    }
+
+    /// [`PageCache::lookup_for`], additionally recording the outcome as an
+    /// instant `cache.hit` / `cache.miss` trace span under `parent`, so the
+    /// analyzer can read hit ratios straight out of a trace. Lookups take
+    /// no virtual time, so the span is zero-width.
+    pub fn lookup_traced(&self, key: PageKey, stream: u32, parent: SpanId) -> Option<PageId> {
         let found = self.lookup(key);
         self.inner
             .metrics
             .stream_lookup(stream, found.is_some())
             .inc();
+        let tracer = self.inner.sim.tracer();
+        let name = if found.is_some() {
+            "cache.hit"
+        } else {
+            "cache.miss"
+        };
+        let now = self.inner.sim.now();
+        let span = tracer.record(name, stream, parent, now, now);
+        tracer.arg(span, "offset", key.offset);
         found
     }
 
@@ -300,6 +317,13 @@ impl PageCache {
     /// Panics if `key` is already cached (callers must `lookup` first) or
     /// if the offset is not page aligned.
     pub async fn create(&self, key: PageKey) -> PageId {
+        self.create_traced(key, 0, SpanId::NONE).await
+    }
+
+    /// [`PageCache::create`], recording any allocation stall (waiting for
+    /// the pageout daemon to free memory) as a retroactive
+    /// `cache.alloc_stall` trace span for `stream` under `parent`.
+    pub async fn create_traced(&self, key: PageKey, stream: u32, parent: SpanId) -> PageId {
         assert_eq!(
             key.offset % self.inner.params.page_size as u64,
             0,
@@ -328,9 +352,14 @@ impl PageCache {
             }
         };
         if stalled {
-            let waited = self.inner.sim.now().duration_since(start);
+            let now = self.inner.sim.now();
+            let waited = now.duration_since(start);
             self.inner.stats.borrow_mut().alloc_stall_time += waited;
             self.inner.metrics.alloc_stall_ns.add(waited.as_nanos());
+            self.inner
+                .sim
+                .tracer()
+                .record("cache.alloc_stall", stream, parent, start, now);
         }
         {
             let mut pages = self.inner.pages.borrow_mut();

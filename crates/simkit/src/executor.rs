@@ -32,7 +32,7 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use crate::stats::StatsRegistry;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Recorder;
+use crate::trace::{Recorder, Tracer};
 
 /// Identifies a spawned task within one [`Sim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -105,6 +105,7 @@ impl TimeHandle {
 struct Inner {
     now: Rc<Cell<SimTime>>,
     stats: StatsRegistry,
+    tracer: Tracer,
     next_task: Cell<u64>,
     next_timer_seq: Cell<u64>,
     tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
@@ -155,10 +156,14 @@ impl Sim {
         let stats = StatsRegistry::new(TimeHandle {
             now: Rc::clone(&now),
         });
+        let tracer = Tracer::with_time(TimeHandle {
+            now: Rc::clone(&now),
+        });
         Sim {
             inner: Rc::new(Inner {
                 now,
                 stats,
+                tracer,
                 next_task: Cell::new(0),
                 next_timer_seq: Cell::new(0),
                 tasks: RefCell::new(HashMap::new()),
@@ -189,6 +194,12 @@ impl Sim {
     /// The simulation-wide metrics registry. See [`crate::stats`].
     pub fn stats(&self) -> &StatsRegistry {
         &self.inner.stats
+    }
+
+    /// The simulation-wide span tracer (disabled by default). See
+    /// [`crate::trace::Tracer`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// The shared event recorder for event type `E`, registered on first

@@ -20,6 +20,8 @@
 //! - [`channel()`] — mpsc work queues (e.g. dirty-page cleaner)
 //! - [`Cpu`] — serialized compute-time charging with per-tag accounting
 //! - [`Recorder`] — timestamped event logs for trace-exact tests
+//! - [`Tracer`] — per-request span tracing across layers (zero-cost when
+//!   disabled), behind `iobench --trace`
 //! - [`stats`] — the per-`Sim` metrics registry (counters, gauges,
 //!   histograms, time-weighted means) with deterministic JSON snapshots
 //!
@@ -43,4 +45,4 @@ pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
 pub use stats::{Counter, Gauge, Histogram, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};
-pub use trace::Recorder;
+pub use trace::{Recorder, Span, SpanId, Tracer};

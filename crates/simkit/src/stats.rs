@@ -121,6 +121,60 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.0.borrow().counts.clone()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank — the classic
+    /// fixed-bucket readback. The first bucket interpolates up from the
+    /// observed minimum and the overflow bucket toward the observed
+    /// maximum, so estimates never leave `[min, max]`. Returns 0.0 before
+    /// the first observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let h = self.0.borrow();
+        if h.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * h.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += c;
+            if cum as f64 >= target {
+                let lo = if i == 0 {
+                    h.min
+                } else {
+                    h.edges[i - 1].max(h.min)
+                };
+                let hi = if i < h.edges.len() {
+                    h.edges[i].min(h.max)
+                } else {
+                    h.max
+                };
+                let (lo, hi) = (lo as f64, (hi as f64).max(lo as f64));
+                let frac = ((target - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        h.max as f64 // Unreachable for q <= 1.0, but keep it total.
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 struct TimeWeightedInner {
@@ -425,6 +479,14 @@ impl StatsRegistry {
                             inner.sum as f64 / inner.count as f64
                         }),
                     );
+                    drop(inner);
+                    let _ = write!(
+                        v,
+                        ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                        json_f64(h.p50()),
+                        json_f64(h.p95()),
+                        json_f64(h.p99()),
+                    );
                     v.push('}');
                     push_entry(&mut histograms, name, &v);
                 }
@@ -526,6 +588,43 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 1045);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let sim = Sim::new();
+        let h = sim.stats().histogram("test.q", &[10, 100, 1000]);
+        assert_eq!(h.p50(), 0.0, "empty histogram reads 0");
+        // 100 observations spread 1..=100: half land in (0,10], half in
+        // (10,100].
+        for v in 1..=100u64 {
+            h.observe(v.min(10) * if v <= 50 { 1 } else { 10 });
+        }
+        // 50 observations in bucket 0 (min=1..10), 50 in bucket 1 (=100).
+        let p50 = h.p50();
+        assert!(
+            (1.0..=10.0).contains(&p50),
+            "p50 within first bucket: {p50}"
+        );
+        let p99 = h.p99();
+        assert!(
+            (10.0..=100.0).contains(&p99),
+            "p99 within second bucket: {p99}"
+        );
+        // Quantiles never leave [min, max].
+        assert!(h.quantile(0.0) >= 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // Overflow bucket clamps to the observed max.
+        let o = sim.stats().histogram("test.over", &[2]);
+        o.observe(50);
+        o.observe(70);
+        assert_eq!(o.quantile(1.0), 70.0);
+        assert!(o.p50() <= 70.0 && o.p50() >= 50.0);
+        // Deterministic JSON includes the readbacks.
+        let json = sim.stats().to_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"p99\":"));
     }
 
     #[test]

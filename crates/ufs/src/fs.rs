@@ -453,6 +453,7 @@ impl Ufs {
                 data: Some(data),
                 ordered: true,
                 stream: 0,
+                span: simkit::SpanId::NONE,
             });
             let fs = self.clone();
             self.inner

@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use clufs::WriteAction;
 use pagecache::{PageId, PageKey};
+use simkit::SpanId;
 use vfs::iopath::{
     BlockMap, Executed, FreeBehind, IoIntent, ReadCluster, ReadReason, WriteCluster, WriteReason,
 };
@@ -106,13 +107,44 @@ impl Ufs {
         lbn: u64,
         hint_blocks: u32,
     ) -> FsResult<PageId> {
+        self.getpage_traced(ip, lbn, hint_blocks, SpanId::NONE)
+            .await
+    }
+
+    /// [`Ufs::getpage`] with its `fs.getpage` trace span nested under
+    /// `parent`. The span brackets the whole fault, including retries.
+    pub(crate) async fn getpage_traced(
+        &self,
+        ip: &Rc<Incore>,
+        lbn: u64,
+        hint_blocks: u32,
+        parent: SpanId,
+    ) -> FsResult<PageId> {
+        let tracer = self.inner.sim.tracer();
+        let span = tracer.start("fs.getpage", ip.io.id().as_u32(), parent);
+        tracer.arg(span, "lbn", lbn);
+        let r = self.getpage_inner(ip, lbn, hint_blocks, span).await;
+        self.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn getpage_inner(
+        &self,
+        ip: &Rc<Incore>,
+        lbn: u64,
+        hint_blocks: u32,
+        span: SpanId,
+    ) -> FsResult<PageId> {
         let costs = self.inner.params.costs;
         self.inner.stats.borrow_mut().getpage_calls += 1;
         self.inner.metrics.getpage_calls.inc();
         let eof_blocks = Self::eof_blocks(ip);
         assert!(lbn < eof_blocks, "getpage beyond EOF");
         let key = self.page_key(ip, lbn);
-        let cached = self.inner.cache.lookup_for(key, ip.io.id().as_u32());
+        let cached = self
+            .inner
+            .cache
+            .lookup_traced(key, ip.io.id().as_u32(), span);
         if cached.is_some() {
             self.inner.stats.borrow_mut().getpage_hits += 1;
             self.inner.metrics.getpage_hits.inc();
@@ -195,7 +227,11 @@ impl Ufs {
             match req_cluster {
                 None => {
                     // A hole: deliver a zero-filled page with no I/O.
-                    let id = self.inner.cache.create(key).await;
+                    let id = self
+                        .inner
+                        .cache
+                        .create_traced(key, ip.io.id().as_u32(), span)
+                        .await;
                     self.inner.cache.unbusy(id);
                     return Ok(id);
                 }
@@ -208,7 +244,12 @@ impl Ufs {
                         len: run.blocks,
                         reason: ReadReason::Demand,
                     });
-                    let io = match self.inner.iopath.execute(&ip.io, &map, intent).await? {
+                    let io = match self
+                        .inner
+                        .iopath
+                        .execute_traced(&ip.io, &map, intent, span)
+                        .await?
+                    {
                         Executed::ReadIssued(io) => io,
                         _ => unreachable!("demand reads are issued"),
                     };
@@ -272,10 +313,10 @@ impl Ufs {
                             self.inner.cache.set_referenced(id);
                             Ok(id)
                         } else {
-                            Box::pin(self.getpage(ip, lbn, hint_blocks)).await
+                            Box::pin(self.getpage_traced(ip, lbn, hint_blocks, span)).await
                         }
                     }
-                    None => Box::pin(self.getpage(ip, lbn, hint_blocks)).await,
+                    None => Box::pin(self.getpage_traced(ip, lbn, hint_blocks, span)).await,
                 }
             }
             (None, Some(io)) => Ok(self.inner.iopath.finish_read(io, lbn).await),
@@ -398,6 +439,25 @@ impl Ufs {
         buf: &mut [u8],
         mode: AccessMode,
     ) -> FsResult<usize> {
+        // One root span per request: everything the request waited on
+        // (faults, cache probes, queue and service time) nests below.
+        let tracer = self.inner.sim.tracer();
+        let span = tracer.start("fs.read", ip.io.id().as_u32(), SpanId::NONE);
+        tracer.arg(span, "off", off);
+        tracer.arg(span, "bytes", buf.len() as u64);
+        let r = self.rdwr_read_inner(ip, off, buf, mode, span).await;
+        self.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn rdwr_read_inner(
+        &self,
+        ip: &Rc<Incore>,
+        off: u64,
+        buf: &mut [u8],
+        mode: AccessMode,
+        span: SpanId,
+    ) -> FsResult<usize> {
         let costs = self.inner.params.costs;
         // mmap access is a pure fault path: no syscall, no kernel
         // map/unmap, no copyout — exactly why the paper's Figure 12 uses
@@ -438,7 +498,7 @@ impl Ufs {
             let lbn = pos / BLOCK_SIZE as u64;
             let in_page = (pos % BLOCK_SIZE as u64) as usize;
             let n = ((BLOCK_SIZE - in_page) as u64).min(end - pos) as usize;
-            let pid = self.getpage(ip, lbn, hint).await?;
+            let pid = self.getpage_traced(ip, lbn, hint, span).await?;
             if mode == AccessMode::Copy {
                 self.charge("map_unmap", costs.map_unmap).await;
                 self.charge("copy", costs.copy(n)).await;
@@ -478,6 +538,23 @@ impl Ufs {
         data: &[u8],
         mode: AccessMode,
     ) -> FsResult<()> {
+        let tracer = self.inner.sim.tracer();
+        let span = tracer.start("fs.write", ip.io.id().as_u32(), SpanId::NONE);
+        tracer.arg(span, "off", off);
+        tracer.arg(span, "bytes", data.len() as u64);
+        let r = self.rdwr_write_inner(ip, off, data, mode, span).await;
+        self.inner.sim.tracer().end(span);
+        r
+    }
+
+    async fn rdwr_write_inner(
+        &self,
+        ip: &Rc<Incore>,
+        off: u64,
+        data: &[u8],
+        mode: AccessMode,
+        span: SpanId,
+    ) -> FsResult<()> {
         let costs = self.inner.params.costs;
         self.charge("syscall", costs.syscall).await;
         if data.is_empty() {
@@ -512,11 +589,11 @@ impl Ufs {
             let demote = ip.din.borrow_mut().inline.take();
             if let Some(content) = demote {
                 ip.din.borrow_mut().size = 0;
-                self.write_blocks(ip, 0, &content, mode).await?;
+                self.write_blocks(ip, 0, &content, mode, span).await?;
             }
         }
 
-        self.write_blocks(ip, off, data, mode).await
+        self.write_blocks(ip, off, data, mode, span).await
     }
 
     async fn write_blocks(
@@ -525,6 +602,7 @@ impl Ufs {
         off: u64,
         data: &[u8],
         mode: AccessMode,
+        span: SpanId,
     ) -> FsResult<()> {
         let costs = self.inner.params.costs;
         let old_size = ip.din.borrow().size;
@@ -549,7 +627,11 @@ impl Ufs {
                     pid
                 }
                 None => {
-                    let pid = self.inner.cache.create(key).await;
+                    let pid = self
+                        .inner
+                        .cache
+                        .create_traced(key, ip.io.id().as_u32(), span)
+                        .await;
                     if !fresh && !full_page && lbn < old_size.div_ceil(BLOCK_SIZE as u64) {
                         // Read-modify-write of an existing partial block.
                         self.charge("fault", costs.fault).await;

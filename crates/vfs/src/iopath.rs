@@ -25,7 +25,7 @@ use clufs::WriteThrottle;
 use diskmodel::{Disk, IoHandle};
 use pagecache::{PageCache, PageId, PageKey};
 use simkit::stats::Histogram;
-use simkit::{Cpu, Notify, Sim, SimDuration};
+use simkit::{Cpu, Notify, Sim, SimDuration, SpanId};
 
 use crate::{FsError, FsResult, StreamId, VnodeId};
 
@@ -109,6 +109,7 @@ pub enum Executed {
 pub struct ClusterRead {
     handle: IoHandle,
     pages: Vec<(u64, PageId)>,
+    span: SpanId,
 }
 
 impl ClusterRead {
@@ -308,8 +309,26 @@ impl IoPath {
         map: &impl BlockMap,
         intent: IoIntent,
     ) -> FsResult<Executed> {
+        self.execute_traced(fstream, map, intent, SpanId::NONE)
+            .await
+    }
+
+    /// [`IoPath::execute`], nesting the intent's trace spans under
+    /// `parent`.
+    ///
+    /// Only a demand read's span is actually parented there: read-ahead
+    /// fills and cluster writebacks complete asynchronously, *after* the
+    /// faulting operation returns, so their spans are roots — a span must
+    /// lie within its parent's interval for the trace to mean anything.
+    pub async fn execute_traced(
+        &self,
+        fstream: &Rc<FileStream>,
+        map: &impl BlockMap,
+        intent: IoIntent,
+        parent: SpanId,
+    ) -> FsResult<Executed> {
         match intent {
-            IoIntent::ReadCluster(rc) => self.read_cluster(fstream, rc).await,
+            IoIntent::ReadCluster(rc) => self.read_cluster(fstream, rc, parent).await,
             IoIntent::WriteCluster(wc) => self.write_clusters(fstream, map, wc).await,
             IoIntent::FreeBehind(fb) => Ok(Executed::Freed(self.free_page(fb))),
         }
@@ -319,7 +338,12 @@ impl IoPath {
     /// already-cached page — and submits one contiguous, stream-tagged
     /// read. Demand reads return the in-flight [`ClusterRead`]; read-ahead
     /// spawns the fill task and returns immediately.
-    async fn read_cluster(&self, fstream: &Rc<FileStream>, rc: ReadCluster) -> FsResult<Executed> {
+    async fn read_cluster(
+        &self,
+        fstream: &Rc<FileStream>,
+        rc: ReadCluster,
+        parent: SpanId,
+    ) -> FsResult<Executed> {
         let inner = &*self.inner;
         if rc.reason == ReadReason::Readahead
             && inner.cache.lookup(self.key(fstream, rc.lbn)).is_some()
@@ -327,13 +351,29 @@ impl IoPath {
             // The data already arrived (or was never evicted): nothing to do.
             return Ok(Executed::AlreadyCached);
         }
+        let stream = fstream.id().as_u32();
+        let span = match rc.reason {
+            ReadReason::Demand => inner
+                .sim
+                .tracer()
+                .start("iopath.read_cluster", stream, parent),
+            // Read-ahead outlives the faulting operation; see
+            // `execute_traced`.
+            ReadReason::Readahead => {
+                inner
+                    .sim
+                    .tracer()
+                    .start("iopath.readahead", stream, SpanId::NONE)
+            }
+        };
+        inner.sim.tracer().arg(span, "lbn", rc.lbn);
         let mut pages = Vec::new();
         for i in 0..rc.len.max(1) {
             let key = self.key(fstream, rc.lbn + i as u64);
             if inner.cache.lookup(key).is_some() {
                 break; // Already resident: clip the cluster here.
             }
-            let id = inner.cache.create(key).await;
+            let id = inner.cache.create_traced(key, stream, span).await;
             // The page identity is fresh; drop any stale read-ahead claim
             // a recycled predecessor left behind.
             inner.ra_pending.borrow_mut().remove(&key);
@@ -341,14 +381,20 @@ impl IoPath {
         }
         let n = pages.len() as u32;
         assert!(n > 0, "cluster read with zero absent pages");
+        inner.sim.tracer().arg(span, "blocks", n as u64);
         inner.cpu.charge("io_setup", inner.costs.io_setup).await;
         self.per_stream(fstream.id()).read_blocks.observe(n as u64);
-        let handle = inner.disk.submit_read_tagged(
+        let handle = inner.disk.submit_read_for(
             rc.pbn as u64 * inner.sectors_per_block as u64,
             n * inner.sectors_per_block,
-            fstream.id().as_u32(),
+            stream,
+            span,
         );
-        let io = ClusterRead { handle, pages };
+        let io = ClusterRead {
+            handle,
+            pages,
+            span,
+        };
         match rc.reason {
             ReadReason::Demand => Ok(Executed::ReadIssued(io)),
             ReadReason::Readahead => {
@@ -381,6 +427,7 @@ impl IoPath {
                 want = Some(*id);
             }
         }
+        inner.sim.tracer().end(io.span);
         want.expect("requested page is in the run")
     }
 
@@ -398,6 +445,7 @@ impl IoPath {
                 inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
                 inner.cache.unbusy(*id);
             }
+            inner.sim.tracer().end(io.span);
         });
     }
 
@@ -473,16 +521,29 @@ impl IoPath {
             for pid in &run {
                 payload.extend_from_slice(&inner.cache.read_page(*pid));
             }
+            // A root span per cluster: the push completes after the caller
+            // returns (see `execute_traced`), so it cannot nest anywhere.
+            let span = inner.sim.tracer().start(
+                "iopath.write_cluster",
+                fstream.id().as_u32(),
+                SpanId::NONE,
+            );
+            inner.sim.tracer().arg(span, "lbn", cur);
+            inner.sim.tracer().arg(span, "blocks", n as u64);
             // Fairness: reserve write-queue space before submitting.
-            let token = fstream.throttle.begin_write(n as u64 * bs as u64).await;
+            let token = fstream
+                .throttle
+                .begin_write_traced(n as u64 * bs as u64, span)
+                .await;
             inner.cpu.charge("io_setup", inner.costs.io_setup).await;
             self.per_stream(fstream.id()).write_blocks.observe(n as u64);
             fstream.io_started();
-            let handle = inner.disk.submit_write_tagged(
+            let handle = inner.disk.submit_write_for(
                 pbn as u64 * inner.sectors_per_block as u64,
                 n * inner.sectors_per_block,
                 payload,
                 fstream.id().as_u32(),
+                span,
             );
             let this = self.clone();
             let fstream2 = Rc::clone(fstream);
@@ -500,6 +561,7 @@ impl IoPath {
                 }
                 fstream2.throttle.complete(token);
                 fstream2.io_finished();
+                inner.sim.tracer().end(span);
             });
             cluster_blocks.push(n);
             cur += n as u64;

@@ -11,6 +11,7 @@ use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
     fig9_table, musbus_run, rejected_alternatives_run, write_limit_sweep_run, RunScale,
 };
+use iobench::runner::Runner;
 use iobench::{run_iobench, Config, IoKind};
 use simkit::Sim;
 use std::time::Duration;
@@ -25,10 +26,10 @@ fn quick() -> RunScale {
 fn bench_fig10(c: &mut Criterion) {
     PRINT_ONCE.call_once(|| {
         println!("\n=== Figure 9 ===\n{}", fig9_table());
-        let data = fig10_run(quick(), None);
+        let data = fig10_run(quick(), &Runner::serial(None));
         println!("=== Figure 10 (quick scale) ===\n{}", fig10_table(&data));
         println!("=== Figure 11 (quick scale) ===\n{}", fig11_table(&data));
-        let (t12, _, _) = fig12_run(quick(), None);
+        let (t12, _, _) = fig12_run(quick(), &Runner::serial(None));
         println!("=== Figure 12 (quick scale) ===\n{t12}");
     });
     let mut g = c.benchmark_group("tables");
@@ -79,7 +80,7 @@ fn bench_fig12(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("fig12_cpu_comparison", |b| {
-        b.iter(|| fig12_run(RunScale::quick(), None).1)
+        b.iter(|| fig12_run(RunScale::quick(), &Runner::serial(None)).1)
     });
     g.finish();
 }
@@ -90,9 +91,9 @@ fn bench_in_text(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("allocator_extents_quick", |b| {
-        b.iter(|| extents_run(true, None).1)
+        b.iter(|| extents_run(true, &Runner::serial(None)).1)
     });
-    g.bench_function("musbus", |b| b.iter(|| musbus_run(None).1));
+    g.bench_function("musbus", |b| b.iter(|| musbus_run(&Runner::serial(None)).1));
     g.finish();
 }
 
@@ -102,13 +103,13 @@ fn bench_ablations(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("rejected_alternatives", |b| {
-        b.iter(|| rejected_alternatives_run(RunScale::quick(), None).len())
+        b.iter(|| rejected_alternatives_run(RunScale::quick(), &Runner::serial(None)).len())
     });
     g.bench_function("extentfs_comparison", |b| {
-        b.iter(|| extentfs_comparison_run(RunScale::quick(), None).len())
+        b.iter(|| extentfs_comparison_run(RunScale::quick(), &Runner::serial(None)).len())
     });
     g.bench_function("write_limit_sweep", |b| {
-        b.iter(|| write_limit_sweep_run(RunScale::quick(), None).len())
+        b.iter(|| write_limit_sweep_run(RunScale::quick(), &Runner::serial(None)).len())
     });
     g.finish();
 }

@@ -2,10 +2,9 @@
 //! transfers, advancing the virtual clock through each phase.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use simkit::stats::{Counter, Histogram, StatsRegistry, TimeWeighted};
+use simkit::stats::{Counter, Histogram, NameId, StatsRegistry, TimeWeighted};
 use simkit::{Notify, Sim, SimDuration, SpanId};
 
 use crate::geometry::Geometry;
@@ -156,17 +155,20 @@ struct DiskMetrics {
     queue_depth: TimeWeighted,
     /// Registry handle for lazily materialized per-stream counters.
     registry: StatsRegistry,
-    /// Cached `disk.sectors_*{stream=N}` handles, one per (stream, op)
-    /// pair ever seen; sectors are attributed per sub-request, so the
-    /// per-stream counters sum to the global `disk.sectors_*` exactly.
-    stream_sectors: RefCell<HashMap<(u32, DiskOp), Counter>>,
-    /// Cached `disk.busy_ns{stream=N}` handles. Each stream present in a
-    /// serviced batch is charged the batch's full service interval — the
-    /// same interval its `disk.service` span covers — so per-stream span
-    /// sums and these counters agree exactly. (A coalesced batch that
-    /// mixes streams charges the interval to each stream, so the
-    /// per-stream values can exceed the global `disk.busy_ns`.)
-    stream_busy: RefCell<HashMap<u32, Counter>>,
+    /// Interned base names for the per-stream counters below: the
+    /// per-sub-request attribution path resolves `base{stream=N}` through
+    /// the registry's trivial-hash interned table instead of formatting
+    /// and re-hashing a `String` key per I/O. Sectors are attributed per
+    /// sub-request, so the per-stream counters sum to the global
+    /// `disk.sectors_*` exactly. Each stream present in a serviced batch
+    /// is charged the batch's full service interval — the same interval
+    /// its `disk.service` span covers — so per-stream span sums and the
+    /// `disk.busy_ns{stream=N}` counters agree exactly. (A coalesced
+    /// batch that mixes streams charges the interval to each stream, so
+    /// the per-stream values can exceed the global `disk.busy_ns`.)
+    sectors_read_id: NameId,
+    sectors_written_id: NameId,
+    busy_ns_id: NameId,
 }
 
 impl DiskMetrics {
@@ -191,32 +193,23 @@ impl DiskMetrics {
             queue_wait_ns: s.counter("disk.queue_wait_ns"),
             busy_ns: s.counter("disk.busy_ns"),
             queue_depth: s.time_weighted("disk.queue_depth"),
+            sectors_read_id: s.intern("disk.sectors_read"),
+            sectors_written_id: s.intern("disk.sectors_written"),
+            busy_ns_id: s.intern("disk.busy_ns"),
             registry: s.clone(),
-            stream_sectors: RefCell::new(HashMap::new()),
-            stream_busy: RefCell::new(HashMap::new()),
         }
     }
 
     fn stream_sectors(&self, stream: u32, op: DiskOp) -> Counter {
-        self.stream_sectors
-            .borrow_mut()
-            .entry((stream, op))
-            .or_insert_with(|| {
-                let base = match op {
-                    DiskOp::Read => "disk.sectors_read",
-                    DiskOp::Write => "disk.sectors_written",
-                };
-                self.registry.stream_counter(base, stream)
-            })
-            .clone()
+        let base = match op {
+            DiskOp::Read => self.sectors_read_id,
+            DiskOp::Write => self.sectors_written_id,
+        };
+        self.registry.stream_counter_id(base, stream)
     }
 
     fn stream_busy(&self, stream: u32) -> Counter {
-        self.stream_busy
-            .borrow_mut()
-            .entry(stream)
-            .or_insert_with(|| self.registry.stream_counter("disk.busy_ns", stream))
-            .clone()
+        self.registry.stream_counter_id(self.busy_ns_id, stream)
     }
 }
 

@@ -9,6 +9,32 @@ use std::collections::HashMap;
 
 const CHUNK_SECTORS: u64 = 128; // 64 KB chunks at 512 B sectors.
 
+/// Yields one chunk-aligned run per chunk touched by `[lba, lba + nsect)`:
+/// `(chunk_idx, byte offset within the chunk, byte offset within the
+/// transfer, run length in bytes)`. Lets `read`/`write` do one hash lookup
+/// and one `copy_from_slice` per chunk instead of one per sector.
+fn chunk_runs(
+    lba: u64,
+    nsect: u32,
+    sector_size: usize,
+) -> impl Iterator<Item = (u64, usize, usize, usize)> {
+    let end = lba + nsect as u64;
+    let mut sector = lba;
+    std::iter::from_fn(move || {
+        if sector >= end {
+            return None;
+        }
+        let chunk_idx = sector / CHUNK_SECTORS;
+        let chunk_end = (chunk_idx + 1) * CHUNK_SECTORS;
+        let stop = end.min(chunk_end);
+        let run = (stop - sector) as usize * sector_size;
+        let within = (sector % CHUNK_SECTORS) as usize * sector_size;
+        let xfer = (sector - lba) as usize * sector_size;
+        sector = stop;
+        Some((chunk_idx, within, xfer, run))
+    })
+}
+
 /// Sparse sector-addressed storage.
 pub struct SectorStore {
     sector_size: usize,
@@ -57,14 +83,10 @@ impl SectorStore {
     pub fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
         self.check_range(lba, nsect);
         let mut out = vec![0u8; nsect as usize * self.sector_size];
-        for i in 0..nsect as u64 {
-            let sector = lba + i;
-            let chunk_idx = sector / CHUNK_SECTORS;
+        for (chunk_idx, within, xfer, run) in chunk_runs(lba, nsect, self.sector_size) {
+            // Absent chunks stay zero: `out` is pre-zeroed.
             if let Some(chunk) = self.chunks.get(&chunk_idx) {
-                let within = (sector % CHUNK_SECTORS) as usize * self.sector_size;
-                let dst = i as usize * self.sector_size;
-                out[dst..dst + self.sector_size]
-                    .copy_from_slice(&chunk[within..within + self.sector_size]);
+                out[xfer..xfer + run].copy_from_slice(&chunk[within..within + run]);
             }
         }
         out
@@ -83,16 +105,12 @@ impl SectorStore {
             "write data length mismatch"
         );
         let sector_size = self.sector_size;
-        for i in 0..nsect as u64 {
-            let sector = lba + i;
-            let chunk_idx = sector / CHUNK_SECTORS;
+        for (chunk_idx, within, xfer, run) in chunk_runs(lba, nsect, sector_size) {
             let chunk = self
                 .chunks
                 .entry(chunk_idx)
                 .or_insert_with(|| vec![0u8; CHUNK_SECTORS as usize * sector_size]);
-            let within = (sector % CHUNK_SECTORS) as usize * sector_size;
-            let src = i as usize * sector_size;
-            chunk[within..within + sector_size].copy_from_slice(&data[src..src + sector_size]);
+            chunk[within..within + run].copy_from_slice(&data[xfer..xfer + run]);
         }
     }
 }

@@ -3,30 +3,37 @@
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
 //!         write-limit|free-behind|streams|all \
-//!         [--quick] [--streams N] [--stats-json <path>] [--trace <path>]
+//!         [--quick] [--jobs N] [--streams N] [--stats-json <path>] \
+//!         [--trace <path>]
 //! ```
 //!
-//! `--stats-json <path>` writes every simulated run's full metrics-registry
-//! snapshot (schema `iobench-stats/v3`; see DESIGN.md "Observability") so
-//! benchmark trajectories can be diffed across changes. `--trace <path>`
-//! records per-request spans through the whole I/O path and writes them as
-//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto), and
-//! prints each run's latency-attribution table. `--streams N` sets the
-//! stream count for the multi-stream fairness workload (and selects it
-//! when no experiment is named). Unrecognized flags are an error.
+//! `--jobs N` fans an experiment's independent simulated runs out across N
+//! worker threads (default: all available cores; `--jobs 1` runs serially).
+//! Every run is a pure function of virtual time and results are re-emitted
+//! in run order, so stdout, `--stats-json`, and `--trace` are
+//! byte-identical for any jobs count. `--stats-json <path>` writes every
+//! simulated run's full metrics-registry snapshot (schema
+//! `iobench-stats/v3`; see DESIGN.md "Observability") so benchmark
+//! trajectories can be diffed across changes. `--trace <path>` records
+//! per-request spans through the whole I/O path and writes them as Chrome
+//! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
+//! each run's latency-attribution table. `--streams N` sets the stream
+//! count for the multi-stream fairness workload (and selects it when no
+//! experiment is named). Unrecognized flags are an error.
 
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
     fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
     write_limit_sweep_run, RunScale, StatsSink,
 };
+use iobench::runner::Runner;
 use iobench::traceout;
 
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
          extentfs|write-limit|free-behind|streams|all \
-         [--quick] [--streams N] [--stats-json <path>] [--trace <path>]"
+         [--quick] [--jobs N] [--streams N] [--stats-json <path>] [--trace <path>]"
     );
     std::process::exit(2);
 }
@@ -43,29 +50,35 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Extracts `--flag N` (a positive count) from `args`, if present.
+fn take_count_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a count argument");
+        usage();
+    }
+    let n: usize = match args[i + 1].parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} requires a positive count");
+            usage();
+        }
+    };
+    args.remove(i + 1);
+    args.remove(i);
+    Some(n)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats_path = take_value_flag(&mut args, "--stats-json");
     let trace_path = take_value_flag(&mut args, "--trace");
-    let nstreams = match args.iter().position(|a| a == "--streams") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--streams requires a count argument");
-                usage();
-            }
-            let n: u32 = match args[i + 1].parse() {
-                Ok(n) if n > 0 => n,
-                _ => {
-                    eprintln!("--streams requires a positive count");
-                    usage();
-                }
-            };
-            args.remove(i + 1);
-            args.remove(i);
-            Some(n)
-        }
-        None => None,
-    };
+    let jobs = take_count_flag(&mut args, "--jobs").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let nstreams = take_count_flag(&mut args, "--streams").map(|n| n as u32);
     let quick = match args.iter().position(|a| a == "--quick") {
         Some(i) => {
             args.remove(i);
@@ -100,10 +113,10 @@ fn main() {
     } else {
         None
     };
-    let sref = sink.as_ref();
+    let runner = Runner::new(jobs, sink.as_ref());
 
-    let run_fig10 = |scale: RunScale, sref: Option<&StatsSink>| {
-        let data = fig10_run(scale, sref);
+    let run_fig10 = |runner: &Runner| {
+        let data = fig10_run(scale, runner);
         println!("Figure 10: IObench transfer rates in KB/second\n");
         println!("{}", fig10_table(&data));
         println!("Figure 11: IObench transfer rate ratios\n");
@@ -115,69 +128,69 @@ fn main() {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
         }
-        "fig10" | "fig11" => run_fig10(scale, sref),
+        "fig10" | "fig11" => run_fig10(&runner),
         "fig12" => {
-            let (table, _, _) = fig12_run(scale, sref);
+            let (table, _, _) = fig12_run(scale, &runner);
             println!("Figure 12: System CPU comparison\n");
             println!("{table}");
         }
         "extents" => {
-            let (table, _, _) = extents_run(quick, sref);
+            let (table, _, _) = extents_run(quick, &runner);
             println!("Allocator contiguity study (paper: 1.5MB best / 62KB aged)\n");
             println!("{table}");
         }
         "musbus" => {
-            let (table, ratio) = musbus_run(sref);
+            let (table, ratio) = musbus_run(&runner);
             println!("MusBus-like timesharing mix (expect only slight improvement)\n");
             println!("{table}");
             println!("old/new iteration-time ratio: {ratio:.2}");
         }
         "alternatives" => {
             println!("Rejected alternatives (tuning-only, driver clustering)\n");
-            println!("{}", rejected_alternatives_run(scale, sref));
+            println!("{}", rejected_alternatives_run(scale, &runner));
         }
         "extentfs" => {
             println!("Extent-based file system vs clustered UFS\n");
-            println!("{}", extentfs_comparison_run(scale, sref));
+            println!("{}", extentfs_comparison_run(scale, &runner));
         }
         "write-limit" => {
             println!("Write-limit sweep (fairness vs throughput)\n");
-            println!("{}", write_limit_sweep_run(scale, sref));
+            println!("{}", write_limit_sweep_run(scale, &runner));
         }
         "free-behind" => {
-            let (table, _, _) = free_behind_run(scale, sref);
+            let (table, _, _) = free_behind_run(scale, &runner);
             println!("Free-behind cache survival\n");
             println!("{table}");
         }
         "streams" => {
             println!("Multi-stream fairness ({nstreams} tagged streams)\n");
-            println!("{}", streams_run(nstreams, scale, sref));
+            println!("{}", streams_run(nstreams, scale, &runner));
         }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
-            run_fig10(scale, sref);
-            let (t12, _, _) = fig12_run(scale, sref);
+            run_fig10(&runner);
+            let (t12, _, _) = fig12_run(scale, &runner);
             println!("Figure 12: System CPU comparison\n");
             println!("{t12}");
-            let (tx, _, _) = extents_run(quick, sref);
+            let (tx, _, _) = extents_run(quick, &runner);
             println!("Allocator contiguity study\n");
             println!("{tx}");
-            let (tm, r) = musbus_run(sref);
+            let (tm, r) = musbus_run(&runner);
             println!("MusBus-like timesharing mix\n");
             println!("{tm}");
             println!("old/new iteration-time ratio: {r:.2}\n");
             println!("Rejected alternatives\n");
-            println!("{}", rejected_alternatives_run(scale, sref));
+            println!("{}", rejected_alternatives_run(scale, &runner));
             println!("Extent-based file system vs clustered UFS\n");
-            println!("{}", extentfs_comparison_run(scale, sref));
+            println!("{}", extentfs_comparison_run(scale, &runner));
             println!("Write-limit sweep\n");
-            println!("{}", write_limit_sweep_run(scale, sref));
-            let (tf, _, _) = free_behind_run(scale, sref);
+            println!("{}", write_limit_sweep_run(scale, &runner));
+            let (tf, _, _) = free_behind_run(scale, &runner);
             println!("Free-behind cache survival\n");
             println!("{tf}");
             println!("Multi-stream fairness ({nstreams} tagged streams)\n");
-            println!("{}", streams_run(nstreams, scale, sref));
+            println!("{}", streams_run(nstreams, scale, &runner));
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -194,8 +207,9 @@ fn main() {
             }
         }
     }
-    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
-        let traces = sink.traces();
+    if let (Some(path), Some(sink)) = (&trace_path, sink) {
+        // Consuming the sink avoids cloning every span on the emit path.
+        let traces = sink.into_traces();
         println!("Per-run latency attribution (from --trace spans)\n");
         for (id, spans) in &traces {
             println!("{id}:");

@@ -16,6 +16,7 @@ use crate::cpu_bench::mmap_read_cpu;
 use crate::iobench::{run_iobench, BenchOptions, IoKind, Throughput};
 use crate::musbus::{run_musbus, MusbusOptions};
 use crate::report::{kbs, ratio, Table};
+use crate::runner::{RunPlan, Runner};
 use crate::streams::{run_streams, StreamsOptions};
 
 /// Collects labeled per-run metrics snapshots (and, with
@@ -67,6 +68,11 @@ impl StatsSink {
         sim
     }
 
+    /// Whether sims built through this sink record span traces.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Captures `sim`'s entire metrics registry under `id`
     /// (`experiment/run` path style, e.g. `fig10/A/FSR`), draining the
     /// run's spans alongside when tracing.
@@ -78,6 +84,19 @@ impl StatsSink {
                 .push((id.clone(), sim.tracer().take_spans()));
         }
         self.runs.borrow_mut().push((id, sim.stats().to_json()));
+    }
+
+    /// Captures an already-serialized run outcome (how the parallel
+    /// [`Runner`](crate::runner::Runner) re-emits worker results in plan
+    /// order: workers serialize on their own thread, the sink only ever
+    /// sees main-thread pushes).
+    pub fn push_outcome(&self, id: &str, stats_json: Option<String>, spans: Vec<simkit::Span>) {
+        if self.tracing {
+            self.traces.borrow_mut().push((id.to_string(), spans));
+        }
+        if let Some(stats) = stats_json {
+            self.runs.borrow_mut().push((id.to_string(), stats));
+        }
     }
 
     /// Number of captured runs.
@@ -95,10 +114,24 @@ impl StatsSink {
         self.runs.borrow().clone()
     }
 
+    /// Consumes the sink, yielding the captured `(run id, registry JSON)`
+    /// pairs without cloning them (use on emit paths; [`StatsSink::runs`]
+    /// clones for callers that still need the sink).
+    pub fn into_runs(self) -> Vec<(String, String)> {
+        self.runs.into_inner()
+    }
+
     /// The captured `(run id, spans)` traces, in run order (empty unless
     /// built with [`StatsSink::with_tracing`]).
     pub fn traces(&self) -> Vec<(String, Vec<simkit::Span>)> {
         self.traces.borrow().clone()
+    }
+
+    /// Consumes the sink, yielding the captured traces without cloning
+    /// every span (traces dwarf the stats snapshots, so the `--trace`
+    /// emit path uses this).
+    pub fn into_traces(self) -> Vec<(String, Vec<simkit::Span>)> {
+        self.traces.into_inner()
     }
 
     /// Serializes the collection as the `--stats-json` document.
@@ -181,19 +214,10 @@ pub fn fig9_table() -> String {
 /// Raw Figure 10 rates: `rates[config][kind]` in KB/s.
 pub type Fig10Data = Vec<Vec<f64>>;
 
-/// Runs one Figure 10 cell (one config, one workload) in a fresh world,
-/// capturing the run's metrics snapshot into `sink` as
-/// `fig10/<config>/<kind>`. Public so tests can assert on single-cell
-/// snapshots without paying for the whole matrix.
-pub fn fig10_cell(
-    config: Config,
-    kind: IoKind,
-    scale: RunScale,
-    sink: Option<&StatsSink>,
-) -> Throughput {
-    let sim = sink_sim(sink);
+/// Drives one Figure 10 cell (one config, one workload) on `sim`.
+fn fig10_cell_on(sim: &Sim, config: Config, kind: IoKind, scale: RunScale) -> Throughput {
     let s = sim.clone();
-    let t = sim.run_until(async move {
+    sim.run_until(async move {
         let w = paper_world(&s, config.tuning(), WorldOptions::default())
             .await
             .expect("world");
@@ -213,23 +237,42 @@ pub fn fig10_cell(
         )
         .await
         .expect("iobench")
-    });
+    })
+}
+
+/// Runs one Figure 10 cell in a fresh world, capturing the run's metrics
+/// snapshot into `sink` as `fig10/<config>/<kind>`. Public so tests can
+/// assert on single-cell snapshots without paying for the whole matrix.
+pub fn fig10_cell(
+    config: Config,
+    kind: IoKind,
+    scale: RunScale,
+    sink: Option<&StatsSink>,
+) -> Throughput {
+    let sim = sink_sim(sink);
+    let t = fig10_cell_on(&sim, config, kind, scale);
     if let Some(sink) = sink {
         sink.push(format!("fig10/{}/{}", config.label(), kind.label()), &sim);
     }
     t
 }
 
-/// Runs the full Figure 10 matrix. Expensive (20 simulated runs).
-pub fn fig10_run(scale: RunScale, sink: Option<&StatsSink>) -> Fig10Data {
-    Config::all()
-        .iter()
-        .map(|&c| {
-            IoKind::all()
-                .iter()
-                .map(|&k| fig10_cell(c, k, scale, sink).kb_per_sec())
-                .collect()
-        })
+/// Runs the full Figure 10 matrix. Expensive (20 simulated runs), so the
+/// cells fan out across the runner's worker threads.
+pub fn fig10_run(scale: RunScale, runner: &Runner) -> Fig10Data {
+    let mut plans = Vec::new();
+    for c in Config::all() {
+        for k in IoKind::all() {
+            plans.push(RunPlan::new(
+                format!("fig10/{}/{}", c.label(), k.label()),
+                move |sim: &Sim| fig10_cell_on(sim, c, k, scale).kb_per_sec(),
+            ));
+        }
+    }
+    let rates = runner.run(plans);
+    rates
+        .chunks(IoKind::all().len())
+        .map(|row| row.to_vec())
         .collect()
 }
 
@@ -257,28 +300,28 @@ pub fn fig11_table(data: &Fig10Data) -> String {
 
 /// Figure 12: CPU seconds to read a 16 MB file via mmap, new vs old UFS.
 /// Returns `(rendered table, new_cpu_secs, old_cpu_secs)`.
-pub fn fig12_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, f64, f64) {
-    let run = |tuning: Tuning, id: &str| -> f64 {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let cpu = sim.run_until(async move {
-            let w = paper_world(&s, tuning, WorldOptions::default())
-                .await
-                .expect("world");
-            mmap_read_cpu(&s, &w, "mmap.dat", scale.cpu_file_bytes)
-                .await
-                .expect("cpu bench")
-                .cpu
-                .as_secs_f64()
-        });
-        if let Some(sink) = sink {
-            sink.push(format!("fig12/{id}"), &sim);
-        }
-        cpu
+pub fn fig12_run(scale: RunScale, runner: &Runner) -> (String, f64, f64) {
+    let plan = |tuning: Tuning, id: &str| {
+        RunPlan::new(format!("fig12/{id}"), move |sim: &Sim| {
+            let s = sim.clone();
+            sim.run_until(async move {
+                let w = paper_world(&s, tuning, WorldOptions::default())
+                    .await
+                    .expect("world");
+                mmap_read_cpu(&s, &w, "mmap.dat", scale.cpu_file_bytes)
+                    .await
+                    .expect("cpu bench")
+                    .cpu
+                    .as_secs_f64()
+            })
+        })
     };
     // The paper compares "4.1.1 UFS, no rotdelays" vs "4.1 UFS, rotdelays".
-    let new = run(Tuning::config_a(), "new");
-    let old = run(Tuning::config_d(), "old");
+    let cpus = runner.run(vec![
+        plan(Tuning::config_a(), "new"),
+        plan(Tuning::config_d(), "old"),
+    ]);
+    let (new, old) = (cpus[0], cpus[1]);
     let mut t = Table::new(&["CPU", "Notes"]);
     let mb = scale.cpu_file_bytes >> 20;
     t.row(vec![
@@ -294,47 +337,45 @@ pub fn fig12_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, f64, f64
 
 /// The allocator-contiguity study. Returns `(rendered, best_mean_bytes,
 /// aged_mean_bytes)`.
-pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) {
-    // Best case: fill a fresh partition with one file.
-    let sim = sink_sim(sink);
-    let s = sim.clone();
+pub fn extents_run(quick: bool, runner: &Runner) -> (String, f64, f64) {
     let (probe_mb, aged_target) = if quick { (4u64, 0.7) } else { (13u64, 0.88) };
-    let best = sim.run_until(async move {
-        let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
-            .await
-            .expect("world");
-        probe_extents(&w, "best.dat", probe_mb << 20)
-            .await
-            .expect("probe")
-    });
-    if let Some(sink) = sink {
-        sink.push("extents/best", &sim);
-    }
-    // Worst case: fill the last 15% of a heavily fragmented partition.
-    let sim2 = sink_sim(sink);
-    let s2 = sim2.clone();
     let probe2_mb = if quick { 4u64 } else { 16 };
-    let worst = sim2.run_until(async move {
-        let w = paper_world(&s2, Tuning::config_a(), WorldOptions::default())
-            .await
-            .expect("world");
-        age_filesystem(
-            &w,
-            AgingOptions {
-                target_fill: aged_target,
-                rounds: if quick { 2 } else { 5 },
-                seed: 0xA6E,
-            },
-        )
-        .await
-        .expect("aging");
-        probe_extents(&w, "home/worst.dat", probe2_mb << 20)
-            .await
-            .expect("probe")
+    // Best case: fill a fresh partition with one file.
+    let best_plan = RunPlan::new("extents/best", move |sim: &Sim| {
+        let s = sim.clone();
+        sim.run_until(async move {
+            let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+                .await
+                .expect("world");
+            probe_extents(&w, "best.dat", probe_mb << 20)
+                .await
+                .expect("probe")
+        })
     });
-    if let Some(sink) = sink {
-        sink.push("extents/aged", &sim2);
-    }
+    // Worst case: fill the last 15% of a heavily fragmented partition.
+    let worst_plan = RunPlan::new("extents/aged", move |sim: &Sim| {
+        let s = sim.clone();
+        sim.run_until(async move {
+            let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+                .await
+                .expect("world");
+            age_filesystem(
+                &w,
+                AgingOptions {
+                    target_fill: aged_target,
+                    rounds: if quick { 2 } else { 5 },
+                    seed: 0xA6E,
+                },
+            )
+            .await
+            .expect("aging");
+            probe_extents(&w, "home/worst.dat", probe2_mb << 20)
+                .await
+                .expect("probe")
+        })
+    });
+    let stats = runner.run(vec![best_plan, worst_plan]);
+    let (best, worst) = (stats[0], stats[1]);
     let mut t = Table::new(&["case", "file", "extents", "mean extent", "max extent"]);
     for (label, st) in [("empty fs", &best), ("aged fs (last 15%)", &worst)] {
         t.row(vec![
@@ -350,25 +391,25 @@ pub fn extents_run(quick: bool, sink: Option<&StatsSink>) -> (String, f64, f64) 
 
 /// MusBus comparison (should improve "only slightly"). Returns
 /// `(rendered, ratio_old_over_new)`.
-pub fn musbus_run(sink: Option<&StatsSink>) -> (String, f64) {
-    let run = |tuning: Tuning, id: &str| {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let r = sim.run_until(async move {
-            let w = paper_world(&s, tuning, WorldOptions::default())
-                .await
-                .expect("world");
-            run_musbus(&s, &w, MusbusOptions::default())
-                .await
-                .expect("musbus")
-        });
-        if let Some(sink) = sink {
-            sink.push(format!("musbus/{id}"), &sim);
-        }
-        r
+pub fn musbus_run(runner: &Runner) -> (String, f64) {
+    let plan = |tuning: Tuning, id: &str| {
+        RunPlan::new(format!("musbus/{id}"), move |sim: &Sim| {
+            let s = sim.clone();
+            sim.run_until(async move {
+                let w = paper_world(&s, tuning, WorldOptions::default())
+                    .await
+                    .expect("world");
+                run_musbus(&s, &w, MusbusOptions::default())
+                    .await
+                    .expect("musbus")
+            })
+        })
     };
-    let new = run(Tuning::config_a(), "A");
-    let old = run(Tuning::config_d(), "D");
+    let results = runner.run(vec![
+        plan(Tuning::config_a(), "A"),
+        plan(Tuning::config_d(), "D"),
+    ]);
+    let (new, old) = (results[0], results[1]);
     let ratio = old.mean_iteration.as_secs_f64() / new.mean_iteration.as_secs_f64();
     let mut t = Table::new(&["config", "mean script iteration", "bytes moved"]);
     t.row(vec![
@@ -433,25 +474,24 @@ async fn measure_ufs(sim: &Sim, w: &ufs::World, kind: IoKind, scale: RunScale) -
 /// The rejected "file system tuning" alternative (rotdelay 0, still
 /// block-at-a-time) and the rejected "driver clustering" alternative, vs
 /// the shipped configurations. Returns the rendered comparison.
-pub fn rejected_alternatives_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
-    let run = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind, id: &str| -> f64 {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let rate = sim.run_until(async move {
-            let dp = DiskParams {
-                coalesce_limit: coalesce,
-                ..DiskParams::sun0424()
-            };
-            let w = custom_disk_world(&s, tuning, dp).await;
-            measure_ufs(&s, &w, kind, scale).await
-        });
-        if let Some(sink) = sink {
-            sink.push(format!("alternatives/{id}/{}", kind.label()), &sim);
-        }
-        rate
+pub fn rejected_alternatives_run(scale: RunScale, runner: &Runner) -> String {
+    let plan = |tuning: Tuning, coalesce: Option<u32>, kind: IoKind, id: &str| {
+        RunPlan::new(
+            format!("alternatives/{id}/{}", kind.label()),
+            move |sim: &Sim| {
+                let s = sim.clone();
+                sim.run_until(async move {
+                    let dp = DiskParams {
+                        coalesce_limit: coalesce,
+                        ..DiskParams::sun0424()
+                    };
+                    let w = custom_disk_world(&s, tuning, dp).await;
+                    measure_ufs(&s, &w, kind, scale).await
+                })
+            },
+        )
     };
-    let mut t = Table::new(&["alternative", "FSR", "FSW"]);
-    for (label, id, tuning, coalesce) in [
+    let rows = [
         ("B: stock + heuristics", "B", Tuning::config_b(), None),
         (
             "tuning only (rotdelay=0)",
@@ -466,87 +506,107 @@ pub fn rejected_alternatives_run(scale: RunScale, sink: Option<&StatsSink>) -> S
             Some(112),
         ),
         ("A: fs clustering", "A", Tuning::config_a(), None),
-    ] {
-        let fsr = run(tuning, coalesce, IoKind::SeqRead, id);
-        let fsw = run(tuning, coalesce, IoKind::SeqWrite, id);
-        t.row(vec![label.to_string(), kbs(fsr), kbs(fsw)]);
+    ];
+    let mut plans = Vec::new();
+    for (_, id, tuning, coalesce) in rows {
+        plans.push(plan(tuning, coalesce, IoKind::SeqRead, id));
+        plans.push(plan(tuning, coalesce, IoKind::SeqWrite, id));
+    }
+    let rates = runner.run(plans);
+    let mut t = Table::new(&["alternative", "FSR", "FSW"]);
+    for (i, (label, ..)) in rows.into_iter().enumerate() {
+        t.row(vec![
+            label.to_string(),
+            kbs(rates[2 * i]),
+            kbs(rates[2 * i + 1]),
+        ]);
     }
     t.render()
 }
 
 /// Clustered UFS vs the extent-based file system at several user-chosen
 /// extent sizes (the title claim). Returns the rendered comparison.
-pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
-    let run_extentfs = |extent_blocks: u32, kind: IoKind| -> f64 {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let rate = sim.run_until(async move {
-            let cpu = Cpu::new(&s);
-            let disk = Disk::new(&s, DiskParams::sun0424());
-            let cache = PageCache::new(&s, PageCacheParams::sparcstation_8mb());
-            let (_daemon, rx) =
-                PageoutDaemon::spawn(&s, &cache, Some(cpu.clone()), PageoutParams::sparcstation());
-            std::mem::forget(rx);
-            let fs = extentfs::ExtentFs::format(
-                &s,
-                &cpu,
-                &cache,
-                &disk,
-                256,
-                extentfs::ExtentFsParams::with_extent_blocks(extent_blocks),
-            )
-            .expect("format");
-            let cache2 = cache.clone();
-            run_iobench(
-                &s,
-                &fs,
-                move |f: &extentfs::ExtFile| cache2.invalidate_vnode(f.id(), 0),
-                "ext.dat",
-                kind,
-                bench_opts(scale),
-            )
-            .await
-            .expect("iobench")
-            .kb_per_sec()
-        });
-        if let Some(sink) = sink {
-            sink.push(
-                format!("extentfs/{extent_blocks}blk/{}", kind.label()),
-                &sim,
-            );
-        }
-        rate
+pub fn extentfs_comparison_run(scale: RunScale, runner: &Runner) -> String {
+    let plan_extentfs = |extent_blocks: u32, kind: IoKind| {
+        RunPlan::new(
+            format!("extentfs/{extent_blocks}blk/{}", kind.label()),
+            move |sim: &Sim| {
+                let s = sim.clone();
+                sim.run_until(async move {
+                    let cpu = Cpu::new(&s);
+                    let disk = Disk::new(&s, DiskParams::sun0424());
+                    let cache = PageCache::new(&s, PageCacheParams::sparcstation_8mb());
+                    let (_daemon, rx) = PageoutDaemon::spawn(
+                        &s,
+                        &cache,
+                        Some(cpu.clone()),
+                        PageoutParams::sparcstation(),
+                    );
+                    std::mem::forget(rx);
+                    let fs = extentfs::ExtentFs::format(
+                        &s,
+                        &cpu,
+                        &cache,
+                        &disk,
+                        256,
+                        extentfs::ExtentFsParams::with_extent_blocks(extent_blocks),
+                    )
+                    .expect("format");
+                    let cache2 = cache.clone();
+                    run_iobench(
+                        &s,
+                        &fs,
+                        move |f: &extentfs::ExtFile| cache2.invalidate_vnode(f.id(), 0),
+                        "ext.dat",
+                        kind,
+                        bench_opts(scale),
+                    )
+                    .await
+                    .expect("iobench")
+                    .kb_per_sec()
+                })
+            },
+        )
     };
-    let run_ufs = |tuning: Tuning, kind: IoKind| -> f64 {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let rate = sim.run_until(async move {
-            let w = paper_world(&s, tuning, WorldOptions::default())
-                .await
-                .expect("world");
-            measure_ufs(&s, &w, kind, scale).await
-        });
-        if let Some(sink) = sink {
-            sink.push(format!("extentfs/ufs-A/{}", kind.label()), &sim);
-        }
-        rate
+    let plan_ufs = |tuning: Tuning, kind: IoKind| {
+        RunPlan::new(
+            format!("extentfs/ufs-A/{}", kind.label()),
+            move |sim: &Sim| {
+                let s = sim.clone();
+                sim.run_until(async move {
+                    let w = paper_world(&s, tuning, WorldOptions::default())
+                        .await
+                        .expect("world");
+                    measure_ufs(&s, &w, kind, scale).await
+                })
+            },
+        )
     };
-    let mut t = Table::new(&["file system", "FSR", "FSW"]);
-    for (label, blocks) in [
+    let rows = [
         ("extentfs, 8KB extents (too small)", 1u32),
         ("extentfs, 56KB extents", 7),
         ("extentfs, 120KB extents", 15),
-    ] {
+    ];
+    let mut plans = Vec::new();
+    for (_, blocks) in rows {
+        plans.push(plan_extentfs(blocks, IoKind::SeqRead));
+        plans.push(plan_extentfs(blocks, IoKind::SeqWrite));
+    }
+    plans.push(plan_ufs(Tuning::config_a(), IoKind::SeqRead));
+    plans.push(plan_ufs(Tuning::config_a(), IoKind::SeqWrite));
+    let rates = runner.run(plans);
+    let mut t = Table::new(&["file system", "FSR", "FSW"]);
+    for (i, (label, _)) in rows.into_iter().enumerate() {
         t.row(vec![
             label.to_string(),
-            kbs(run_extentfs(blocks, IoKind::SeqRead)),
-            kbs(run_extentfs(blocks, IoKind::SeqWrite)),
+            kbs(rates[2 * i]),
+            kbs(rates[2 * i + 1]),
         ]);
     }
     t.row(vec![
         "clustered UFS (120KB clusters)".to_string(),
-        kbs(run_ufs(Tuning::config_a(), IoKind::SeqRead)),
-        kbs(run_ufs(Tuning::config_a(), IoKind::SeqWrite)),
+        kbs(rates[6]),
+        kbs(rates[7]),
     ]);
     t.render()
 }
@@ -554,34 +614,32 @@ pub fn extentfs_comparison_run(scale: RunScale, sink: Option<&StatsSink>) -> Str
 /// Write-limit sweep: FRU throughput and writer-memory footprint with no
 /// limit vs several limits (the fairness tradeoff). Returns the rendered
 /// table.
-pub fn write_limit_sweep_run(scale: RunScale, sink: Option<&StatsSink>) -> String {
-    let run = |limit: Option<u32>, id: &str| -> (f64, u64) {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let r = sim.run_until(async move {
-            let tuning = Tuning {
-                write_limit: limit,
-                ..Tuning::config_a()
-            };
-            let w = paper_world(&s, tuning, WorldOptions::default())
-                .await
-                .expect("world");
-            let rate = measure_ufs(&s, &w, IoKind::RandUpdate, scale).await;
-            let stalls = w.cache.stats().alloc_stalls;
-            (rate, stalls)
-        });
-        if let Some(sink) = sink {
-            sink.push(format!("write-limit/{id}"), &sim);
-        }
-        r
+pub fn write_limit_sweep_run(scale: RunScale, runner: &Runner) -> String {
+    let plan = |limit: Option<u32>, id: &str| {
+        RunPlan::new(format!("write-limit/{id}"), move |sim: &Sim| {
+            let s = sim.clone();
+            sim.run_until(async move {
+                let tuning = Tuning {
+                    write_limit: limit,
+                    ..Tuning::config_a()
+                };
+                let w = paper_world(&s, tuning, WorldOptions::default())
+                    .await
+                    .expect("world");
+                let rate = measure_ufs(&s, &w, IoKind::RandUpdate, scale).await;
+                let stalls = w.cache.stats().alloc_stalls;
+                (rate, stalls)
+            })
+        })
     };
-    let mut t = Table::new(&["write limit", "FRU KB/s", "page alloc stalls"]);
-    for (label, id, limit) in [
+    let rows = [
         ("none (config D style)", "none", None),
         ("240KB (shipped)", "240KB", Some(240 * 1024)),
         ("24KB (too small)", "24KB", Some(24 * 1024)),
-    ] {
-        let (rate, stalls) = run(limit, id);
+    ];
+    let results = runner.run(rows.iter().map(|&(_, id, limit)| plan(limit, id)).collect());
+    let mut t = Table::new(&["write limit", "FRU KB/s", "page alloc stalls"]);
+    for ((label, ..), (rate, stalls)) in rows.into_iter().zip(results) {
         t.row(vec![label.to_string(), kbs(rate), format!("{stalls}")]);
     }
     t.render()
@@ -591,91 +649,87 @@ pub fn write_limit_sweep_run(scale: RunScale, sink: Option<&StatsSink>) -> Strin
 /// through memory while another "user" keeps a working set warm; measures
 /// how much of that working set survives and how hard the pageout daemon
 /// had to work. Returns `(rendered, survivors_with, survivors_without)`.
-pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, usize, usize) {
-    let run = |free_behind: bool| -> (usize, u64, u64) {
-        let sim = sink_sim(sink);
-        let s = sim.clone();
-        let r = sim.run_until(async move {
-            let tuning = Tuning {
-                free_behind,
-                ..Tuning::config_a()
-            };
-            let w = paper_world(&s, tuning, WorldOptions::default())
-                .await
-                .expect("world");
-            // Resident working set: a 2 MB file, fully read.
-            let hot = w.fs.create("hot.dat").await.expect("create");
-            let payload = vec![1u8; 8192];
-            for i in 0..256u64 {
-                use vfs::Vnode as _;
-                hot.write(i * 8192, &payload, vfs::AccessMode::Copy)
+pub fn free_behind_run(scale: RunScale, runner: &Runner) -> (String, usize, usize) {
+    let plan = |free_behind: bool| -> RunPlan<(usize, u64, u64)> {
+        let id = format!("free-behind/{}", if free_behind { "on" } else { "off" });
+        RunPlan::new(id, move |sim: &Sim| {
+            let s = sim.clone();
+            sim.run_until(async move {
+                let tuning = Tuning {
+                    free_behind,
+                    ..Tuning::config_a()
+                };
+                let w = paper_world(&s, tuning, WorldOptions::default())
                     .await
-                    .expect("write");
-            }
-            {
-                use vfs::Vnode as _;
-                hot.fsync().await.expect("fsync");
-                hot.read(0, 2 << 20, vfs::AccessMode::Copy)
-                    .await
-                    .expect("read");
-            }
-            let hot_id = {
-                use vfs::Vnode as _;
-                hot.id()
-            };
-            let before = w.cache.resident_of(hot_id);
-            assert!(before > 0);
-            // The "other user": periodically touches the working set, as an
-            // interactive process would. Touching refreshes reference bits;
-            // the two-handed clock only evicts pages that stay untouched
-            // for a whole handspread.
-            let stop = std::rc::Rc::new(std::cell::Cell::new(false));
-            {
-                let cache = w.cache.clone();
-                let stop = std::rc::Rc::clone(&stop);
-                let s2 = s.clone();
-                s.spawn(async move {
-                    while !stop.get() {
-                        for i in 0..256u64 {
-                            if let Some(id) = cache.lookup(pagecache::PageKey {
-                                vnode: hot_id,
-                                offset: i * 8192,
-                            }) {
-                                cache.set_referenced(id);
+                    .expect("world");
+                // Resident working set: a 2 MB file, fully read.
+                let hot = w.fs.create("hot.dat").await.expect("create");
+                let payload = vec![1u8; 8192];
+                for i in 0..256u64 {
+                    use vfs::Vnode as _;
+                    hot.write(i * 8192, &payload, vfs::AccessMode::Copy)
+                        .await
+                        .expect("write");
+                }
+                {
+                    use vfs::Vnode as _;
+                    hot.fsync().await.expect("fsync");
+                    hot.read(0, 2 << 20, vfs::AccessMode::Copy)
+                        .await
+                        .expect("read");
+                }
+                let hot_id = {
+                    use vfs::Vnode as _;
+                    hot.id()
+                };
+                let before = w.cache.resident_of(hot_id);
+                assert!(before > 0);
+                // The "other user": periodically touches the working set, as an
+                // interactive process would. Touching refreshes reference bits;
+                // the two-handed clock only evicts pages that stay untouched
+                // for a whole handspread.
+                let stop = std::rc::Rc::new(std::cell::Cell::new(false));
+                {
+                    let cache = w.cache.clone();
+                    let stop = std::rc::Rc::clone(&stop);
+                    let s2 = s.clone();
+                    s.spawn(async move {
+                        while !stop.get() {
+                            for i in 0..256u64 {
+                                if let Some(id) = cache.lookup(pagecache::PageKey {
+                                    vnode: hot_id,
+                                    offset: i * 8192,
+                                }) {
+                                    cache.set_referenced(id);
+                                }
                             }
+                            s2.sleep(simkit::SimDuration::from_millis(600)).await;
                         }
-                        s2.sleep(simkit::SimDuration::from_millis(600)).await;
-                    }
-                });
-            }
-            // The streaming read: bigger than memory.
-            let cache = w.cache.clone();
-            run_iobench(
-                &s,
-                &w.fs,
-                move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
-                "stream.dat",
-                IoKind::SeqRead,
-                bench_opts(scale),
-            )
-            .await
-            .expect("stream");
-            stop.set(true);
-            let survivors = w.cache.resident_of(hot_id);
-            let scans = w.daemon.stats().scanned;
-            let fb = w.fs.stats().free_behinds;
-            (survivors, scans, fb)
-        });
-        if let Some(sink) = sink {
-            sink.push(
-                format!("free-behind/{}", if free_behind { "on" } else { "off" }),
-                &sim,
-            );
-        }
-        r
+                    });
+                }
+                // The streaming read: bigger than memory.
+                let cache = w.cache.clone();
+                run_iobench(
+                    &s,
+                    &w.fs,
+                    move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+                    "stream.dat",
+                    IoKind::SeqRead,
+                    bench_opts(scale),
+                )
+                .await
+                .expect("stream");
+                stop.set(true);
+                let survivors = w.cache.resident_of(hot_id);
+                let scans = w.daemon.stats().scanned;
+                let fb = w.fs.stats().free_behinds;
+                (survivors, scans, fb)
+            })
+        })
     };
-    let (with_fb, scans_with, fb_count) = run(true);
-    let (without_fb, scans_without, _) = run(false);
+    let results = runner.run(vec![plan(true), plan(false)]);
+    let (with_fb, scans_with, fb_count) = results[0];
+    let (without_fb, scans_without, _) = results[1];
     let mut t = Table::new(&[
         "free behind",
         "hot pages surviving",
@@ -704,83 +758,86 @@ pub fn free_behind_run(scale: RunScale, sink: Option<&StatsSink>) -> (String, us
 /// disk columns (plus the untagged stream-0 remainder: metadata and
 /// cleaner traffic) sum to the global `disk.sectors_*` counters. Returns
 /// the rendered table.
-pub fn streams_run(streams: u32, scale: RunScale, sink: Option<&StatsSink>) -> String {
-    let sim = sink_sim(sink);
-    let s = sim.clone();
-    let per_stream_bytes = (scale.file_bytes / 4).max(512 * 1024);
-    let runs = sim.run_until(async move {
-        let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+pub fn streams_run(streams: u32, scale: RunScale, runner: &Runner) -> String {
+    // One simulated run; the whole table (which reads per-stream metrics
+    // off the sim's registry) is rendered inside the plan because the
+    // `!Send` sim cannot leave its worker thread — only the finished
+    // String crosses back.
+    let plan = RunPlan::new(format!("streams/{streams}"), move |sim: &Sim| {
+        let s = sim.clone();
+        let per_stream_bytes = (scale.file_bytes / 4).max(512 * 1024);
+        let runs = sim.run_until(async move {
+            let w = paper_world(&s, Tuning::config_a(), WorldOptions::default())
+                .await
+                .expect("world");
+            let cache = w.cache.clone();
+            run_streams(
+                &s,
+                &w.fs,
+                move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
+                StreamsOptions {
+                    streams,
+                    file_bytes: per_stream_bytes,
+                    io_bytes: 8192,
+                },
+            )
             .await
-            .expect("world");
-        let cache = w.cache.clone();
-        run_streams(
-            &s,
-            &w.fs,
-            move |f: &ufs::UfsFile| cache.invalidate_vnode(f.id(), 0),
-            StreamsOptions {
-                streams,
-                file_bytes: per_stream_bytes,
-                io_bytes: 8192,
-            },
-        )
-        .await
-        .expect("streams")
-    });
-    if let Some(sink) = sink {
-        sink.push(format!("streams/{streams}"), &sim);
-    }
-    let st = sim.stats();
-    let per = |base: &str| -> std::collections::BTreeMap<u32, u64> {
-        st.stream_counter_values(base).into_iter().collect()
-    };
-    let rd = per("disk.sectors_read");
-    let wr = per("disk.sectors_written");
-    let stalls = per("core.throttle_stalls");
-    // 512-byte sectors → KB.
-    let sector_kb = |m: &std::collections::BTreeMap<u32, u64>, stream: u32| {
-        m.get(&stream).copied().unwrap_or(0) / 2
-    };
-    let mut t = Table::new(&[
-        "stream",
-        "file",
-        "role",
-        "KB/s",
-        "disk rd KB",
-        "disk wr KB",
-        "stalls",
-        "avg wr cluster",
-    ]);
-    for r in &runs {
-        let avg = st
-            .histogram_totals(&simkit::stats::StatsRegistry::stream_name(
-                "iopath.cluster_write_blocks",
-                r.stream,
-            ))
-            .filter(|&(n, _)| n > 0)
-            .map(|(n, sum)| format!("{:.1}", sum as f64 / n as f64))
-            .unwrap_or_else(|| "-".into());
-        t.row(vec![
-            format!("{}", r.stream),
-            r.name.clone(),
-            r.role.label().to_string(),
-            kbs(r.kb_per_sec()),
-            format!("{}", sector_kb(&rd, r.stream)),
-            format!("{}", sector_kb(&wr, r.stream)),
-            format!("{}", stalls.get(&r.stream).copied().unwrap_or(0)),
-            avg,
+            .expect("streams")
+        });
+        let st = sim.stats();
+        let per = |base: &str| -> std::collections::BTreeMap<u32, u64> {
+            st.stream_counter_values(base).into_iter().collect()
+        };
+        let rd = per("disk.sectors_read");
+        let wr = per("disk.sectors_written");
+        let stalls = per("core.throttle_stalls");
+        // 512-byte sectors → KB.
+        let sector_kb = |m: &std::collections::BTreeMap<u32, u64>, stream: u32| {
+            m.get(&stream).copied().unwrap_or(0) / 2
+        };
+        let mut t = Table::new(&[
+            "stream",
+            "file",
+            "role",
+            "KB/s",
+            "disk rd KB",
+            "disk wr KB",
+            "stalls",
+            "avg wr cluster",
         ]);
-    }
-    t.row(vec![
-        "0".into(),
-        "(untagged)".into(),
-        "meta".into(),
-        "-".into(),
-        format!("{}", sector_kb(&rd, 0)),
-        format!("{}", sector_kb(&wr, 0)),
-        format!("{}", stalls.get(&0).copied().unwrap_or(0)),
-        "-".into(),
-    ]);
-    t.render()
+        for r in &runs {
+            let avg = st
+                .histogram_totals(&simkit::stats::StatsRegistry::stream_name(
+                    "iopath.cluster_write_blocks",
+                    r.stream,
+                ))
+                .filter(|&(n, _)| n > 0)
+                .map(|(n, sum)| format!("{:.1}", sum as f64 / n as f64))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                format!("{}", r.stream),
+                r.name.clone(),
+                r.role.label().to_string(),
+                kbs(r.kb_per_sec()),
+                format!("{}", sector_kb(&rd, r.stream)),
+                format!("{}", sector_kb(&wr, r.stream)),
+                format!("{}", stalls.get(&r.stream).copied().unwrap_or(0)),
+                avg,
+            ]);
+        }
+        t.row(vec![
+            "0".into(),
+            "(untagged)".into(),
+            "meta".into(),
+            "-".into(),
+            format!("{}", sector_kb(&rd, 0)),
+            format!("{}", sector_kb(&wr, 0)),
+            format!("{}", stalls.get(&0).copied().unwrap_or(0)),
+            "-".into(),
+        ]);
+        t.render()
+    });
+    runner.run(vec![plan]).remove(0)
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //! - [`streams`]: the multi-stream fairness workload — N concurrent tagged
 //!   streams whose per-stream (`…{stream=N}`) metrics attribute disk
 //!   bandwidth and throttle stalls to each competitor.
+//! - [`runner`]: the parallel run fan-out behind `iobench --jobs N` —
+//!   experiments describe independent simulated runs as [`RunPlan`]s and a
+//!   [`Runner`] executes them across worker threads with byte-identical
+//!   output for any jobs count.
 //! - [`report`]: fixed-width table rendering for the regenerated figures.
 //! - [`traceout`]: Chrome trace-event export (`iobench --trace`) plus the
 //!   latency-attribution and per-fault timeline tables built from spans.
@@ -27,9 +31,11 @@ pub mod experiments;
 pub mod iobench;
 pub mod musbus;
 pub mod report;
+pub mod runner;
 pub mod streams;
 pub mod traceout;
 
 pub use configs::{paper_world, Config, WorldOptions};
 pub use iobench::{run_iobench, IoKind, Throughput};
+pub use runner::{RunPlan, Runner};
 pub use streams::{run_streams, StreamRole, StreamRun, StreamsOptions};

@@ -1,0 +1,215 @@
+//! Parallel run fan-out for experiments.
+//!
+//! Each experiment describes its simulated runs as a list of [`RunPlan`]s —
+//! independent closures that build and drive a fresh [`Sim`] — and hands
+//! them to a [`Runner`], which executes them across worker threads
+//! (`iobench --jobs N`). A `Sim` is `Rc`/`RefCell`-based and `!Send`, so
+//! each run is constructed *and* executed entirely on one worker thread;
+//! only the run's plain-data outcome (the experiment's value, the
+//! serialized metrics snapshot, the drained spans) crosses back.
+//!
+//! Determinism contract: every run is a pure function of virtual time, and
+//! outcomes are re-emitted to the [`StatsSink`] in plan order on the
+//! calling thread — so stdout, `--stats-json`, and `--trace` are
+//! byte-identical for any `--jobs` value (see DESIGN.md "Wall-clock
+//! performance").
+
+use simkit::{Sim, Span};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::experiments::StatsSink;
+
+/// What a worker captures from a run, derived from the sink once up front
+/// so workers never touch the (non-`Sync`) sink itself.
+#[derive(Clone, Copy)]
+struct RunSpec {
+    tracing: bool,
+    capture: bool,
+}
+
+/// A finished run parked in its plan-order slot until the scope joins.
+type DoneSlot<T> = Mutex<Option<(String, RunOutcome<T>)>>;
+
+/// Everything that leaves a worker thread for one run.
+struct RunOutcome<T> {
+    value: T,
+    stats_json: Option<String>,
+    spans: Vec<Span>,
+}
+
+/// One independent simulated run: an id (`experiment/run` path style, e.g.
+/// `fig10/A/FSR`) plus a closure that drives a fresh sim to the
+/// experiment's value.
+pub struct RunPlan<T> {
+    id: String,
+    body: Box<dyn FnOnce(&Sim) -> T + Send>,
+}
+
+impl<T> RunPlan<T> {
+    /// A plan that runs `body` against a sim the runner builds for it.
+    pub fn new(id: impl Into<String>, body: impl FnOnce(&Sim) -> T + Send + 'static) -> RunPlan<T> {
+        RunPlan {
+            id: id.into(),
+            body: Box::new(body),
+        }
+    }
+}
+
+/// Builds the run's sim, drives the plan, and packages what must cross
+/// back to the calling thread. Runs entirely on one thread.
+fn execute<T>(spec: RunSpec, plan: RunPlan<T>) -> (String, RunOutcome<T>) {
+    let sim = Sim::new();
+    if spec.tracing {
+        sim.tracer().set_enabled(true);
+    }
+    let value = (plan.body)(&sim);
+    let stats_json = spec.capture.then(|| sim.stats().to_json());
+    let spans = if spec.tracing {
+        sim.tracer().take_spans()
+    } else {
+        Vec::new()
+    };
+    (
+        plan.id,
+        RunOutcome {
+            value,
+            stats_json,
+            spans,
+        },
+    )
+}
+
+/// Executes [`RunPlan`]s across up to `jobs` OS threads, then re-emits
+/// outcomes (sink pushes, return order) in deterministic plan order.
+pub struct Runner<'a> {
+    jobs: usize,
+    sink: Option<&'a StatsSink>,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner using up to `jobs` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero (the CLI rejects it earlier with usage).
+    pub fn new(jobs: usize, sink: Option<&'a StatsSink>) -> Runner<'a> {
+        assert!(jobs >= 1, "jobs must be at least 1");
+        Runner { jobs, sink }
+    }
+
+    /// A single-threaded runner: behaves exactly like the pre-parallel
+    /// harness (runs execute in plan order on the calling thread).
+    pub fn serial(sink: Option<&'a StatsSink>) -> Runner<'a> {
+        Runner::new(1, sink)
+    }
+
+    /// The worker-thread budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The attached sink, if any.
+    pub fn sink(&self) -> Option<&'a StatsSink> {
+        self.sink
+    }
+
+    /// Executes the plans — concurrently when this runner has more than
+    /// one job — and returns their values in plan order. Metrics
+    /// snapshots and spans reach the sink in plan order regardless of
+    /// which worker finished first.
+    pub fn run<T: Send>(&self, plans: Vec<RunPlan<T>>) -> Vec<T> {
+        let spec = RunSpec {
+            tracing: self.sink.is_some_and(|s| s.tracing()),
+            capture: self.sink.is_some(),
+        };
+        let n = plans.len();
+        let workers = self.jobs.min(n);
+        let outcomes: Vec<(String, RunOutcome<T>)> = if workers <= 1 {
+            plans.into_iter().map(|p| execute(spec, p)).collect()
+        } else {
+            // Work-stealing by atomic index: each worker claims the next
+            // unclaimed plan, runs it to completion, and parks the outcome
+            // in its slot. `thread::scope` joins (and propagates panics)
+            // before we read the slots back in order.
+            let queue: Vec<Mutex<Option<RunPlan<T>>>> =
+                plans.into_iter().map(|p| Mutex::new(Some(p))).collect();
+            let done: Vec<DoneSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let plan = queue[i].lock().unwrap().take().expect("plan claimed twice");
+                        *done[i].lock().unwrap() = Some(execute(spec, plan));
+                    });
+                }
+            });
+            done.into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("worker poisoned its outcome slot")
+                        .expect("worker finished without an outcome")
+                })
+                .collect()
+        };
+        outcomes
+            .into_iter()
+            .map(|(id, out)| {
+                if let Some(sink) = self.sink {
+                    sink.push_outcome(&id, out.stats_json, out.spans);
+                }
+                out.value
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans(n: usize) -> Vec<RunPlan<usize>> {
+        (0..n)
+            .map(|i| RunPlan::new(format!("test/{i}"), move |_sim| i * 10))
+            .collect()
+    }
+
+    #[test]
+    fn serial_preserves_plan_order() {
+        let out = Runner::serial(None).run(plans(5));
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn parallel_preserves_plan_order() {
+        let out = Runner::new(4, None).run(plans(9));
+        assert_eq!(out, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sink_receives_outcomes_in_plan_order() {
+        let serial = StatsSink::new();
+        Runner::serial(Some(&serial)).run(plans(6));
+        let parallel = StatsSink::new();
+        Runner::new(3, Some(&parallel)).run(plans(6));
+        assert_eq!(serial.runs(), parallel.runs());
+        assert_eq!(
+            serial
+                .runs()
+                .iter()
+                .map(|(id, _)| id.clone())
+                .collect::<Vec<_>>(),
+            (0..6).map(|i| format!("test/{i}")).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn more_jobs_than_plans_is_fine() {
+        let out = Runner::new(16, None).run(plans(2));
+        assert_eq!(out, vec![0, 10]);
+    }
+}

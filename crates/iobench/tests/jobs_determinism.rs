@@ -1,0 +1,57 @@
+//! The parallel harness contract: `--jobs N` changes only wall-clock
+//! time. Every simulated run is a pure function of virtual time and the
+//! runner re-emits outcomes in plan order, so the rendered tables, the
+//! `--stats-json` document, and the Chrome-trace export must be
+//! byte-identical whatever the jobs count.
+
+use iobench::experiments::{fig10_run, fig10_table, fig11_table, RunScale, StatsSink};
+use iobench::runner::Runner;
+use iobench::traceout;
+
+/// A scale small enough to run the full 20-cell Figure 10 matrix in a
+/// debug-build test.
+fn tiny() -> RunScale {
+    RunScale {
+        file_bytes: 1 << 20,
+        random_ops: 32,
+        cpu_file_bytes: 1 << 20,
+    }
+}
+
+/// Renders fig10/fig11 with a tracing sink at the given jobs count and
+/// returns every output surface the CLI can emit.
+fn fig10_outputs(jobs: usize) -> (String, String, String, String) {
+    let sink = StatsSink::with_tracing();
+    let runner = Runner::new(jobs, Some(&sink));
+    let data = fig10_run(tiny(), &runner);
+    let t10 = fig10_table(&data);
+    let t11 = fig11_table(&data);
+    let stats = sink.to_json("fig10");
+    let trace = traceout::chrome_trace_json(&sink.into_traces());
+    (t10, t11, stats, trace)
+}
+
+#[test]
+fn fig10_is_byte_identical_across_jobs_counts() {
+    let (t10_serial, t11_serial, stats_serial, trace_serial) = fig10_outputs(1);
+    let (t10_par, t11_par, stats_par, trace_par) = fig10_outputs(4);
+    assert_eq!(
+        t10_serial, t10_par,
+        "Figure 10 table must not depend on --jobs"
+    );
+    assert_eq!(
+        t11_serial, t11_par,
+        "Figure 11 table must not depend on --jobs"
+    );
+    assert_eq!(
+        stats_serial, stats_par,
+        "--stats-json document must be byte-identical across --jobs"
+    );
+    assert_eq!(
+        trace_serial, trace_par,
+        "--trace export must be byte-identical across --jobs"
+    );
+    // Guard against the vacuous pass: all 20 runs captured, spans present.
+    assert_eq!(stats_serial.matches("\"id\":\"fig10/").count(), 20);
+    assert!(trace_serial.len() > 1000, "trace export should carry spans");
+}

@@ -7,6 +7,7 @@
 //! sequential reads.
 
 use iobench::experiments::{fig10_cell, free_behind_run, RunScale, StatsSink};
+use iobench::runner::Runner;
 use iobench::{Config, IoKind};
 
 /// Extracts a counter value from a registry JSON snapshot. The registry
@@ -88,7 +89,7 @@ fn sequential_reads_hit_the_track_buffer() {
 #[test]
 fn free_behind_frees_more_pages_than_the_daemon() {
     let sink = StatsSink::new();
-    free_behind_run(RunScale::quick(), Some(&sink));
+    free_behind_run(RunScale::quick(), &Runner::serial(Some(&sink)));
     let runs = sink.runs();
     let (_, on) = runs
         .iter()

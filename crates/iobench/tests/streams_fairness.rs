@@ -5,6 +5,7 @@
 
 use clufs::Tuning;
 use iobench::experiments::{streams_run, RunScale, StatsSink};
+use iobench::runner::Runner;
 use iobench::{paper_world, run_streams, StreamsOptions, WorldOptions};
 use proptest::prelude::*;
 use simkit::Sim;
@@ -18,7 +19,7 @@ use vfs::Vnode;
 fn streams_stats_json_is_deterministic() {
     let export = || {
         let sink = StatsSink::new();
-        let table = streams_run(3, RunScale::quick(), Some(&sink));
+        let table = streams_run(3, RunScale::quick(), &Runner::serial(Some(&sink)));
         (table, sink.to_json("streams"))
     };
     let (t1, j1) = export();

@@ -1,13 +1,13 @@
 //! The page name cache: `<vnode, offset>` → physical page.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use simkit::stats::Counter;
+use simkit::stats::{Counter, NameId};
 use simkit::{Notify, Sim, SimDuration, SpanId};
 
 /// Identifies a file for page naming purposes.
@@ -75,6 +75,9 @@ pub struct PageCacheStats {
     pub alloc_stall_time: SimDuration,
 }
 
+/// "Not linked" sentinel for the intrusive free-list links.
+const NIL: usize = usize::MAX;
+
 struct Page {
     key: Option<PageKey>,
     generation: u64,
@@ -84,6 +87,75 @@ struct Page {
     referenced: bool,
     on_free_list: bool,
     waiters: Vec<Waker>,
+    /// Intrusive free-list links ([`NIL`] when not on the list). The list
+    /// orders pages by when they were freed (LRU-of-free): `create` steals
+    /// from the head, so the longest-free identity is recycled first.
+    free_prev: usize,
+    free_next: usize,
+}
+
+/// The free list as an intrusive doubly-linked list threaded through
+/// [`Page::free_prev`]/[`Page::free_next`]. Push, pop, and — the operation
+/// the previous `VecDeque` representation made O(free) on every reclaim —
+/// removal of an arbitrary page are all O(1).
+struct FreeList {
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl FreeList {
+    fn new() -> FreeList {
+        FreeList {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    fn push_back(&mut self, pages: &mut [Page], idx: usize) {
+        debug_assert!(pages[idx].free_prev == NIL && pages[idx].free_next == NIL);
+        pages[idx].free_prev = self.tail;
+        pages[idx].free_next = NIL;
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            pages[self.tail].free_next = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self, pages: &mut [Page]) -> Option<usize> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        self.unlink(pages, idx);
+        Some(idx)
+    }
+
+    /// Unlinks `idx` wherever it sits in the list (reclaim).
+    fn unlink(&mut self, pages: &mut [Page], idx: usize) {
+        let (prev, next) = (pages[idx].free_prev, pages[idx].free_next);
+        debug_assert!(
+            prev != NIL || next != NIL || self.head == idx,
+            "unlinked page"
+        );
+        if prev == NIL {
+            self.head = next;
+        } else {
+            pages[prev].free_next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            pages[next].free_prev = prev;
+        }
+        pages[idx].free_prev = NIL;
+        pages[idx].free_next = NIL;
+        self.len -= 1;
+    }
 }
 
 /// Stable reference to a page; all accessors panic if the page identity was
@@ -108,9 +180,12 @@ struct CacheMetrics {
     alloc_stall_ns: Counter,
     /// Registry handle for lazily materialized per-stream counters.
     registry: simkit::stats::StatsRegistry,
-    /// Cached `cache.hits{stream=N}` / `cache.misses{stream=N}` handles for
-    /// lookups attributed to a stream via [`PageCache::lookup_for`].
-    stream_lookups: RefCell<HashMap<(u32, bool), Counter>>,
+    /// Interned `cache.hits`/`cache.misses` base names: per-stream lookup
+    /// attribution ([`PageCache::lookup_for`]) resolves `base{stream=N}`
+    /// through the registry's trivial-hash interned table instead of
+    /// formatting and re-hashing a `String` per fault.
+    hits_id: NameId,
+    misses_id: NameId,
 }
 
 impl CacheMetrics {
@@ -125,20 +200,15 @@ impl CacheMetrics {
             destroys: s.counter("cache.destroys"),
             alloc_stalls: s.counter("cache.alloc_stalls"),
             alloc_stall_ns: s.counter("cache.alloc_stall_ns"),
+            hits_id: s.intern("cache.hits"),
+            misses_id: s.intern("cache.misses"),
             registry: s.clone(),
-            stream_lookups: RefCell::new(HashMap::new()),
         }
     }
 
     fn stream_lookup(&self, stream: u32, hit: bool) -> Counter {
-        self.stream_lookups
-            .borrow_mut()
-            .entry((stream, hit))
-            .or_insert_with(|| {
-                let base = if hit { "cache.hits" } else { "cache.misses" };
-                self.registry.stream_counter(base, stream)
-            })
-            .clone()
+        let base = if hit { self.hits_id } else { self.misses_id };
+        self.registry.stream_counter_id(base, stream)
     }
 }
 
@@ -147,7 +217,11 @@ struct CacheInner {
     params: PageCacheParams,
     pages: RefCell<Vec<Page>>,
     hash: RefCell<HashMap<PageKey, usize>>,
-    free: RefCell<VecDeque<usize>>,
+    free: RefCell<FreeList>,
+    /// Per-vnode index of dirty page offsets, kept in lockstep with the
+    /// per-page dirty bits so [`PageCache::dirty_offsets`] reads the
+    /// answer instead of scanning the whole name hash.
+    dirty: RefCell<HashMap<VnodeId, BTreeSet<u64>>>,
     /// Signaled whenever a page joins the free list (allocation stalls wait
     /// here).
     mem_notify: Notify,
@@ -173,7 +247,7 @@ impl PageCache {
             params.lotsfree < params.total_pages,
             "lotsfree must be below total_pages"
         );
-        let pages = (0..params.total_pages)
+        let mut pages: Vec<Page> = (0..params.total_pages)
             .map(|_| Page {
                 key: None,
                 generation: 0,
@@ -183,15 +257,22 @@ impl PageCache {
                 referenced: false,
                 on_free_list: true,
                 waiters: Vec::new(),
+                free_prev: NIL,
+                free_next: NIL,
             })
             .collect();
+        let mut free = FreeList::new();
+        for idx in 0..params.total_pages {
+            free.push_back(&mut pages, idx);
+        }
         PageCache {
             inner: Rc::new(CacheInner {
                 sim: sim.clone(),
                 params,
                 pages: RefCell::new(pages),
                 hash: RefCell::new(HashMap::new()),
-                free: RefCell::new((0..params.total_pages).collect()),
+                free: RefCell::new(free),
+                dirty: RefCell::new(HashMap::new()),
                 mem_notify: Notify::new(),
                 pressure_notify: Notify::new(),
                 stats: RefCell::new(PageCacheStats::default()),
@@ -212,7 +293,7 @@ impl PageCache {
 
     /// Pages currently on the free list.
     pub fn free_count(&self) -> usize {
-        self.inner.free.borrow().len()
+        self.inner.free.borrow().len
     }
 
     /// The pageout daemon's low-water mark.
@@ -250,21 +331,15 @@ impl PageCache {
         match idx {
             Some(idx) => {
                 let mut pages = self.inner.pages.borrow_mut();
-                let page = &mut pages[idx];
-                debug_assert_eq!(page.key, Some(key));
-                if page.on_free_list {
-                    page.on_free_list = false;
-                    let mut free = self.inner.free.borrow_mut();
-                    let pos = free
-                        .iter()
-                        .position(|&i| i == idx)
-                        .expect("page marked free but missing from free list");
-                    free.remove(pos);
+                debug_assert_eq!(pages[idx].key, Some(key));
+                if pages[idx].on_free_list {
+                    self.inner.free.borrow_mut().unlink(&mut pages, idx);
+                    pages[idx].on_free_list = false;
                     self.inner.stats.borrow_mut().reclaims += 1;
                     self.inner.metrics.reclaims.inc();
                 }
-                page.referenced = true;
-                let generation = page.generation;
+                pages[idx].referenced = true;
+                let generation = pages[idx].generation;
                 self.inner.stats.borrow_mut().hits += 1;
                 self.inner.metrics.hits.inc();
                 Some(PageId { idx, generation })
@@ -336,7 +411,10 @@ impl PageCache {
         let start = self.inner.sim.now();
         let mut stalled = false;
         let idx = loop {
-            let candidate = self.inner.free.borrow_mut().pop_front();
+            let candidate = {
+                let mut pages = self.inner.pages.borrow_mut();
+                self.inner.free.borrow_mut().pop_front(&mut pages)
+            };
             match candidate {
                 Some(idx) => break idx,
                 None => {
@@ -443,16 +521,48 @@ impl PageCache {
         self.inner.pages.borrow()[id.idx].busy
     }
 
-    /// Marks the page modified.
+    /// Marks the page modified (and indexes it under its vnode so
+    /// [`PageCache::dirty_offsets`] needs no scan).
     pub fn mark_dirty(&self, id: PageId) {
         self.check(id);
-        self.inner.pages.borrow_mut()[id.idx].dirty = true;
+        let mut pages = self.inner.pages.borrow_mut();
+        let page = &mut pages[id.idx];
+        if page.dirty {
+            return;
+        }
+        page.dirty = true;
+        let key = page.key.expect("dirtying a page with no identity");
+        self.inner
+            .dirty
+            .borrow_mut()
+            .entry(key.vnode)
+            .or_default()
+            .insert(key.offset);
     }
 
     /// Clears the modified flag (after a successful write to backing store).
     pub fn clear_dirty(&self, id: PageId) {
         self.check(id);
-        self.inner.pages.borrow_mut()[id.idx].dirty = false;
+        let mut pages = self.inner.pages.borrow_mut();
+        let page = &mut pages[id.idx];
+        if !page.dirty {
+            return;
+        }
+        page.dirty = false;
+        if let Some(key) = page.key {
+            self.remove_dirty_entry(key);
+        }
+    }
+
+    /// Drops `key` from the per-vnode dirty index.
+    fn remove_dirty_entry(&self, key: PageKey) {
+        let mut dirty = self.inner.dirty.borrow_mut();
+        if let Some(set) = dirty.get_mut(&key.vnode) {
+            set.remove(&key.offset);
+            if set.is_empty() {
+                dirty.remove(&key.vnode);
+            }
+        }
     }
 
     /// Whether the page is dirty.
@@ -467,16 +577,18 @@ impl PageCache {
         self.inner.pages.borrow_mut()[id.idx].referenced = true;
     }
 
-    /// Copies the whole page out.
-    pub fn read_page(&self, id: PageId) -> Vec<u8> {
-        self.check(id);
-        self.inner.pages.borrow()[id.idx].data.clone()
-    }
-
-    /// Runs `f` over the page contents without copying.
-    pub fn with_data<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+    /// Runs `f` over the page contents without copying. This (plus
+    /// [`PageCache::read_at`] for copy-into-caller-buffer access) replaced
+    /// the old whole-page-cloning `read_page`; nothing on the I/O path
+    /// allocates or copies 8 KB per page anymore.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
         self.check(id);
         f(&self.inner.pages.borrow()[id.idx].data)
+    }
+
+    /// Alias of [`PageCache::with_page`] (the original borrow-based name).
+    pub fn with_data<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.with_page(id, f)
     }
 
     /// Overwrites page bytes at `off` (does NOT set the dirty flag — the
@@ -508,17 +620,15 @@ impl PageCache {
     pub fn free_page(&self, id: PageId) {
         self.check(id);
         let mut pages = self.inner.pages.borrow_mut();
-        let page = &mut pages[id.idx];
-        assert!(!page.busy, "freeing a busy page");
-        assert!(!page.dirty, "freeing a dirty page");
-        if page.on_free_list {
+        assert!(!pages[id.idx].busy, "freeing a busy page");
+        assert!(!pages[id.idx].dirty, "freeing a dirty page");
+        if pages[id.idx].on_free_list {
             return; // Idempotent.
         }
-        page.on_free_list = false; // Set below after list insert.
-        page.referenced = false;
-        page.on_free_list = true;
+        pages[id.idx].referenced = false;
+        pages[id.idx].on_free_list = true;
+        self.inner.free.borrow_mut().push_back(&mut pages, id.idx);
         drop(pages);
-        self.inner.free.borrow_mut().push_back(id.idx);
         self.inner.stats.borrow_mut().frees += 1;
         self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
@@ -527,7 +637,7 @@ impl PageCache {
     /// Destroys the identity of every page of `vnode` with offset ≥ `from`
     /// (truncate/unlink). Pages must not be busy.
     pub fn invalidate_vnode(&self, vnode: VnodeId, from: u64) {
-        let victims: Vec<(PageKey, usize)> = self
+        let mut victims: Vec<(PageKey, usize)> = self
             .inner
             .hash
             .borrow()
@@ -535,20 +645,30 @@ impl PageCache {
             .filter(|(k, _)| k.vnode == vnode && k.offset >= from)
             .map(|(k, &i)| (*k, i))
             .collect();
+        // Free pages in ascending offset order, not hash-iteration order:
+        // the free list feeds page reuse, so a RandomState-dependent order
+        // here would leak into which physical page holds which identity —
+        // and from there into pageout-daemon scan counts — making whole
+        // simulations differ between processes.
+        victims.sort_unstable_by_key(|&(k, _)| k.offset);
         for (key, idx) in victims {
             let mut pages = self.inner.pages.borrow_mut();
-            let page = &mut pages[idx];
-            assert!(!page.busy, "invalidating a busy page");
-            page.key = None;
-            page.generation += 1;
-            page.dirty = false;
-            page.referenced = false;
-            let was_free = page.on_free_list;
-            page.on_free_list = true;
+            assert!(!pages[idx].busy, "invalidating a busy page");
+            if pages[idx].dirty {
+                self.remove_dirty_entry(key);
+            }
+            pages[idx].key = None;
+            pages[idx].generation += 1;
+            pages[idx].dirty = false;
+            pages[idx].referenced = false;
+            let was_free = pages[idx].on_free_list;
+            pages[idx].on_free_list = true;
+            if !was_free {
+                self.inner.free.borrow_mut().push_back(&mut pages, idx);
+            }
             drop(pages);
             self.inner.hash.borrow_mut().remove(&key);
             if !was_free {
-                self.inner.free.borrow_mut().push_back(idx);
                 self.inner.mem_notify.notify_all();
             }
             self.inner.stats.borrow_mut().destroys += 1;
@@ -557,19 +677,15 @@ impl PageCache {
     }
 
     /// Offsets of all dirty pages belonging to `vnode`, sorted ascending
-    /// (used by fsync and inode deactivation).
+    /// (used by fsync and inode deactivation). Served from the per-vnode
+    /// dirty index — O(dirty pages of this vnode), not a whole-cache scan.
     pub fn dirty_offsets(&self, vnode: VnodeId) -> Vec<u64> {
-        let pages = self.inner.pages.borrow();
-        let mut offs: Vec<u64> = self
-            .inner
-            .hash
+        self.inner
+            .dirty
             .borrow()
-            .iter()
-            .filter(|(k, &i)| k.vnode == vnode && pages[i].dirty)
-            .map(|(k, _)| k.offset)
-            .collect();
-        offs.sort_unstable();
-        offs
+            .get(&vnode)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Number of resident (identified, not-free) pages.
@@ -606,13 +722,13 @@ impl PageCache {
     /// Back-hand free attempt; returns `true` if the page was freed.
     pub(crate) fn try_free_at(&self, idx: usize) -> bool {
         let mut pages = self.inner.pages.borrow_mut();
-        let p = &mut pages[idx];
+        let p = &pages[idx];
         if p.busy || p.dirty || p.referenced || p.on_free_list || p.key.is_none() {
             return false;
         }
-        p.on_free_list = true;
+        pages[idx].on_free_list = true;
+        self.inner.free.borrow_mut().push_back(&mut pages, idx);
         drop(pages);
-        self.inner.free.borrow_mut().push_back(idx);
         self.inner.stats.borrow_mut().frees += 1;
         self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
@@ -624,24 +740,46 @@ impl PageCache {
         let pages = self.inner.pages.borrow();
         let hash = self.inner.hash.borrow();
         let free = self.inner.free.borrow();
+        let dirty = self.inner.dirty.borrow();
         for (key, &idx) in hash.iter() {
             assert_eq!(pages[idx].key, Some(*key), "hash points at wrong page");
         }
+        // Walk the intrusive free list, checking links and flags.
         let mut seen = std::collections::HashSet::new();
-        for &idx in free.iter() {
+        let mut idx = free.head;
+        let mut prev = NIL;
+        while idx != NIL {
             assert!(seen.insert(idx), "page {idx} on free list twice");
+            assert_eq!(pages[idx].free_prev, prev, "free list back-link broken");
             assert!(pages[idx].on_free_list, "free list flag mismatch");
             assert!(!pages[idx].busy, "busy page on free list");
             assert!(!pages[idx].dirty, "dirty page on free list");
+            prev = idx;
+            idx = pages[idx].free_next;
         }
+        assert_eq!(free.tail, prev, "free list tail mismatch");
+        assert_eq!(free.len, seen.len(), "free list length mismatch");
         for (idx, p) in pages.iter().enumerate() {
             if p.on_free_list {
-                assert!(free.contains(&idx), "flagged free but not listed");
+                assert!(seen.contains(&idx), "flagged free but not listed");
+            } else {
+                assert!(
+                    p.free_prev == NIL && p.free_next == NIL,
+                    "off-list page still linked"
+                );
             }
             if let Some(k) = p.key {
                 assert_eq!(hash.get(&k), Some(&idx), "page identity not hashed");
+                assert_eq!(
+                    p.dirty,
+                    dirty.get(&k.vnode).is_some_and(|s| s.contains(&k.offset)),
+                    "dirty index out of sync for {k:?}"
+                );
             }
         }
+        let indexed: usize = dirty.values().map(|s| s.len()).sum();
+        let actually_dirty = pages.iter().filter(|p| p.dirty).count();
+        assert_eq!(indexed, actually_dirty, "dirty index size mismatch");
     }
 }
 
@@ -669,22 +807,20 @@ impl Future for LockBusy {
             // waited (e.g. a concurrent cleaner freed it after its own
             // write). A busy page must never sit on the free list, so
             // reclaim it here.
-            if page.on_free_list {
-                page.on_free_list = false;
-                drop(pages);
-                let mut free = self.cache.inner.free.borrow_mut();
-                let pos = free
-                    .iter()
-                    .position(|&i| i == self.id.idx)
-                    .expect("page flagged free but not listed");
-                free.remove(pos);
-                drop(free);
+            let reclaimed = page.on_free_list;
+            if reclaimed {
+                self.cache
+                    .inner
+                    .free
+                    .borrow_mut()
+                    .unlink(&mut pages, self.id.idx);
+                pages[self.id.idx].on_free_list = false;
+            }
+            pages[self.id.idx].busy = true;
+            drop(pages);
+            if reclaimed {
                 self.cache.inner.stats.borrow_mut().reclaims += 1;
                 self.cache.inner.metrics.reclaims.inc();
-                let mut pages = self.cache.inner.pages.borrow_mut();
-                pages[self.id.idx].busy = true;
-            } else {
-                page.busy = true;
             }
             Poll::Ready(true)
         }

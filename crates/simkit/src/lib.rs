@@ -42,7 +42,7 @@ pub mod trace;
 pub use channel::{channel, Receiver, SendError, Sender};
 pub use cpu::{Cpu, TagStat};
 pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
-pub use stats::{Counter, Gauge, Histogram, StatsRegistry, TimeWeighted};
+pub use stats::{Counter, Gauge, Histogram, NameId, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Recorder, Span, SpanId, Tracer};

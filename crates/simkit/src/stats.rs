@@ -30,6 +30,7 @@ use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use crate::executor::TimeHandle;
@@ -256,6 +257,37 @@ impl Metric {
     }
 }
 
+/// An interned metric base name (see [`StatsRegistry::intern`]): a small
+/// integer standing in for a `&'static str` so labelled hot-path lookups
+/// never format or hash a `String`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NameId(u32);
+
+/// Identity hasher for pre-packed `u64` keys: the `(NameId, stream)` pair
+/// is already a well-distributed small integer, so SipHash would be pure
+/// overhead on the per-I/O metric path.
+#[derive(Default)]
+struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("packed keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Cheap integer scramble (splitmix64 finalizer) so sequential
+        // stream ids don't all land in neighbouring buckets.
+        let mut z = n.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 struct RegistryInner {
     time: TimeHandle,
     metrics: RefCell<BTreeMap<String, Metric>>,
@@ -263,6 +295,18 @@ struct RegistryInner {
     /// Next stream label handed out by [`StatsRegistry::alloc_stream`].
     /// Stream 0 is reserved for untagged (background/metadata) I/O.
     next_stream: Cell<u32>,
+    /// Interned base names, indexed by [`NameId`].
+    interned: RefCell<Vec<&'static str>>,
+    /// Reverse map for [`StatsRegistry::intern`] idempotence.
+    interned_ids: RefCell<HashMap<&'static str, u32>>,
+    /// `(NameId, stream)` → metric handle, keyed by the packed pair.
+    /// This is the hot-path cache: after first registration a labelled
+    /// lookup is one trivial-hash probe with no allocation.
+    labelled: RefCell<HashMap<u64, Metric, BuildHasherDefault<PackedKeyHasher>>>,
+}
+
+fn packed_key(name: NameId, stream: u32) -> u64 {
+    ((name.0 as u64) << 32) | stream as u64
 }
 
 /// The per-[`Sim`](crate::Sim) metrics registry. Obtained with
@@ -280,7 +324,73 @@ impl StatsRegistry {
                 metrics: RefCell::new(BTreeMap::new()),
                 recorders: RefCell::new(HashMap::new()),
                 next_stream: Cell::new(1),
+                interned: RefCell::new(Vec::new()),
+                interned_ids: RefCell::new(HashMap::new()),
+                labelled: RefCell::new(HashMap::default()),
             }),
+        }
+    }
+
+    /// Interns `base`, returning a small id usable with the labelled
+    /// fast-path accessors ([`StatsRegistry::stream_counter_id`],
+    /// [`StatsRegistry::stream_histogram_id`]). Idempotent: interning the
+    /// same name twice returns the same id. Intern once at component
+    /// construction; the id is `Copy` and never allocates afterwards.
+    pub fn intern(&self, base: &'static str) -> NameId {
+        if let Some(&id) = self.inner.interned_ids.borrow().get(base) {
+            return NameId(id);
+        }
+        let mut names = self.inner.interned.borrow_mut();
+        let id = names.len() as u32;
+        names.push(base);
+        self.inner.interned_ids.borrow_mut().insert(base, id);
+        NameId(id)
+    }
+
+    /// The string `base` was interned from.
+    pub fn interned_name(&self, name: NameId) -> &'static str {
+        self.inner.interned.borrow()[name.0 as usize]
+    }
+
+    fn labelled_metric(
+        &self,
+        name: NameId,
+        stream: u32,
+        slow: impl FnOnce(&'static str) -> Metric,
+    ) -> Metric {
+        let key = packed_key(name, stream);
+        if let Some(m) = self.inner.labelled.borrow().get(&key) {
+            return m.clone();
+        }
+        // First touch of this (name, stream) pair: register through the
+        // normal string path (formats `base{stream=N}` once), then cache
+        // the handle under the packed key.
+        let base = self.inner.interned.borrow()[name.0 as usize];
+        let metric = slow(base);
+        self.inner.labelled.borrow_mut().insert(key, metric.clone());
+        metric
+    }
+
+    /// [`StatsRegistry::stream_counter`] over an interned base name: after
+    /// the first call per `(name, stream)` pair this is one trivial-hash
+    /// table probe — no `format!`, no `String` hashing.
+    pub fn stream_counter_id(&self, name: NameId, stream: u32) -> Counter {
+        match self.labelled_metric(name, stream, |base| {
+            Metric::Counter(self.stream_counter(base, stream))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("labelled metric is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// [`StatsRegistry::stream_histogram`] over an interned base name; same
+    /// fast path as [`StatsRegistry::stream_counter_id`].
+    pub fn stream_histogram_id(&self, name: NameId, stream: u32, edges: &[u64]) -> Histogram {
+        match self.labelled_metric(name, stream, |base| {
+            Metric::Histogram(self.stream_histogram(base, stream, edges))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("labelled metric is a {}, not a histogram", other.kind()),
         }
     }
 

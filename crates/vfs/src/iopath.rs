@@ -519,7 +519,9 @@ impl IoPath {
             // Snapshot contents for the transfer.
             let mut payload = Vec::with_capacity(n as usize * bs);
             for pid in &run {
-                payload.extend_from_slice(&inner.cache.read_page(*pid));
+                inner
+                    .cache
+                    .with_page(*pid, |d| payload.extend_from_slice(d));
             }
             // A root span per cluster: the push completes after the caller
             // returns (see `execute_traced`), so it cannot nest anywhere.

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Wall-clock benchmark suite + parallel-determinism check.
+#
+#   scripts/bench.sh [--smoke] [--out PATH]
+#
+# 1. Verifies the `--jobs` contract: `iobench fig10 --quick` must emit
+#    byte-identical stdout, --stats-json, and --trace output at jobs=1
+#    and jobs=4.
+# 2. Runs the wallclock bench (crates/bench/benches/wallclock.rs) and
+#    writes BENCH_iobench.json (schema iobench-bench/v1; see DESIGN.md
+#    "Wall-clock performance").
+#
+# --smoke shrinks the workloads for CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+OUT="$PWD/BENCH_iobench.json"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) MODE=smoke ;;
+        --out)
+            shift
+            [ $# -gt 0 ] || { echo "--out requires a path" >&2; exit 2; }
+            OUT=$1
+            ;;
+        *)
+            echo "usage: scripts/bench.sh [--smoke] [--out PATH]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+cargo build --release -p iobench
+
+# Determinism: --jobs must change only wall-clock time, never a byte of
+# output.
+BIN=target/release/iobench
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+"$BIN" fig10 --quick --jobs 1 --stats-json "$TMP/s1.json" --trace "$TMP/t1.json" >"$TMP/out1.txt"
+"$BIN" fig10 --quick --jobs 4 --stats-json "$TMP/s4.json" --trace "$TMP/t4.json" >"$TMP/out4.txt"
+cmp "$TMP/out1.txt" "$TMP/out4.txt"
+cmp "$TMP/s1.json" "$TMP/s4.json"
+cmp "$TMP/t1.json" "$TMP/t4.json"
+echo "jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
+
+if [ "$MODE" = smoke ]; then
+    cargo bench -p bench --bench wallclock -- --smoke --out "$OUT"
+else
+    cargo bench -p bench --bench wallclock -- --out "$OUT"
+fi

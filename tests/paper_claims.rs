@@ -179,8 +179,10 @@ fn clustered_ufs_matches_extent_fs() {
 fn clustering_reduces_cpu_per_byte() {
     // Figure 12: "The new UFS is approximately 25% more efficient in terms
     // of CPU cycles."
-    let (_, new, old) =
-        iobench::experiments::fig12_run(iobench::experiments::RunScale::quick(), None);
+    let (_, new, old) = iobench::experiments::fig12_run(
+        iobench::experiments::RunScale::quick(),
+        &iobench::runner::Runner::serial(None),
+    );
     assert!(
         old > new * 1.15,
         "clustered mmap read should use noticeably less CPU: new={new:.2}s old={old:.2}s"
@@ -240,7 +242,7 @@ fn write_limit_prevents_memory_lockdown() {
 #[test]
 fn musbus_barely_improves() {
     // "The time-sharing benchmarks improved only slightly."
-    let (_, ratio) = iobench::experiments::musbus_run(None);
+    let (_, ratio) = iobench::experiments::musbus_run(&iobench::runner::Runner::serial(None));
     assert!(
         (0.9..1.25).contains(&ratio),
         "timesharing old/new ratio {ratio:.2} should be near 1"

@@ -87,7 +87,7 @@ fn bench_mkfs_fsck(c: &mut Criterion) {
                 let f = w.fs.create("x").await.unwrap();
                 f.write(0, &[9u8; 100_000], AccessMode::Copy).await.unwrap();
                 w.fs.clone().unmount().await.unwrap();
-                let report = ufs::fsck(&w.disk).await.unwrap();
+                let report = ufs::fsck(&*w.disk).await.unwrap();
                 assert!(report.is_clean());
                 report.used_blocks
             })

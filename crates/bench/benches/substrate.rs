@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use diskmodel::{Disk, DiskParams};
+use diskmodel::{BlockDevice, BlockDeviceExt, Disk, DiskParams};
 use pagecache::{PageCache, PageCacheParams, PageKey};
 use simkit::{Sim, SimDuration};
 

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use simkit::stats::{Counter, Histogram, NameId, StatsRegistry, TimeWeighted};
 use simkit::{Notify, Sim, SimDuration, SpanId};
 
+use crate::device::BlockDevice;
 use crate::geometry::Geometry;
 use crate::queue::{DiskQueue, Queued};
 use crate::request::{new_handle, DiskOp, DiskRequest, IoHandle, IoResult};
@@ -169,15 +170,34 @@ struct DiskMetrics {
     sectors_read_id: NameId,
     sectors_written_id: NameId,
     busy_ns_id: NameId,
+    /// Set when this drive is one spindle of a volume: mirrors busy time
+    /// and sector counts into `disk.*{spindle=K}`, so an array's traffic
+    /// can be attributed per leg. The `spindle=K` family sums exactly to
+    /// the global `disk.busy_ns`/`disk.sectors_*` when every drive in the
+    /// sim is labelled (each batch is charged to exactly one spindle).
+    spindle: Option<SpindleMetrics>,
+}
+
+/// Per-spindle mirrors of the hot counters (see [`DiskMetrics::spindle`]).
+struct SpindleMetrics {
+    busy_ns: Counter,
+    sectors_read: Counter,
+    sectors_written: Counter,
 }
 
 impl DiskMetrics {
     /// Cylinder-distance buckets: track-to-track up to a full stroke.
     const SEEK_DIST_EDGES: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 2048];
 
-    fn new(sim: &Sim) -> DiskMetrics {
+    fn new(sim: &Sim, spindle: Option<u32>) -> DiskMetrics {
         let s = sim.stats();
+        let spindle = spindle.map(|k| SpindleMetrics {
+            busy_ns: s.labelled_counter("disk.busy_ns", "spindle", k),
+            sectors_read: s.labelled_counter("disk.sectors_read", "spindle", k),
+            sectors_written: s.labelled_counter("disk.sectors_written", "spindle", k),
+        });
         DiskMetrics {
+            spindle,
             reads: s.counter("disk.reads"),
             writes: s.counter("disk.writes"),
             sectors_read: s.counter("disk.sectors_read"),
@@ -236,6 +256,17 @@ pub struct Disk {
 impl Disk {
     /// Creates the drive and spawns its service task on `sim`.
     pub fn new(sim: &Sim, params: DiskParams) -> Disk {
+        Self::build(sim, params, None)
+    }
+
+    /// [`Disk::new`], additionally labelling the drive as spindle `k` of a
+    /// volume: busy time and sector counts are mirrored into
+    /// `disk.busy_ns{spindle=K}` / `disk.sectors_*{spindle=K}`.
+    pub fn new_spindle(sim: &Sim, params: DiskParams, k: u32) -> Disk {
+        Self::build(sim, params, Some(k))
+    }
+
+    fn build(sim: &Sim, params: DiskParams, spindle: Option<u32>) -> Disk {
         params.geometry.validate();
         let store = SectorStore::new(params.geometry.sector_size, params.geometry.total_sectors());
         let disk = Disk {
@@ -249,7 +280,7 @@ impl Disk {
                 cur_head: Cell::new(0),
                 trackbuf: RefCell::new(TrackBuf::new()),
                 stats: RefCell::new(DiskStats::default()),
-                metrics: DiskMetrics::new(sim),
+                metrics: DiskMetrics::new(sim, spindle),
                 shutdown: Cell::new(false),
             }),
         };
@@ -266,134 +297,6 @@ impl Disk {
     /// The drive's configuration.
     pub fn params(&self) -> &DiskParams {
         &self.inner.params
-    }
-
-    /// Snapshot of accumulated statistics.
-    pub fn stats(&self) -> DiskStats {
-        *self.inner.stats.borrow()
-    }
-
-    /// Resets accumulated statistics.
-    pub fn reset_stats(&self) {
-        *self.inner.stats.borrow_mut() = DiskStats::default();
-    }
-
-    /// Number of requests waiting in the queue.
-    pub fn queue_len(&self) -> usize {
-        self.inner.queue.borrow().len()
-    }
-
-    /// Stops the service task once the queue drains.
-    pub fn shutdown(&self) {
-        self.inner.shutdown.set(true);
-        self.inner.notify.notify_all();
-    }
-
-    /// Submits a read of `nsect` sectors at `lba` (untagged stream).
-    pub fn submit_read(&self, lba: u64, nsect: u32) -> IoHandle {
-        self.submit_read_tagged(lba, nsect, 0)
-    }
-
-    /// Submits a read of `nsect` sectors at `lba` on behalf of `stream`.
-    pub fn submit_read_tagged(&self, lba: u64, nsect: u32, stream: u32) -> IoHandle {
-        self.submit_read_for(lba, nsect, stream, SpanId::NONE)
-    }
-
-    /// Submits a read on behalf of `stream`, parenting the drive's trace
-    /// spans under `span`.
-    pub fn submit_read_for(&self, lba: u64, nsect: u32, stream: u32, span: SpanId) -> IoHandle {
-        self.submit(DiskRequest {
-            op: DiskOp::Read,
-            lba,
-            nsect,
-            data: None,
-            ordered: false,
-            stream,
-            span,
-        })
-    }
-
-    /// Submits a write of `data` (exactly `nsect` sectors) at `lba`
-    /// (untagged stream).
-    pub fn submit_write(&self, lba: u64, nsect: u32, data: Vec<u8>) -> IoHandle {
-        self.submit_write_tagged(lba, nsect, data, 0)
-    }
-
-    /// Submits a write of `data` at `lba` on behalf of `stream`.
-    pub fn submit_write_tagged(
-        &self,
-        lba: u64,
-        nsect: u32,
-        data: Vec<u8>,
-        stream: u32,
-    ) -> IoHandle {
-        self.submit_write_for(lba, nsect, data, stream, SpanId::NONE)
-    }
-
-    /// Submits a write on behalf of `stream`, parenting the drive's trace
-    /// spans under `span`.
-    pub fn submit_write_for(
-        &self,
-        lba: u64,
-        nsect: u32,
-        data: Vec<u8>,
-        stream: u32,
-        span: SpanId,
-    ) -> IoHandle {
-        self.submit(DiskRequest {
-            op: DiskOp::Write,
-            lba,
-            nsect,
-            data: Some(data),
-            ordered: false,
-            stream,
-            span,
-        })
-    }
-
-    /// Submits an arbitrary request (including `ordered` barriers).
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero-length requests, out-of-range sectors, or write
-    /// payload length mismatches.
-    pub fn submit(&self, req: DiskRequest) -> IoHandle {
-        assert!(req.nsect > 0, "zero-length disk request");
-        assert!(
-            req.lba + req.nsect as u64 <= self.inner.params.geometry.total_sectors(),
-            "request beyond end of device"
-        );
-        if let Some(data) = &req.data {
-            assert_eq!(
-                data.len(),
-                req.nsect as usize * self.inner.params.geometry.sector_size as usize,
-                "write payload length mismatch"
-            );
-        } else {
-            assert_eq!(req.op, DiskOp::Read, "write without payload");
-        }
-        let (handle, event, slot) = new_handle();
-        self.inner
-            .queue
-            .borrow_mut()
-            .push(req, event, slot, self.inner.sim.now());
-        self.inner.metrics.queue_depth.add(1.0);
-        self.inner.notify.notify_all();
-        handle
-    }
-
-    /// Convenience: read and wait.
-    pub async fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
-        self.submit_read(lba, nsect)
-            .wait()
-            .await
-            .data
-            .expect("read returns data")
-    }
-
-    /// Convenience: write and wait.
-    pub async fn write(&self, lba: u64, nsect: u32, data: Vec<u8>) {
-        self.submit_write(lba, nsect, data).wait().await;
     }
 
     async fn service_loop(&self) {
@@ -508,6 +411,10 @@ impl Disk {
             stats.busy += finished_at.duration_since(started);
             m.busy_ns
                 .add(finished_at.duration_since(started).as_nanos());
+            if let Some(sp) = &m.spindle {
+                sp.busy_ns
+                    .add(finished_at.duration_since(started).as_nanos());
+            }
             // Per-stream busy attribution (and service spans for streams a
             // coalesced batch merged in behind batch[0]'s): each distinct
             // stream is charged the full service interval once.
@@ -535,12 +442,18 @@ impl Disk {
                     stats.sectors_read += span_sectors as u64;
                     m.reads.inc();
                     m.sectors_read.add(span_sectors as u64);
+                    if let Some(sp) = &m.spindle {
+                        sp.sectors_read.add(span_sectors as u64);
+                    }
                 }
                 DiskOp::Write => {
                     stats.writes += 1;
                     stats.sectors_written += span_sectors as u64;
                     m.writes.inc();
                     m.sectors_written.add(span_sectors as u64);
+                    if let Some(sp) = &m.spindle {
+                        sp.sectors_written.add(span_sectors as u64);
+                    }
                 }
             }
             // Attribute sectors per sub-request: a coalesced batch may mix
@@ -739,5 +652,61 @@ impl Disk {
             remaining -= run;
         }
         self.inner.store.borrow_mut().write(lba, nsect, data);
+    }
+}
+
+impl BlockDevice for Disk {
+    fn submit(&self, req: DiskRequest) -> IoHandle {
+        assert!(req.nsect > 0, "zero-length disk request");
+        assert!(
+            req.lba + req.nsect as u64 <= self.inner.params.geometry.total_sectors(),
+            "request beyond end of device"
+        );
+        if let Some(data) = &req.data {
+            assert_eq!(
+                data.len(),
+                req.nsect as usize * self.inner.params.geometry.sector_size as usize,
+                "write payload length mismatch"
+            );
+        } else {
+            assert_eq!(req.op, DiskOp::Read, "write without payload");
+        }
+        let (handle, event, slot) = new_handle();
+        self.inner
+            .queue
+            .borrow_mut()
+            .push(req, event, slot, self.inner.sim.now());
+        self.inner.metrics.queue_depth.add(1.0);
+        self.inner.notify.notify_all();
+        handle
+    }
+
+    fn sector_size(&self) -> u32 {
+        self.inner.params.geometry.sector_size
+    }
+
+    fn total_sectors(&self) -> u64 {
+        self.inner.params.geometry.total_sectors()
+    }
+
+    fn sector_time_ns(&self) -> u64 {
+        self.inner.params.geometry.sector_time_ns(0)
+    }
+
+    fn stats(&self) -> DiskStats {
+        *self.inner.stats.borrow()
+    }
+
+    fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = DiskStats::default();
+    }
+
+    fn queue_len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown.set(true);
+        self.inner.notify.notify_all();
     }
 }

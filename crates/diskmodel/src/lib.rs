@@ -21,6 +21,7 @@
 //! The drive is a single-server queueing station: one mechanism services one
 //! (possibly coalesced) request at a time while the queue grows behind it.
 
+pub mod device;
 pub mod disk;
 pub mod geometry;
 mod queue;
@@ -28,9 +29,10 @@ pub mod request;
 pub mod store;
 mod trackbuf;
 
+pub use device::{BlockDevice, BlockDeviceExt, SharedDevice};
 pub use disk::{Disk, DiskParams, DiskStats, SeekModel};
 pub use geometry::{Chs, Geometry, Zone};
-pub use request::{DiskOp, DiskRequest, IoHandle, IoResult};
+pub use request::{handle_pair, DiskOp, DiskRequest, IoCompletion, IoHandle, IoResult};
 pub use store::SectorStore;
 
 use simkit::SimDuration;

@@ -93,3 +93,30 @@ pub(crate) fn new_handle() -> (IoHandle, Event, Rc<RefCell<IoSlot>>) {
         slot,
     )
 }
+
+/// Completion side of an [`IoHandle`], for devices layered above the drive
+/// (a volume fans a request out to its spindles and completes the parent
+/// handle itself once every child finishes).
+pub struct IoCompletion {
+    event: Event,
+    slot: Rc<RefCell<IoSlot>>,
+}
+
+impl IoCompletion {
+    /// Delivers the result and wakes the waiter. Consumes the completion:
+    /// a request finishes exactly once.
+    pub fn complete(self, result: IoResult) {
+        self.slot.borrow_mut().result = Some(result);
+        self.event.signal();
+    }
+}
+
+/// Creates a connected handle/completion pair, for [`BlockDevice`]
+/// implementations that service requests themselves instead of queueing
+/// them on a drive mechanism.
+///
+/// [`BlockDevice`]: crate::BlockDevice
+pub fn handle_pair() -> (IoHandle, IoCompletion) {
+    let (handle, event, slot) = new_handle();
+    (handle, IoCompletion { event, slot })
+}

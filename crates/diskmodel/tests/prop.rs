@@ -2,7 +2,7 @@
 //! request completes, data round-trips exactly, ordering constraints hold,
 //! and the virtual clock only moves forward.
 
-use diskmodel::{Disk, DiskOp, DiskParams, DiskRequest};
+use diskmodel::{BlockDevice, BlockDeviceExt, Disk, DiskOp, DiskParams, DiskRequest};
 use proptest::prelude::*;
 use simkit::Sim;
 

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use clufs::{DelayedWrite, ReadAhead, WriteAction};
-use diskmodel::Disk;
+use diskmodel::{BlockDeviceExt, SharedDevice};
 use pagecache::{PageCache, PageId, PageKey};
 use simkit::{Cpu, Sim, SpanId};
 use ufs::CpuCosts;
@@ -93,7 +93,7 @@ struct OpenState {
 struct Inner {
     sim: Sim,
     cpu: Cpu,
-    disk: Disk,
+    disk: SharedDevice,
     cache: PageCache,
     params: ExtentFsParams,
     /// Shared I/O executor (the same engine UFS drives).
@@ -163,12 +163,12 @@ impl ExtentFs {
         sim: &Sim,
         cpu: &Cpu,
         cache: &PageCache,
-        disk: &Disk,
+        disk: &SharedDevice,
         ninodes: u32,
         params: ExtentFsParams,
     ) -> FsResult<ExtentFs> {
         assert_eq!(cache.page_size(), BLOCK_SIZE);
-        let total_blocks = disk.geometry().total_sectors() / SECTORS_PER_BLOCK as u64;
+        let total_blocks = disk.total_sectors() / SECTORS_PER_BLOCK as u64;
         let inode_blocks = (ninodes as u64 * 512).div_ceil(BLOCK_SIZE as u64);
         let bitmap_blocks = total_blocks.div_ceil(BLOCK_SIZE as u64 * 8);
         let data_start = 1 + inode_blocks + bitmap_blocks;
@@ -905,9 +905,9 @@ mod tests {
     use diskmodel::DiskParams;
     use pagecache::PageCacheParams;
 
-    fn world(sim: &Sim, extent_blocks: u32) -> (ExtentFs, Disk) {
+    fn world(sim: &Sim, extent_blocks: u32) -> (ExtentFs, SharedDevice) {
         let cpu = Cpu::new(sim);
-        let disk = Disk::new(sim, DiskParams::small_test());
+        let disk: SharedDevice = Rc::new(diskmodel::Disk::new(sim, DiskParams::small_test()));
         let cache = PageCache::new(sim, PageCacheParams::small_test());
         // A pageout daemon keeps page allocation from deadlocking when a
         // test touches more pages than the (tiny) cache holds. Dirty

@@ -84,6 +84,9 @@ pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize
     world.fs.mkdir("home").await?;
     let capacity = world.fs.capacity_blocks();
     for round in 0..opts.rounds {
+        // One payload per round, not per file: the fill loop creates
+        // thousands of files and the 8 KB allocation was pure churn.
+        let payload = vec![round as u8; 8192];
         // Fill toward the target.
         loop {
             let used = capacity - world.fs.free_blocks();
@@ -99,7 +102,6 @@ pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize
                 _ => rng.gen_range(256..2048),   // large
             };
             let f = world.fs.create(&name).await?;
-            let payload = vec![round as u8; 8192];
             let mut off = 0u64;
             let mut failed = false;
             while off < kb as u64 * 1024 {

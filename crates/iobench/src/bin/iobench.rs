@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
-//!         write-limit|free-behind|streams|all \
-//!         [--quick] [--jobs N] [--streams N] [--stats-json <path>] \
-//!         [--trace <path>]
+//!         write-limit|free-behind|streams|volume|all \
+//!         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+//!         [--stats-json <path>] [--trace <path>]
 //! ```
 //!
 //! `--jobs N` fans an experiment's independent simulated runs out across N
@@ -13,13 +13,17 @@
 //! in run order, so stdout, `--stats-json`, and `--trace` are
 //! byte-identical for any jobs count. `--stats-json <path>` writes every
 //! simulated run's full metrics-registry snapshot (schema
-//! `iobench-stats/v3`; see DESIGN.md "Observability") so benchmark
+//! `iobench-stats/v4`; see DESIGN.md "Observability") so benchmark
 //! trajectories can be diffed across changes. `--trace <path>` records
 //! per-request spans through the whole I/O path and writes them as Chrome
 //! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
 //! each run's latency-attribution table. `--streams N` sets the stream
 //! count for the multi-stream fairness workload (and selects it when no
-//! experiment is named). Unrecognized flags are an error.
+//! experiment is named). `--volume <spec>` restricts the volume experiment
+//! to one array — specs are `raid0:<spindles>:<stripe>` (e.g.
+//! `raid0:4:64k`), `raid1:<spindles>` (e.g. `raid1:2`), or
+//! `raid5:<spindles>:<stripe>` (e.g. `raid5:5:64k`) — and selects the
+//! volume experiment when none is named. Unrecognized flags are an error.
 
 use iobench::experiments::{
     extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
@@ -28,12 +32,17 @@ use iobench::experiments::{
 };
 use iobench::runner::Runner;
 use iobench::traceout;
+use iobench::volume::volume_run;
+use volmgr::VolumeSpec;
 
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
-         extentfs|write-limit|free-behind|streams|all \
-         [--quick] [--jobs N] [--streams N] [--stats-json <path>] [--trace <path>]"
+         extentfs|write-limit|free-behind|streams|volume|all \
+         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+         [--stats-json <path>] [--trace <path>]\n\
+         volume specs: raid0:<spindles>:<stripe> | raid1:<spindles> | \
+         raid5:<spindles>:<stripe>  (e.g. raid0:4:64k, raid1:2, raid5:5:64k)"
     );
     std::process::exit(2);
 }
@@ -42,7 +51,7 @@ fn usage() -> ! {
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() || args[i + 1].starts_with("--") {
-        eprintln!("{flag} requires a path argument");
+        eprintln!("{flag} requires a value");
         usage();
     }
     let value = args.remove(i + 1);
@@ -79,6 +88,12 @@ fn main() {
             .unwrap_or(1)
     });
     let nstreams = take_count_flag(&mut args, "--streams").map(|n| n as u32);
+    let volume_spec = take_value_flag(&mut args, "--volume").map(|s| {
+        VolumeSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--volume {s}: {e}");
+            usage();
+        })
+    });
     let quick = match args.iter().position(|a| a == "--quick") {
         Some(i) => {
             args.remove(i);
@@ -101,8 +116,15 @@ fn main() {
     } else {
         RunScale::paper()
     };
-    // A bare `--streams N` selects the streams experiment.
-    let default_what = if nstreams.is_some() { "streams" } else { "all" };
+    // A bare `--streams N` selects the streams experiment; a bare
+    // `--volume <spec>` selects the volume experiment.
+    let default_what = if nstreams.is_some() {
+        "streams"
+    } else if volume_spec.is_some() {
+        "volume"
+    } else {
+        "all"
+    };
     let what = args.first().map(|s| s.as_str()).unwrap_or(default_what);
     let nstreams = nstreams.unwrap_or(4);
 
@@ -166,6 +188,10 @@ fn main() {
             println!("Multi-stream fairness ({nstreams} tagged streams)\n");
             println!("{}", streams_run(nstreams, scale, &runner));
         }
+        "volume" => {
+            println!("RAID volumes: cluster size x stripe width x spindle count\n");
+            println!("{}", volume_run(volume_spec.as_ref(), scale, &runner));
+        }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
@@ -191,6 +217,8 @@ fn main() {
             println!("{tf}");
             println!("Multi-stream fairness ({nstreams} tagged streams)\n");
             println!("{}", streams_run(nstreams, scale, &runner));
+            println!("RAID volumes: cluster size x stripe width x spindle count\n");
+            println!("{}", volume_run(volume_spec.as_ref(), scale, &runner));
         }
         other => {
             eprintln!("unknown experiment: {other}");

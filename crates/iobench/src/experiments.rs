@@ -25,11 +25,13 @@ use crate::streams::{run_streams, StreamsOptions};
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run via [`StatsSink::sim`]; the driver captures
 /// each run's full registry here, and the `--stats-json` flag serializes
-/// the collection as one document (schema `iobench-stats/v3`, documented in
+/// the collection as one document (schema `iobench-stats/v4`, documented in
 /// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
-/// names, v3 adds interpolated `p50`/`p95`/`p99` quantiles to histogram
-/// snapshots). Snapshots are pure functions of the virtual-time simulation,
-/// so two identical runs produce byte-identical documents.
+/// names, v3 added interpolated `p50`/`p95`/`p99` quantiles to histogram
+/// snapshots, v4 adds the `base{spindle=K}` label family emitted by
+/// `volmgr` arrays and the `volume/...` run ids). Snapshots are pure
+/// functions of the virtual-time simulation, so two identical runs produce
+/// byte-identical documents.
 #[derive(Default)]
 pub struct StatsSink {
     /// `(run id, registry JSON)` in run order.
@@ -144,7 +146,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v3\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v4\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }
@@ -534,7 +536,8 @@ pub fn extentfs_comparison_run(scale: RunScale, runner: &Runner) -> String {
                 let s = sim.clone();
                 sim.run_until(async move {
                     let cpu = Cpu::new(&s);
-                    let disk = Disk::new(&s, DiskParams::sun0424());
+                    let disk: diskmodel::SharedDevice =
+                        std::rc::Rc::new(Disk::new(&s, DiskParams::sun0424()));
                     let cache = PageCache::new(&s, PageCacheParams::sparcstation_8mb());
                     let (_daemon, rx) = PageoutDaemon::spawn(
                         &s,

@@ -34,8 +34,10 @@ pub mod report;
 pub mod runner;
 pub mod streams;
 pub mod traceout;
+pub mod volume;
 
 pub use configs::{paper_world, Config, WorldOptions};
 pub use iobench::{run_iobench, IoKind, Throughput};
 pub use runner::{RunPlan, Runner};
 pub use streams::{run_streams, StreamRole, StreamRun, StreamsOptions};
+pub use volume::{volume_data, volume_run, VolumeData, VolumeSweep};

@@ -477,16 +477,57 @@ impl StatsRegistry {
         map.entry(name.to_string()).or_insert_with(make).clone()
     }
 
-    /// The registry name of metric `base` labelled with `stream`:
-    /// `base{stream=N}`. Labelled metrics live in the same flat namespace
+    /// The registry name of metric `base` carrying `label=value`:
+    /// `base{label=N}`. Labelled metrics live in the same flat namespace
     /// as everything else, so snapshots stay sorted and deterministic.
+    /// Two families are in use: `stream=` (per-file I/O attribution) and
+    /// `spindle=` (per-leg attribution on a volume).
+    pub fn labelled_name(base: &str, label: &str, value: u32) -> String {
+        format!("{base}{{{label}={value}}}")
+    }
+
+    /// Registers (or retrieves) the counter `base{label=N}`.
+    pub fn labelled_counter(&self, base: &str, label: &str, value: u32) -> Counter {
+        self.counter(&Self::labelled_name(base, label, value))
+    }
+
+    /// Every `(value, count)` pair registered under `base{label=N}`,
+    /// sorted by label value. Intended for reports and tests.
+    pub fn labelled_counter_values(&self, base: &str, label: &str) -> Vec<(u32, u64)> {
+        let prefix = format!("{base}{{{label}=");
+        let map = self.inner.metrics.borrow();
+        let mut out: Vec<(u32, u64)> = map
+            .iter()
+            .filter_map(|(name, metric)| {
+                let rest = name.strip_prefix(&prefix)?.strip_suffix('}')?;
+                let value: u32 = rest.parse().ok()?;
+                match metric {
+                    Metric::Counter(c) => Some((value, c.get())),
+                    _ => None,
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sum of every counter registered under `base{label=N}`.
+    pub fn labelled_counter_sum(&self, base: &str, label: &str) -> u64 {
+        self.labelled_counter_values(base, label)
+            .iter()
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The registry name of metric `base` labelled with `stream`:
+    /// `base{stream=N}`.
     pub fn stream_name(base: &str, stream: u32) -> String {
-        format!("{base}{{stream={stream}}}")
+        Self::labelled_name(base, "stream", stream)
     }
 
     /// Registers (or retrieves) the per-stream counter `base{stream=N}`.
     pub fn stream_counter(&self, base: &str, stream: u32) -> Counter {
-        self.counter(&Self::stream_name(base, stream))
+        self.labelled_counter(base, "stream", stream)
     }
 
     /// Registers (or retrieves) the per-stream histogram `base{stream=N}`.
@@ -497,29 +538,12 @@ impl StatsRegistry {
     /// Every `(stream, value)` pair registered under `base{stream=N}`,
     /// sorted by stream id. Intended for reports and tests.
     pub fn stream_counter_values(&self, base: &str) -> Vec<(u32, u64)> {
-        let prefix = format!("{base}{{stream=");
-        let map = self.inner.metrics.borrow();
-        let mut out: Vec<(u32, u64)> = map
-            .iter()
-            .filter_map(|(name, metric)| {
-                let rest = name.strip_prefix(&prefix)?.strip_suffix('}')?;
-                let stream: u32 = rest.parse().ok()?;
-                match metric {
-                    Metric::Counter(c) => Some((stream, c.get())),
-                    _ => None,
-                }
-            })
-            .collect();
-        out.sort_unstable();
-        out
+        self.labelled_counter_values(base, "stream")
     }
 
     /// Sum of every per-stream counter registered under `base{stream=N}`.
     pub fn stream_counter_sum(&self, base: &str) -> u64 {
-        self.stream_counter_values(base)
-            .iter()
-            .map(|(_, v)| v)
-            .sum()
+        self.labelled_counter_sum(base, "stream")
     }
 
     /// `(count, sum)` of a histogram by name, or `None` if absent. Like

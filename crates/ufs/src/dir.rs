@@ -22,25 +22,21 @@ fn entry_size(name: &str) -> usize {
 
 impl Ufs {
     /// Looks `name` up in directory `dip`.
+    ///
+    /// Compares name bytes in place rather than materializing every
+    /// entry as a `String`: lookups run once per create/remove, so a
+    /// directory of N files would otherwise cost O(N²) transient
+    /// `String`s across a churn workload. The scan still visits (and
+    /// charges for) every block, like the original.
     pub(crate) async fn dir_lookup(&self, dip: &Incore, name: &str) -> FsResult<Option<u32>> {
         if dip.din.borrow().kind != FileKind::Directory {
             return Err(FsError::NotADirectory);
         }
-        for (ename, ino) in self.dir_entries(dip).await? {
-            if ename == name {
-                return Ok(Some(ino));
-            }
-        }
-        Ok(None)
-    }
-
-    /// Lists all entries of `dip` in storage order.
-    pub(crate) async fn dir_entries(&self, dip: &Incore) -> FsResult<Vec<(String, u32)>> {
         let nblocks = {
             let din = dip.din.borrow();
             din.size.div_ceil(BLOCK_SIZE as u64)
         };
-        let mut out = Vec::new();
+        let mut found = None;
         for lbn in 0..nblocks {
             self.charge("dir", self.inner.params.costs.dir_block).await;
             let pbn = self.ptr_at(dip, lbn).await?;
@@ -54,18 +50,18 @@ impl Ufs {
                 let ino = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
                 let namelen = data[pos + 4] as usize;
                 if ino == 0 && namelen == 0 {
-                    break; // End of used region in this block.
+                    break;
                 }
-                let name =
-                    String::from_utf8_lossy(&data[pos + ENTRY_FIXED..pos + ENTRY_FIXED + namelen])
-                        .into_owned();
-                if ino != 0 {
-                    out.push((name, ino));
+                if found.is_none()
+                    && ino != 0
+                    && &data[pos + ENTRY_FIXED..pos + ENTRY_FIXED + namelen] == name.as_bytes()
+                {
+                    found = Some(ino);
                 }
                 pos += ENTRY_FIXED + namelen;
             }
         }
-        Ok(out)
+        Ok(found)
     }
 
     /// Adds `name → ino` to directory `dip` with a synchronous (or ordered)

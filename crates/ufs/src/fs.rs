@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, ReadAhead, Tuning};
-use diskmodel::{Disk, DiskOp, DiskRequest};
+use diskmodel::{BlockDeviceExt, DiskOp, DiskRequest, SharedDevice};
 use pagecache::{CleanRequest, PageCache, VnodeId};
 use simkit::stats::{Counter, Histogram};
 use simkit::{Cpu, Notify, Receiver, Sim, SimDuration};
@@ -215,7 +215,7 @@ impl Incore {
 pub(crate) struct UfsInner {
     pub(crate) sim: Sim,
     pub(crate) cpu: Cpu,
-    pub(crate) disk: Disk,
+    pub(crate) disk: SharedDevice,
     pub(crate) cache: PageCache,
     pub(crate) params: UfsParams,
     pub(crate) sb: RefCell<Superblock>,
@@ -254,7 +254,7 @@ impl Ufs {
         sim: &Sim,
         cpu: &Cpu,
         cache: &PageCache,
-        disk: &Disk,
+        disk: &SharedDevice,
         params: UfsParams,
         cleaner: Option<Receiver<CleanRequest>>,
     ) -> FsResult<Ufs> {
@@ -361,8 +361,7 @@ impl Ufs {
     /// One block's media transfer time in milliseconds (for rotdelay →
     /// blocks conversion).
     pub(crate) fn block_time_ms(&self) -> f64 {
-        let g = self.inner.disk.geometry();
-        (SECTORS_PER_BLOCK as u64 * g.sector_time_ns(0)) as f64 / 1e6
+        (SECTORS_PER_BLOCK as u64 * self.inner.disk.sector_time_ns()) as f64 / 1e6
     }
 
     /// Placement gap in blocks derived from the tuning's rotdelay.

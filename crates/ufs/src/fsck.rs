@@ -7,7 +7,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use diskmodel::Disk;
+use diskmodel::{BlockDevice, BlockDeviceExt};
 use vfs::{FsError, FsResult};
 
 use crate::layout::{
@@ -38,7 +38,7 @@ impl FsckReport {
     }
 }
 
-async fn read_block(disk: &Disk, pbn: u64) -> Vec<u8> {
+async fn read_block(disk: &dyn BlockDevice, pbn: u64) -> Vec<u8> {
     disk.read(pbn * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK)
         .await
 }
@@ -49,7 +49,7 @@ fn read_ptr(block: &[u8], idx: usize) -> u32 {
 }
 
 /// Checks the file system on `disk`.
-pub async fn fsck(disk: &Disk) -> FsResult<FsckReport> {
+pub async fn fsck(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
     let mut report = FsckReport::default();
     let raw = read_block(disk, SB_BLOCK).await;
     let sb = Superblock::decode(&raw).ok_or(FsError::Corrupt)?;

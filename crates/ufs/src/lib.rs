@@ -34,9 +34,10 @@ pub use mkfs::{mkfs, MkfsOptions};
 pub use vnops::UfsFile;
 
 use clufs::Tuning;
-use diskmodel::{Disk, DiskParams};
+use diskmodel::{Disk, DiskParams, SharedDevice};
 use pagecache::{PageCache, PageCacheParams, PageoutDaemon, PageoutParams};
 use simkit::{Cpu, Sim};
+use std::rc::Rc;
 use vfs::FsResult;
 
 /// Everything a simulated world needs: clock, CPU, disk, page cache,
@@ -46,8 +47,8 @@ pub struct World {
     pub sim: Sim,
     /// The CPU cost account.
     pub cpu: Cpu,
-    /// The drive.
-    pub disk: Disk,
+    /// The block device (a single drive or a `volmgr` array).
+    pub disk: SharedDevice,
     /// The unified page cache.
     pub cache: PageCache,
     /// The pageout daemon handle.
@@ -65,10 +66,22 @@ pub async fn build_world(
     mkfs_opts: MkfsOptions,
     ufs_params: UfsParams,
 ) -> FsResult<World> {
+    let disk: SharedDevice = Rc::new(Disk::new(sim, disk_params));
+    build_world_on(sim, disk, cache_params, mkfs_opts, ufs_params).await
+}
+
+/// Like [`build_world`], but mounts on an existing [`SharedDevice`] — a
+/// single drive or a `volmgr` RAID array.
+pub async fn build_world_on(
+    sim: &Sim,
+    disk: SharedDevice,
+    cache_params: PageCacheParams,
+    mkfs_opts: MkfsOptions,
+    ufs_params: UfsParams,
+) -> FsResult<World> {
     let cpu = Cpu::new(sim);
-    let disk = Disk::new(sim, disk_params);
     let cache = PageCache::new(sim, cache_params);
-    mkfs::mkfs(sim, &disk, mkfs_opts).await?;
+    mkfs::mkfs(sim, &*disk, mkfs_opts).await?;
     let (daemon, cleaner_rx) = PageoutDaemon::spawn(
         sim,
         &cache,

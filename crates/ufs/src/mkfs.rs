@@ -1,6 +1,6 @@
 //! `mkfs`: formats a disk with an empty file system.
 
-use diskmodel::Disk;
+use diskmodel::{BlockDevice, BlockDeviceExt};
 use simkit::Sim;
 use vfs::{FsError, FsResult};
 
@@ -52,9 +52,9 @@ impl MkfsOptions {
 ///
 /// Lays down: boot block (untouched), superblock, and per group a header
 /// block, a zeroed inode table, and (for group 0) the root directory.
-pub async fn mkfs(sim: &Sim, disk: &Disk, opts: MkfsOptions) -> FsResult<Superblock> {
+pub async fn mkfs(sim: &Sim, disk: &dyn BlockDevice, opts: MkfsOptions) -> FsResult<Superblock> {
     let _ = sim;
-    let total_sectors = disk.geometry().total_sectors();
+    let total_sectors = disk.total_sectors();
     let total_blocks = total_sectors / SECTORS_PER_BLOCK as u64;
     if total_blocks < CG_START + opts.blocks_per_cg as u64 {
         return Err(FsError::Invalid);
@@ -123,7 +123,7 @@ pub async fn mkfs(sim: &Sim, disk: &Disk, opts: MkfsOptions) -> FsResult<Superbl
     Ok(sb)
 }
 
-async fn write_block(disk: &Disk, pbn: u64, data: Vec<u8>) {
+async fn write_block(disk: &dyn BlockDevice, pbn: u64, data: Vec<u8>) {
     disk.write(pbn * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK, data)
         .await;
 }

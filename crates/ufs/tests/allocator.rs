@@ -44,7 +44,7 @@ fn two_growing_files_interleave_without_overlap() {
         assert!(mean(&ea) >= 2.0, "file a fragmented: {ea:?}");
         assert!(mean(&eb) >= 2.0, "file b fragmented: {eb:?}");
         w.fs.clone().unmount().await.unwrap();
-        let report = ufs::fsck(&w.disk).await.unwrap();
+        let report = ufs::fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "{:?}", report.errors);
     });
 }
@@ -58,7 +58,10 @@ fn maxbpg_moves_large_files_to_new_groups() {
         let mut params = ufs::UfsParams::test(Tuning::config_a());
         params.maxbpg = Some(20);
         let cpu = simkit::Cpu::new(&s);
-        let disk = diskmodel::Disk::new(&s, diskmodel::DiskParams::small_test());
+        let disk: diskmodel::SharedDevice = std::rc::Rc::new(diskmodel::Disk::new(
+            &s,
+            diskmodel::DiskParams::small_test(),
+        ));
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());
         let (_d, rx) = pagecache::PageoutDaemon::spawn(
             &s,
@@ -74,7 +77,7 @@ fn maxbpg_moves_large_files_to_new_groups() {
             inodes_per_cg: 64,
             ..ufs::MkfsOptions::small_test()
         };
-        ufs::mkfs(&s, &disk, opts).await.unwrap();
+        ufs::mkfs(&s, &*disk, opts).await.unwrap();
         let fs = ufs::Ufs::mount(&s, &cpu, &cache, &disk, params, None)
             .await
             .unwrap();
@@ -160,7 +163,7 @@ proptest! {
                 assert_eq!(w.fs.free_blocks(), free0, "all space returned");
             }
             w.fs.clone().unmount().await.unwrap();
-            let report = ufs::fsck(&w.disk).await.unwrap();
+            let report = ufs::fsck(&*w.disk).await.unwrap();
             assert!(report.is_clean(), "fsck: {:?}", report.errors);
         });
     }

@@ -1,6 +1,7 @@
 //! End-to-end tests of the file system over the simulated disk.
 
 use clufs::Tuning;
+use diskmodel::BlockDeviceExt;
 use simkit::Sim;
 use ufs::{build_test_world, fsck, FileKind};
 use vfs::{AccessMode, FileSystem, FsError, Vnode};
@@ -18,7 +19,7 @@ fn mkfs_then_fsck_is_clean() {
     let report = sim.run_until(async move {
         let w = build_test_world(&s, Tuning::config_a()).await.unwrap();
         w.fs.clone().unmount().await.unwrap();
-        fsck(&w.disk).await.unwrap()
+        fsck(&*w.disk).await.unwrap()
     });
     assert!(report.is_clean(), "errors: {:?}", report.errors);
     assert!(report.was_clean);
@@ -83,7 +84,7 @@ fn multi_megabyte_file_through_indirect_blocks() {
             assert_eq!(got, expect, "mismatch at {off}");
         }
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
         assert_eq!(report.files, 1);
     });
@@ -191,7 +192,7 @@ fn truncate_frees_blocks_and_fsck_agrees() {
         assert_eq!(back.len(), 10_000);
         assert_eq!(back, pattern(200_000, 1)[..10_000]);
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
     });
 }
@@ -213,7 +214,7 @@ fn remove_returns_all_space() {
         assert_eq!(w.fs.free_blocks(), free0, "all blocks returned");
         assert_eq!(w.fs.open("victim").await.err(), Some(FsError::NotFound));
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
         assert_eq!(report.files, 0);
     });
@@ -242,7 +243,7 @@ fn holes_read_as_zeros() {
         let allocated: u32 = extents.iter().map(|e| e.2).sum();
         assert_eq!(allocated, 2, "only the two written blocks: {extents:?}");
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
     });
 }
@@ -364,7 +365,7 @@ fn crash_without_sync_is_detected_by_fsck() {
         f.fsync().await.unwrap();
         // Crash: no sync_all, no unmount — the in-core bitmaps and the
         // clean flag never reach the disk.
-        fsck(&w.disk).await.unwrap()
+        fsck(&*w.disk).await.unwrap()
     });
     assert!(!report.was_clean, "crash leaves the dirty flag");
     assert!(
@@ -407,7 +408,7 @@ fn many_files_and_directories() {
             assert_eq!(back, pattern(3000 + i as usize * 7, i as u8));
         }
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
         assert_eq!(report.files, 20);
         assert_eq!(report.dirs, 3);
@@ -521,7 +522,7 @@ fn fsck_detects_deliberate_corruption() {
             .unwrap();
         cg.set_block(victim);
         w.disk.write(sb.cg_start(0) * 16, 16, cg.encode()).await;
-        fsck(&w.disk).await.unwrap()
+        fsck(&*w.disk).await.unwrap()
     });
     assert!(
         report
@@ -564,7 +565,7 @@ fn symlinks_fast_and_slow() {
 
         // Symlinks survive remount and fsck.
         w.fs.clone().unmount().await.unwrap();
-        let report = fsck(&w.disk).await.unwrap();
+        let report = fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "errors: {:?}", report.errors);
         let cpu = simkit::Cpu::new(&s);
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());

@@ -22,7 +22,7 @@ use std::ops::Range;
 use std::rc::Rc;
 
 use clufs::WriteThrottle;
-use diskmodel::{Disk, IoHandle};
+use diskmodel::{IoHandle, SharedDevice};
 use pagecache::{PageCache, PageId, PageKey};
 use simkit::stats::Histogram;
 use simkit::{Cpu, Notify, Sim, SimDuration, SpanId};
@@ -219,7 +219,7 @@ struct PerStream {
 struct IoPathInner {
     sim: Sim,
     cpu: Cpu,
-    disk: Disk,
+    disk: SharedDevice,
     cache: PageCache,
     costs: IoCosts,
     block_size: usize,
@@ -242,9 +242,15 @@ impl IoPath {
 
     /// Builds an executor over the mount's devices. The block size is the
     /// cache's page size and must be a whole number of disk sectors.
-    pub fn new(sim: &Sim, cpu: &Cpu, disk: &Disk, cache: &PageCache, costs: IoCosts) -> IoPath {
+    pub fn new(
+        sim: &Sim,
+        cpu: &Cpu,
+        disk: &SharedDevice,
+        cache: &PageCache,
+        costs: IoCosts,
+    ) -> IoPath {
         let block_size = cache.page_size();
-        let sector = disk.geometry().sector_size as usize;
+        let sector = disk.sector_size() as usize;
         assert_eq!(block_size % sector, 0, "page size must be whole sectors");
         IoPath {
             inner: Rc::new(IoPathInner {

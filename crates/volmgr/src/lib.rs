@@ -1,0 +1,37 @@
+//! # volmgr — RAID volumes over simulated drives
+//!
+//! The paper measures one 400 MB 1991 spindle; production arrays stripe,
+//! mirror, or rotate parity across many. This crate composes N
+//! [`diskmodel`] drives into a single [`BlockDevice`], so everything built
+//! on that trait — the cluster executor, UFS, extentfs, the benchmarks —
+//! mounts on an array unchanged:
+//!
+//! - **RAID-0**: striping; one request fans out to scatter/gather child
+//!   requests, at most one per spindle.
+//! - **RAID-1**: mirroring; writes go to every leg, reads round-robin
+//!   (deterministically) across legs.
+//! - **RAID-5**: rotating parity; full-row writes compute parity from new
+//!   data, partial rows pay the small-write penalty (read old data and
+//!   parity, XOR, write back) — the interaction the cluster-size sweep in
+//!   `iobench volume` exists to measure.
+//!
+//! Observability: member drives are labelled, so the registry carries
+//! `disk.busy_ns{spindle=K}` per leg, and every child request runs under a
+//! `vol.spindle` span parented to the volume's `vol.read`/`vol.write`
+//! span.
+
+pub mod spec;
+pub mod volume;
+
+pub use spec::{RaidLevel, SpecError, VolumeSpec};
+pub use volume::{raid0_map, raid0_unmap, raid5_map, raid5_parity_spindle, Volume};
+
+use diskmodel::{DiskParams, SharedDevice};
+use simkit::Sim;
+use std::rc::Rc;
+
+/// Builds the volume `spec` describes from `spec.spindles` drives with
+/// identical `params`, as a [`SharedDevice`] ready to mount.
+pub fn build(sim: &Sim, spec: &VolumeSpec, params: DiskParams) -> SharedDevice {
+    Rc::new(Volume::new(sim, spec, params))
+}

@@ -1,0 +1,202 @@
+//! Volume specification strings: `raid0:4:64k`, `raid1:2`, `raid5:5:64k`.
+//!
+//! The grammar is deliberately rigid — `level:spindles[:stripe]` — because
+//! specs arrive from the `iobench --volume` flag and a malformed spec must
+//! produce a precise complaint (exit 2 + usage), not a guessed geometry.
+
+use std::fmt;
+
+/// RAID personality of a volume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaidLevel {
+    /// Striping, no redundancy.
+    Raid0,
+    /// Mirroring with round-robin read balancing.
+    Raid1,
+    /// Rotating parity with read-modify-write for partial stripes.
+    Raid5,
+}
+
+impl RaidLevel {
+    fn name(self) -> &'static str {
+        match self {
+            RaidLevel::Raid0 => "raid0",
+            RaidLevel::Raid1 => "raid1",
+            RaidLevel::Raid5 => "raid5",
+        }
+    }
+}
+
+/// A parsed, validated volume description.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VolumeSpec {
+    /// Personality.
+    pub level: RaidLevel,
+    /// Member drives.
+    pub spindles: u32,
+    /// Stripe unit in bytes (RAID-0/5). RAID-1 has no stripe: a mirror
+    /// sends whole requests to each leg.
+    pub stripe_bytes: Option<u32>,
+}
+
+/// Why a spec string was rejected. `Display` gives the exact complaint the
+/// CLI prints before its usage text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Parses a stripe size: a positive integer with an optional `k`/`K` or
+/// `m`/`M` binary suffix.
+fn parse_stripe(s: &str) -> Result<u32, SpecError> {
+    let (digits, mult) = match s.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&s[..i], 1024u32),
+        Some((i, 'm' | 'M')) => (&s[..i], 1024 * 1024),
+        Some(_) => (s, 1),
+        None => return Err(err("empty stripe size")),
+    };
+    let n: u32 = digits
+        .parse()
+        .map_err(|_| err(format!("bad stripe size {s:?} (want e.g. 64k)")))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| err(format!("stripe size {s:?} overflows")))
+}
+
+impl VolumeSpec {
+    /// Parses and validates `level:spindles[:stripe]`.
+    pub fn parse(s: &str) -> Result<VolumeSpec, SpecError> {
+        let mut parts = s.split(':');
+        let level = match parts.next() {
+            Some("raid0") => RaidLevel::Raid0,
+            Some("raid1") => RaidLevel::Raid1,
+            Some("raid5") => RaidLevel::Raid5,
+            Some(other) => {
+                return Err(err(format!(
+                    "unknown RAID level {other:?} (want raid0, raid1 or raid5)"
+                )))
+            }
+            None => return Err(err("empty volume spec")),
+        };
+        let spindles: u32 = match parts.next() {
+            Some(p) => p
+                .parse()
+                .map_err(|_| err(format!("bad spindle count {p:?}")))?,
+            None => return Err(err("missing spindle count (want e.g. raid0:4:64k)")),
+        };
+        let stripe = parts.next().map(parse_stripe).transpose()?;
+        if let Some(extra) = parts.next() {
+            return Err(err(format!("trailing field {extra:?} in volume spec")));
+        }
+        let min_spindles = match level {
+            RaidLevel::Raid0 | RaidLevel::Raid1 => 2,
+            RaidLevel::Raid5 => 3,
+        };
+        if spindles < min_spindles {
+            return Err(err(format!(
+                "{} needs at least {min_spindles} spindles, got {spindles}",
+                level.name()
+            )));
+        }
+        let stripe_bytes = match (level, stripe) {
+            (RaidLevel::Raid1, None) => None,
+            (RaidLevel::Raid1, Some(_)) => {
+                return Err(err("raid1 takes no stripe size (a mirror has no stripes)"))
+            }
+            (_, None) => {
+                return Err(err(format!(
+                    "{} needs a stripe size (e.g. {}:{}:64k)",
+                    level.name(),
+                    level.name(),
+                    spindles
+                )))
+            }
+            (_, Some(b)) => {
+                if b == 0 || b % 512 != 0 {
+                    return Err(err(format!(
+                        "stripe size must be a positive multiple of 512 bytes, got {b}"
+                    )));
+                }
+                Some(b)
+            }
+        };
+        Ok(VolumeSpec {
+            level,
+            spindles,
+            stripe_bytes,
+        })
+    }
+}
+
+impl fmt::Display for VolumeSpec {
+    /// The canonical spec string (`raid5:5:64k`), suitable for run ids.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.level.name(), self.spindles)?;
+        match self.stripe_bytes {
+            Some(b) if b % 1024 == 0 => write!(f, ":{}k", b / 1024),
+            Some(b) => write!(f, ":{b}"),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_specs() {
+        let s = VolumeSpec::parse("raid0:4:64k").unwrap();
+        assert_eq!(s.level, RaidLevel::Raid0);
+        assert_eq!(s.spindles, 4);
+        assert_eq!(s.stripe_bytes, Some(64 * 1024));
+        assert_eq!(s.to_string(), "raid0:4:64k");
+
+        let s = VolumeSpec::parse("raid1:2").unwrap();
+        assert_eq!(s.level, RaidLevel::Raid1);
+        assert_eq!(s.stripe_bytes, None);
+        assert_eq!(s.to_string(), "raid1:2");
+
+        let s = VolumeSpec::parse("raid5:5:32K").unwrap();
+        assert_eq!(s.level, RaidLevel::Raid5);
+        assert_eq!(s.stripe_bytes, Some(32 * 1024));
+        assert_eq!(s.to_string(), "raid5:5:32k");
+
+        // Un-suffixed byte counts survive as long as they are sector
+        // multiples.
+        assert_eq!(
+            VolumeSpec::parse("raid0:2:8192").unwrap().stripe_bytes,
+            Some(8192)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "raid9:4:64k",
+            "raid0",
+            "raid0:one:64k",
+            "raid0:4",
+            "raid0:4:64q",
+            "raid0:4:0",
+            "raid0:4:1000",
+            "raid0:1:64k",
+            "raid1:1",
+            "raid1:2:64k",
+            "raid5:2:64k",
+            "raid5:5:64k:extra",
+        ] {
+            assert!(VolumeSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

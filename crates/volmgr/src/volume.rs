@@ -1,0 +1,562 @@
+//! The volume device: N drives behind one [`BlockDevice`].
+//!
+//! A volume is not a mechanism — it owns no arm and no platter. `submit`
+//! validates the request, splits it into per-spindle child requests, and
+//! spawns an orchestration task that fans them out to the member
+//! [`Disk`]s, reassembles the result, and completes the parent handle.
+//! Each child request carries its own `vol.spindle` trace span (argument
+//! `spindle=K`) parented under the volume's `vol.read`/`vol.write` span,
+//! so a Chrome trace shows a cluster fanning out across the array; each
+//! member drive is constructed with [`Disk::new_spindle`], so
+//! `disk.busy_ns{spindle=K}` attributes the queueing per leg.
+//!
+//! Address math (sector units throughout):
+//!
+//! - **RAID-0**: chunk `c = lba / stripe` lands on spindle `c % n` at
+//!   child chunk `c / n`. Successive chunks on one spindle are contiguous
+//!   on that child, so one volume request becomes at most one child
+//!   request per spindle (scatter/gather lists, like a real HBA).
+//! - **RAID-1**: writes go to every leg; reads round-robin across legs.
+//! - **RAID-5** (left-asymmetric): parity for row `r` lives on spindle
+//!   `(n-1) - (r % n)`; data chunks fill the remaining spindles in order.
+//!   A full-row write computes parity from the new data alone; anything
+//!   less pays the small-write penalty — read old data and old parity,
+//!   XOR the delta, write data and parity back.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use diskmodel::request::handle_pair;
+use diskmodel::{
+    BlockDevice, Disk, DiskOp, DiskParams, DiskRequest, DiskStats, IoCompletion, IoHandle, IoResult,
+};
+use simkit::{Sim, SpanId};
+
+use crate::spec::{RaidLevel, VolumeSpec};
+
+/// RAID-0 address mapping: volume sector → (spindle, child sector).
+pub fn raid0_map(lba: u64, stripe_sectors: u32, spindles: u32) -> (u32, u64) {
+    let stripe = stripe_sectors as u64;
+    let chunk = lba / stripe;
+    let off = lba % stripe;
+    let spindle = (chunk % spindles as u64) as u32;
+    (spindle, (chunk / spindles as u64) * stripe + off)
+}
+
+/// Inverse of [`raid0_map`]: (spindle, child sector) → volume sector.
+pub fn raid0_unmap(spindle: u32, child_lba: u64, stripe_sectors: u32, spindles: u32) -> u64 {
+    let stripe = stripe_sectors as u64;
+    let chunk_on_child = child_lba / stripe;
+    let off = child_lba % stripe;
+    (chunk_on_child * spindles as u64 + spindle as u64) * stripe + off
+}
+
+/// The spindle holding row `row`'s parity (left-asymmetric rotation).
+pub fn raid5_parity_spindle(row: u64, spindles: u32) -> u32 {
+    (spindles - 1) - (row % spindles as u64) as u32
+}
+
+/// RAID-5 data-address mapping: volume sector → (spindle, child sector).
+pub fn raid5_map(lba: u64, stripe_sectors: u32, spindles: u32) -> (u32, u64) {
+    let stripe = stripe_sectors as u64;
+    let nd = (spindles - 1) as u64;
+    let chunk = lba / stripe;
+    let off = lba % stripe;
+    let row = chunk / nd;
+    let d = (chunk % nd) as u32;
+    let p = raid5_parity_spindle(row, spindles);
+    let spindle = if d < p { d } else { d + 1 };
+    (spindle, row * stripe + off)
+}
+
+/// One child request: a contiguous run on one spindle, covering the listed
+/// `(offset, len)` byte ranges of the volume request's buffer in order.
+struct ChildIo {
+    spindle: usize,
+    lba: u64,
+    nsect: u32,
+    pieces: Vec<(usize, usize)>,
+}
+
+struct VolInner {
+    sim: Sim,
+    spec: VolumeSpec,
+    children: Vec<Disk>,
+    sector_size: u32,
+    /// Stripe unit in sectors (RAID-0/5; 0 for RAID-1).
+    stripe_sectors: u32,
+    total_sectors: u64,
+    /// Round-robin position for RAID-1 read balancing. A `Cell`, not
+    /// randomness: balancing must be deterministic for byte-identical
+    /// runs.
+    next_mirror: Cell<usize>,
+}
+
+/// A RAID volume over N simulated drives. Clones share the volume.
+#[derive(Clone)]
+pub struct Volume {
+    inner: Rc<VolInner>,
+}
+
+impl Volume {
+    /// Builds the volume, creating `spec.spindles` identical member drives
+    /// (labelled spindle 0..N-1) on `sim`.
+    pub fn new(sim: &Sim, spec: &VolumeSpec, params: DiskParams) -> Volume {
+        let children: Vec<Disk> = (0..spec.spindles)
+            .map(|k| Disk::new_spindle(sim, params.clone(), k))
+            .collect();
+        let sector_size = children[0].sector_size();
+        let stripe_sectors = spec.stripe_bytes.map_or(0, |b| b / sector_size);
+        let child_sectors = children[0].total_sectors();
+        let n = spec.spindles as u64;
+        let total_sectors = match spec.level {
+            // Striped levels use whole rows only, so the mapping stays a
+            // clean bijection (the partial last row is sacrificed).
+            RaidLevel::Raid0 => (child_sectors / stripe_sectors as u64) * stripe_sectors as u64 * n,
+            RaidLevel::Raid1 => child_sectors,
+            RaidLevel::Raid5 => {
+                (child_sectors / stripe_sectors as u64) * stripe_sectors as u64 * (n - 1)
+            }
+        };
+        assert!(total_sectors > 0, "volume has no addressable capacity");
+        Volume {
+            inner: Rc::new(VolInner {
+                sim: sim.clone(),
+                spec: *spec,
+                children,
+                sector_size,
+                stripe_sectors,
+                total_sectors,
+                next_mirror: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The spec this volume was built from.
+    pub fn spec(&self) -> &VolumeSpec {
+        &self.inner.spec
+    }
+
+    /// The member drives, indexed by spindle (tests and reports read legs
+    /// directly to check mirror and parity invariants).
+    pub fn children(&self) -> &[Disk] {
+        &self.inner.children
+    }
+
+    /// Stripe unit in sectors (0 for RAID-1).
+    pub fn stripe_sectors(&self) -> u32 {
+        self.inner.stripe_sectors
+    }
+
+    // ---- request splitting ----
+
+    fn map_striped(&self, lba: u64, nsect: u32, level: RaidLevel) -> Vec<ChildIo> {
+        let stripe = self.inner.stripe_sectors as u64;
+        let n = self.inner.children.len();
+        let ssz = self.inner.sector_size as usize;
+        let mut ios: Vec<ChildIo> = Vec::new();
+        // Open scatter/gather list per spindle, for merging child-contiguous
+        // chunks (RAID-0 only; RAID-5 data chunks skip parity rows, so
+        // adjacency on a child is not guaranteed and each chunk stands
+        // alone).
+        let mut open: Vec<Option<usize>> = vec![None; n];
+        let mut cur = lba;
+        let end = lba + nsect as u64;
+        while cur < end {
+            let run = (stripe - cur % stripe).min(end - cur) as u32;
+            let (sp, clba) = match level {
+                RaidLevel::Raid0 => raid0_map(cur, self.inner.stripe_sectors, n as u32),
+                RaidLevel::Raid5 => raid5_map(cur, self.inner.stripe_sectors, n as u32),
+                RaidLevel::Raid1 => unreachable!("mirrors are not striped"),
+            };
+            let piece = ((cur - lba) as usize * ssz, run as usize * ssz);
+            match open[sp as usize] {
+                Some(i)
+                    if level == RaidLevel::Raid0 && ios[i].lba + ios[i].nsect as u64 == clba =>
+                {
+                    ios[i].nsect += run;
+                    ios[i].pieces.push(piece);
+                }
+                _ => {
+                    open[sp as usize] = Some(ios.len());
+                    ios.push(ChildIo {
+                        spindle: sp as usize,
+                        lba: clba,
+                        nsect: run,
+                        pieces: vec![piece],
+                    });
+                }
+            }
+            cur += run as u64;
+        }
+        ios
+    }
+
+    // ---- orchestration ----
+
+    fn start_span(&self, name: &'static str, req: &DiskRequest) -> SpanId {
+        let tracer = self.inner.sim.tracer();
+        let svc = tracer.start(name, req.stream, req.span);
+        tracer.arg(svc, "lba", req.lba);
+        tracer.arg(svc, "nsect", req.nsect as u64);
+        svc
+    }
+
+    /// Submits one child request under a fresh `vol.spindle` span.
+    /// `data: Some` means a write, `None` a read.
+    fn submit_child(
+        &self,
+        spindle: usize,
+        lba: u64,
+        nsect: u32,
+        data: Option<Vec<u8>>,
+        req: &DiskRequest,
+        svc: SpanId,
+    ) -> (IoHandle, SpanId) {
+        let tracer = self.inner.sim.tracer();
+        let sp = tracer.start("vol.spindle", req.stream, svc);
+        tracer.arg(sp, "spindle", spindle as u64);
+        let op = if data.is_some() {
+            DiskOp::Write
+        } else {
+            DiskOp::Read
+        };
+        let h = self.inner.children[spindle].submit(DiskRequest {
+            op,
+            lba,
+            nsect,
+            data,
+            ordered: req.ordered,
+            stream: req.stream,
+            span: sp,
+        });
+        (h, sp)
+    }
+
+    async fn read_fan(&self, req: DiskRequest, ios: Vec<ChildIo>, completion: IoCompletion) {
+        let svc = self.start_span("vol.read", &req);
+        let ssz = self.inner.sector_size as usize;
+        let mut buf = vec![0u8; req.nsect as usize * ssz];
+        let pending: Vec<(IoHandle, SpanId, ChildIo)> = ios
+            .into_iter()
+            .map(|io| {
+                let (h, sp) = self.submit_child(io.spindle, io.lba, io.nsect, None, &req, svc);
+                (h, sp, io)
+            })
+            .collect();
+        for (h, sp, io) in pending {
+            let res = h.wait().await;
+            self.inner.sim.tracer().end(sp);
+            let data = res.data.expect("read returns data");
+            let mut src = 0;
+            for (off, len) in &io.pieces {
+                buf[*off..*off + *len].copy_from_slice(&data[src..src + *len]);
+                src += *len;
+            }
+        }
+        self.inner.sim.tracer().end(svc);
+        completion.complete(IoResult {
+            data: Some(buf),
+            finished_at: self.inner.sim.now(),
+        });
+    }
+
+    async fn write_fan(&self, req: DiskRequest, ios: Vec<ChildIo>, completion: IoCompletion) {
+        let svc = self.start_span("vol.write", &req);
+        let payload = req.data.as_deref().expect("write carries payload");
+        let pending: Vec<(IoHandle, SpanId)> = ios
+            .iter()
+            .map(|io| {
+                let mut data = Vec::with_capacity(io.pieces.iter().map(|(_, l)| l).sum());
+                for (off, len) in &io.pieces {
+                    data.extend_from_slice(&payload[*off..*off + *len]);
+                }
+                self.submit_child(io.spindle, io.lba, io.nsect, Some(data), &req, svc)
+            })
+            .collect();
+        for (h, sp) in pending {
+            h.wait().await;
+            self.inner.sim.tracer().end(sp);
+        }
+        self.inner.sim.tracer().end(svc);
+        completion.complete(IoResult {
+            data: None,
+            finished_at: self.inner.sim.now(),
+        });
+    }
+
+    /// RAID-5 writes: full rows compute parity from the new data; partial
+    /// rows read-modify-write. Old-data/old-parity reads for every row are
+    /// issued together, then all data+parity writes.
+    async fn raid5_write(&self, req: DiskRequest, completion: IoCompletion) {
+        let svc = self.start_span("vol.write", &req);
+        let stripe = self.inner.stripe_sectors;
+        let n = self.inner.children.len() as u32;
+        let nd = (n - 1) as u64;
+        let ssz = self.inner.sector_size as usize;
+        let stripe_bytes = stripe as usize * ssz;
+        let payload = req.data.as_deref().expect("write carries payload");
+
+        // Partition into per-row chunk pieces: (data index, intra-chunk
+        // sector offset, sectors, byte offset into the request payload).
+        struct Piece {
+            d: u32,
+            intra: u64,
+            nsect: u32,
+            buf_off: usize,
+        }
+        let mut rows: BTreeMap<u64, Vec<Piece>> = BTreeMap::new();
+        let mut cur = req.lba;
+        let end = req.lba + req.nsect as u64;
+        while cur < end {
+            let run = (stripe as u64 - cur % stripe as u64).min(end - cur) as u32;
+            let chunk = cur / stripe as u64;
+            rows.entry(chunk / nd).or_default().push(Piece {
+                d: (chunk % nd) as u32,
+                intra: cur % stripe as u64,
+                nsect: run,
+                buf_off: (cur - req.lba) as usize * ssz,
+            });
+            cur += run as u64;
+        }
+
+        let spindle_of = |row: u64, d: u32| {
+            let p = raid5_parity_spindle(row, n);
+            (if d < p { d } else { d + 1 }) as usize
+        };
+
+        // Phase 1: for partial rows, read old data under each piece and
+        // the old parity over the union of intra-chunk ranges.
+        struct RowReads {
+            handles: Vec<(IoHandle, SpanId)>, // one per piece, then parity
+            lo: u64,
+        }
+        let mut reads: BTreeMap<u64, RowReads> = BTreeMap::new();
+        for (&row, pieces) in &rows {
+            let full = pieces.len() as u64 == nd && pieces.iter().all(|p| p.nsect == stripe);
+            if full {
+                continue;
+            }
+            let lo = pieces.iter().map(|p| p.intra).min().unwrap();
+            let hi = pieces
+                .iter()
+                .map(|p| p.intra + p.nsect as u64)
+                .max()
+                .unwrap();
+            let mut handles = Vec::new();
+            for p in pieces {
+                handles.push(self.submit_child(
+                    spindle_of(row, p.d),
+                    row * stripe as u64 + p.intra,
+                    p.nsect,
+                    None,
+                    &req,
+                    svc,
+                ));
+            }
+            handles.push(self.submit_child(
+                raid5_parity_spindle(row, n) as usize,
+                row * stripe as u64 + lo,
+                (hi - lo) as u32,
+                None,
+                &req,
+                svc,
+            ));
+            reads.insert(row, RowReads { handles, lo });
+        }
+
+        // Await phase-1 reads and compute each partial row's new parity.
+        let mut parity_writes: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new(); // row -> (lba, bytes)
+        for (&row, rr) in &mut reads {
+            let pieces = &rows[&row];
+            let mut old = Vec::new();
+            for (h, sp) in rr.handles.drain(..) {
+                let res = h.wait().await;
+                self.inner.sim.tracer().end(sp);
+                old.push(res.data.expect("read returns data"));
+            }
+            let old_parity = old.pop().expect("parity read present");
+            let mut delta = old_parity;
+            // delta starts as the old parity; XOR in old^new under each
+            // piece, leaving uncovered bytes unchanged.
+            for (p, old_data) in pieces.iter().zip(&old) {
+                let base = (p.intra - rr.lo) as usize * ssz;
+                let new_data = &payload[p.buf_off..p.buf_off + p.nsect as usize * ssz];
+                for i in 0..new_data.len() {
+                    delta[base + i] ^= old_data[i] ^ new_data[i];
+                }
+            }
+            parity_writes.insert(row, (row * stripe as u64 + rr.lo, delta));
+        }
+
+        // Full rows: parity is the XOR of the new data chunks.
+        for (&row, pieces) in &rows {
+            if reads.contains_key(&row) {
+                continue;
+            }
+            let mut parity = vec![0u8; stripe_bytes];
+            for p in pieces {
+                let new_data = &payload[p.buf_off..p.buf_off + stripe_bytes];
+                for i in 0..stripe_bytes {
+                    parity[i] ^= new_data[i];
+                }
+            }
+            parity_writes.insert(row, (row * stripe as u64, parity));
+        }
+
+        // Phase 2: write new data and new parity for every row.
+        let mut pending: Vec<(IoHandle, SpanId)> = Vec::new();
+        for (&row, pieces) in &rows {
+            for p in pieces {
+                pending.push(self.submit_child(
+                    spindle_of(row, p.d),
+                    row * stripe as u64 + p.intra,
+                    p.nsect,
+                    Some(payload[p.buf_off..p.buf_off + p.nsect as usize * ssz].to_vec()),
+                    &req,
+                    svc,
+                ));
+            }
+            let (lba, bytes) = parity_writes.remove(&row).expect("parity computed");
+            let nsect = (bytes.len() / ssz) as u32;
+            pending.push(self.submit_child(
+                raid5_parity_spindle(row, n) as usize,
+                lba,
+                nsect,
+                Some(bytes),
+                &req,
+                svc,
+            ));
+        }
+        for (h, sp) in pending {
+            h.wait().await;
+            self.inner.sim.tracer().end(sp);
+        }
+        self.inner.sim.tracer().end(svc);
+        completion.complete(IoResult {
+            data: None,
+            finished_at: self.inner.sim.now(),
+        });
+    }
+
+    async fn dispatch(self, req: DiskRequest, completion: IoCompletion) {
+        match (self.inner.spec.level, req.op) {
+            (RaidLevel::Raid0, DiskOp::Read) => {
+                let ios = self.map_striped(req.lba, req.nsect, RaidLevel::Raid0);
+                self.read_fan(req, ios, completion).await;
+            }
+            (RaidLevel::Raid0, DiskOp::Write) => {
+                let ios = self.map_striped(req.lba, req.nsect, RaidLevel::Raid0);
+                self.write_fan(req, ios, completion).await;
+            }
+            (RaidLevel::Raid1, DiskOp::Read) => {
+                let k = self.inner.next_mirror.get();
+                self.inner
+                    .next_mirror
+                    .set((k + 1) % self.inner.children.len());
+                let ssz = self.inner.sector_size as usize;
+                let ios = vec![ChildIo {
+                    spindle: k,
+                    lba: req.lba,
+                    nsect: req.nsect,
+                    pieces: vec![(0, req.nsect as usize * ssz)],
+                }];
+                self.read_fan(req, ios, completion).await;
+            }
+            (RaidLevel::Raid1, DiskOp::Write) => {
+                let ssz = self.inner.sector_size as usize;
+                let ios = (0..self.inner.children.len())
+                    .map(|k| ChildIo {
+                        spindle: k,
+                        lba: req.lba,
+                        nsect: req.nsect,
+                        pieces: vec![(0, req.nsect as usize * ssz)],
+                    })
+                    .collect();
+                self.write_fan(req, ios, completion).await;
+            }
+            (RaidLevel::Raid5, DiskOp::Read) => {
+                let ios = self.map_striped(req.lba, req.nsect, RaidLevel::Raid5);
+                self.read_fan(req, ios, completion).await;
+            }
+            (RaidLevel::Raid5, DiskOp::Write) => {
+                self.raid5_write(req, completion).await;
+            }
+        }
+    }
+}
+
+impl BlockDevice for Volume {
+    fn submit(&self, req: DiskRequest) -> IoHandle {
+        assert!(req.nsect > 0, "zero-length volume request");
+        assert!(
+            req.lba + req.nsect as u64 <= self.inner.total_sectors,
+            "request beyond end of volume"
+        );
+        if let Some(data) = &req.data {
+            assert_eq!(
+                data.len(),
+                req.nsect as usize * self.inner.sector_size as usize,
+                "write payload length mismatch"
+            );
+        } else {
+            assert_eq!(req.op, DiskOp::Read, "write without payload");
+        }
+        let (handle, completion) = handle_pair();
+        let vol = self.clone();
+        self.inner
+            .sim
+            .spawn(async move { vol.dispatch(req, completion).await });
+        handle
+    }
+
+    fn sector_size(&self) -> u32 {
+        self.inner.sector_size
+    }
+
+    fn total_sectors(&self) -> u64 {
+        self.inner.total_sectors
+    }
+
+    fn sector_time_ns(&self) -> u64 {
+        self.inner.children[0].sector_time_ns()
+    }
+
+    fn stats(&self) -> DiskStats {
+        let mut sum = DiskStats::default();
+        for c in &self.inner.children {
+            let s = c.stats();
+            sum.reads += s.reads;
+            sum.writes += s.writes;
+            sum.sectors_read += s.sectors_read;
+            sum.sectors_written += s.sectors_written;
+            sum.seek_time += s.seek_time;
+            sum.seeks += s.seeks;
+            sum.rot_wait += s.rot_wait;
+            sum.transfer_time += s.transfer_time;
+            sum.trackbuf_hits += s.trackbuf_hits;
+            sum.trackbuf_misses += s.trackbuf_misses;
+            sum.coalesced += s.coalesced;
+            sum.queue_wait += s.queue_wait;
+            sum.busy += s.busy;
+        }
+        sum
+    }
+
+    fn reset_stats(&self) {
+        for c in &self.inner.children {
+            c.reset_stats();
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.inner.children.iter().map(|c| c.queue_len()).sum()
+    }
+
+    fn shutdown(&self) {
+        for c in &self.inner.children {
+            c.shutdown();
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the volume address math: the RAID-0 sector →
+//! (spindle, offset) mapping is a bijection over the volume's address
+//! space, and RAID-5 data placement never lands on the row's parity
+//! spindle.
+
+use proptest::prelude::*;
+use volmgr::{raid0_map, raid0_unmap, raid5_map, raid5_parity_spindle};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Forward/backward round-trips in both directions make the mapping a
+    /// bijection: every volume sector has exactly one (spindle, offset)
+    /// home, and every in-range (spindle, offset) names exactly one volume
+    /// sector.
+    #[test]
+    fn raid0_mapping_is_a_bijection(
+        stripe in 1u32..257,
+        n in 2u32..9,
+        rows in 1u64..64,
+        pick in 0u64..u64::MAX,
+    ) {
+        let total = rows * stripe as u64 * n as u64;
+        let lba = pick % total;
+        let (spindle, child) = raid0_map(lba, stripe, n);
+        prop_assert!(spindle < n);
+        prop_assert!(child < rows * stripe as u64, "child offset in range");
+        prop_assert_eq!(raid0_unmap(spindle, child, stripe, n), lba);
+
+        // Surjectivity: an arbitrary in-range (spindle, offset) pair maps
+        // back to a volume sector that round-trips onto it.
+        let spindle2 = (pick / total) as u32 % n;
+        let child2 = pick % (rows * stripe as u64);
+        let vol = raid0_unmap(spindle2, child2, stripe, n);
+        prop_assert!(vol < total);
+        prop_assert_eq!(raid0_map(vol, stripe, n), (spindle2, child2));
+    }
+
+    /// Data chunks avoid the rotating parity spindle, and distinct volume
+    /// sectors never collide on (spindle, offset).
+    #[test]
+    fn raid5_data_never_lands_on_parity(
+        stripe in 1u32..129,
+        n in 3u32..8,
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+    ) {
+        let (sp, child) = raid5_map(a, stripe, n);
+        prop_assert!(sp < n);
+        let row = child / stripe as u64;
+        prop_assert_ne!(sp, raid5_parity_spindle(row, n));
+        if a != b {
+            prop_assert_ne!(raid5_map(a, stripe, n), raid5_map(b, stripe, n));
+        }
+    }
+}

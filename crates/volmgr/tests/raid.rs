@@ -1,0 +1,169 @@
+//! Volume-level invariants: data round-trips through every RAID level,
+//! mirrors stay identical, parity rows XOR to zero after mixed writes, and
+//! per-spindle labelled metrics sum to the registry's global busy time.
+
+use diskmodel::{BlockDevice, BlockDeviceExt, DiskParams};
+use simkit::Sim;
+use volmgr::{raid5_parity_spindle, Volume, VolumeSpec};
+
+fn vol(sim: &Sim, spec: &str) -> Volume {
+    Volume::new(
+        sim,
+        &VolumeSpec::parse(spec).unwrap(),
+        DiskParams::small_test(),
+    )
+}
+
+/// A deterministic byte pattern distinguishing every sector of a buffer.
+fn pattern(seed: u64, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| (seed.wrapping_mul(2654435761).wrapping_add(i as u64) % 251) as u8)
+        .collect()
+}
+
+#[test]
+fn raid0_roundtrips_across_chunk_boundaries() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid0:4:16k"); // 32-sector stripe.
+    let d = v.clone();
+    sim.run_until(async move {
+        // A write spanning several chunks at an unaligned offset.
+        let data = pattern(1, 100 * 512);
+        d.write(17, 100, data.clone()).await;
+        assert_eq!(d.read(17, 100).await, data);
+        // Single-sector read inside the run.
+        assert_eq!(d.read(50, 1).await, data[33 * 512..34 * 512].to_vec());
+    });
+    // The transfer really fanned out: more than one spindle moved sectors.
+    let spindles_used = v
+        .children()
+        .iter()
+        .filter(|c| c.stats().sectors_written > 0)
+        .count();
+    assert!(spindles_used >= 3, "write used {spindles_used} spindles");
+}
+
+#[test]
+fn raid0_capacity_is_whole_rows() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid0:4:16k");
+    let child = v.children()[0].total_sectors();
+    let stripe = v.stripe_sectors() as u64;
+    assert_eq!(v.total_sectors(), (child / stripe) * stripe * 4);
+}
+
+#[test]
+fn raid1_mirrors_stay_identical_and_reads_balance() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid1:2");
+    let d = v.clone();
+    sim.run_until(async move {
+        // Mixed writes: overlapping, unaligned, out of order.
+        for (seed, lba, nsect) in [(1u64, 0u64, 64u32), (2, 40, 16), (3, 500, 3), (4, 41, 8)] {
+            d.write(lba, nsect, pattern(seed, nsect as usize * 512))
+                .await;
+        }
+        // Several reads: round-robin must serve both legs.
+        for _ in 0..4 {
+            d.read(0, 8).await;
+        }
+    });
+    let reads: Vec<u64> = v.children().iter().map(|c| c.stats().reads).collect();
+    assert_eq!(reads, vec![2, 2], "round-robin read balancing");
+    // Mirror consistency: both legs byte-identical over the written span.
+    let (a, b) = (v.children()[0].clone(), v.children()[1].clone());
+    sim.run_until(async move {
+        let left = a.read(0, 560).await;
+        let right = b.read(0, 560).await;
+        assert_eq!(left, right, "mirror legs diverged");
+    });
+}
+
+#[test]
+fn raid5_roundtrips_and_parity_invariant_holds() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid5:3:16k"); // 32-sector stripe, 2 data + 1 parity.
+    let d = v.clone();
+    let stripe = v.stripe_sectors(); // 32
+    sim.run_until(async move {
+        // Full-stripe write (row 0: exactly nd * stripe sectors).
+        let full = pattern(7, 2 * stripe as usize * 512);
+        d.write(0, 2 * stripe, full.clone()).await;
+        // Partial-stripe RMW writes, including one straddling rows.
+        let small = pattern(8, 5 * 512);
+        d.write(3, 5, small.clone()).await;
+        let straddle = pattern(9, 40 * 512);
+        d.write(2 * stripe as u64 - 20, 40, straddle.clone()).await;
+        // Everything reads back.
+        assert_eq!(d.read(3, 5).await, small);
+        assert_eq!(d.read(2 * stripe as u64 - 20, 40).await, straddle);
+        let head = d.read(0, 3).await;
+        assert_eq!(head, full[..3 * 512].to_vec());
+    });
+    // Parity invariant: every row XORs to zero across all spindles.
+    let children: Vec<_> = v.children().to_vec();
+    sim.run_until(async move {
+        for row in 0..4u64 {
+            let mut acc = vec![0u8; stripe as usize * 512];
+            for c in &children {
+                let leg = c.read(row * stripe as u64, stripe).await;
+                for (a, b) in acc.iter_mut().zip(&leg) {
+                    *a ^= b;
+                }
+            }
+            assert!(
+                acc.iter().all(|&b| b == 0),
+                "row {row} parity violated after mixed writes"
+            );
+        }
+    });
+}
+
+#[test]
+fn raid5_parity_rotates_across_rows() {
+    // Left-asymmetric rotation: each of n consecutive rows parks parity on
+    // a different spindle.
+    let n = 5;
+    let mut seen: Vec<u32> = (0..n as u64).map(|r| raid5_parity_spindle(r, n)).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<_>>());
+}
+
+#[test]
+fn spindle_busy_counters_sum_to_registry_busy_time() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid5:3:16k");
+    let d = v.clone();
+    sim.run_until(async move {
+        d.write(0, 64, pattern(3, 64 * 512)).await;
+        d.write(100, 7, pattern(4, 7 * 512)).await;
+        d.read(0, 64).await;
+    });
+    let st = sim.stats();
+    let per_spindle = st.labelled_counter_values("disk.busy_ns", "spindle");
+    assert_eq!(per_spindle.len(), 3, "every spindle reported busy time");
+    assert!(per_spindle.iter().all(|&(_, v)| v > 0));
+    assert_eq!(
+        st.labelled_counter_sum("disk.busy_ns", "spindle"),
+        st.counter_value("disk.busy_ns"),
+        "spindle busy must sum to the global busy counter"
+    );
+    // And the DiskStats aggregate agrees with the counters.
+    assert_eq!(
+        v.stats().busy.as_nanos(),
+        st.counter_value("disk.busy_ns"),
+        "volume stats() must sum child busy time"
+    );
+}
+
+#[test]
+fn volume_queue_len_and_shutdown_cover_all_legs() {
+    let sim = Sim::new();
+    let v = vol(&sim, "raid0:2:16k");
+    let d = v.clone();
+    sim.run_until(async move {
+        d.write(0, 64, pattern(5, 64 * 512)).await;
+    });
+    assert_eq!(v.queue_len(), 0);
+    v.shutdown(); // Must not hang or panic with drained queues.
+}

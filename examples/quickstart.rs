@@ -81,7 +81,7 @@ fn main() {
 
         // Clean unmount leaves a consistent image.
         world.fs.clone().unmount().await.expect("unmount");
-        let report = ufs::fsck(&world.disk).await.expect("fsck");
+        let report = ufs::fsck(&*world.disk).await.expect("fsck");
         println!(
             "\nfsck: {} files, {} dirs, {} blocks in use, clean = {}",
             report.files,

@@ -14,7 +14,7 @@
 //! cargo run --release --example zoned_disk
 //! ```
 
-use diskmodel::{Disk, DiskParams, Geometry, Zone};
+use diskmodel::{BlockDevice, Disk, DiskParams, Geometry, Zone};
 use simkit::{Sim, SimDuration};
 
 /// A 1990s-flavored three-zone drive: 2.5 MB/s media rate outside,

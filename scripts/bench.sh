@@ -47,6 +47,18 @@ cmp "$TMP/s1.json" "$TMP/s4.json"
 cmp "$TMP/t1.json" "$TMP/t4.json"
 echo "jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
 
+# Same contract for the RAID volume experiment (fan-out across spindles
+# must not leak scheduling nondeterminism into any output surface).
+"$BIN" volume --volume raid5:3:32k --quick --jobs 1 \
+    --stats-json "$TMP/v1.json" --trace "$TMP/vt1.json" >"$TMP/vout1.txt"
+"$BIN" volume --volume raid5:3:32k --quick --jobs 4 \
+    --stats-json "$TMP/v4.json" --trace "$TMP/vt4.json" >"$TMP/vout4.txt"
+cmp "$TMP/vout1.txt" "$TMP/vout4.txt"
+cmp "$TMP/v1.json" "$TMP/v4.json"
+cmp "$TMP/vt1.json" "$TMP/vt4.json"
+grep -q 'disk.busy_ns{spindle=' "$TMP/v1.json"
+echo "volume jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
+
 if [ "$MODE" = smoke ]; then
     cargo bench -p bench --bench wallclock -- --smoke --out "$OUT"
 else

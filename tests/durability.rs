@@ -51,7 +51,7 @@ fn unsynced_data_is_lost_but_detected() {
         // delayed-write engine or in flight.
         f.write(0, &[5u8; 20_000], AccessMode::Copy).await.unwrap();
         // Crash immediately.
-        let report = ufs::fsck(&w.disk).await.unwrap();
+        let report = ufs::fsck(&*w.disk).await.unwrap();
         // Remount: the file NAME is durable (directory updates are
         // synchronous in classic UFS), even though the data may not be.
         let cpu = simkit::Cpu::new(&s);
@@ -87,7 +87,7 @@ fn sync_makes_whole_tree_consistent() {
         // disk; fsck must find zero structural errors.
         w.fs.sync().await.unwrap();
         w.fs.flush_maps(false).await;
-        ufs::fsck(&w.disk).await.unwrap()
+        ufs::fsck(&*w.disk).await.unwrap()
     });
     assert!(report.is_clean(), "errors: {:?}", report.errors);
     assert_eq!(report.files, 9);
@@ -122,7 +122,7 @@ fn ordered_metadata_is_crash_consistent_when_settled() {
             w.fs.remove(&format!("f{i}")).await.unwrap();
         }
         w.fs.clone().unmount().await.unwrap();
-        ufs::fsck(&w.disk).await.unwrap()
+        ufs::fsck(&*w.disk).await.unwrap()
     });
     assert!(report.is_clean(), "errors: {:?}", report.errors);
     assert_eq!(report.files, 13);

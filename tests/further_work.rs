@@ -183,7 +183,7 @@ fn b_order_speeds_up_rm_star() {
             let ordered_writes = w.fs.stats().ordered_meta_writes;
             // The image must still be consistent after settling.
             w.fs.clone().unmount().await.unwrap();
-            let report = ufs::fsck(&w.disk).await.unwrap();
+            let report = ufs::fsck(&*w.disk).await.unwrap();
             assert!(report.is_clean(), "{:?}", report.errors);
             (elapsed, ordered_writes)
         })
@@ -206,9 +206,12 @@ fn inline_files_served_from_inode_cache() {
     let s = sim.clone();
     sim.run_until(async move {
         let cpu = simkit::Cpu::new(&s);
-        let disk = diskmodel::Disk::new(&s, diskmodel::DiskParams::small_test());
+        let disk: diskmodel::SharedDevice = std::rc::Rc::new(diskmodel::Disk::new(
+            &s,
+            diskmodel::DiskParams::small_test(),
+        ));
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::small_test());
-        ufs::mkfs(&s, &disk, ufs::MkfsOptions::small_test())
+        ufs::mkfs(&s, &*disk, ufs::MkfsOptions::small_test())
             .await
             .unwrap();
         let mut params = ufs::UfsParams::test(Tuning::config_a());

@@ -150,7 +150,7 @@ fn run_sequence(ops: Vec<Op>, tuning: Tuning) {
         }
         w.cache.assert_consistent();
         w.fs.clone().unmount().await.unwrap();
-        let report = ufs::fsck(&w.disk).await.unwrap();
+        let report = ufs::fsck(&*w.disk).await.unwrap();
         assert!(report.is_clean(), "fsck: {:?}", report.errors);
         assert_eq!(report.files as usize, model.len());
     });
@@ -235,7 +235,7 @@ fn images_are_interchangeable_between_code_paths() {
             .await
             .unwrap();
         assert_eq!(tail, fill(50_000, 7));
-        let report = ufs::fsck(&w.disk).await.unwrap();
+        let report = ufs::fsck(&*w.disk).await.unwrap();
         // Mounted (not cleanly unmounted) but structurally sound after the
         // old mount's unmount; the new mount dirtied only the clean flag.
         assert!(

@@ -136,7 +136,8 @@ fn clustered_ufs_matches_extent_fs() {
     let s = sim.clone();
     let ext = sim.run_until(async move {
         let cpu = simkit::Cpu::new(&s);
-        let disk = diskmodel::Disk::new(&s, diskmodel::DiskParams::sun0424());
+        let disk: diskmodel::SharedDevice =
+            std::rc::Rc::new(diskmodel::Disk::new(&s, diskmodel::DiskParams::sun0424()));
         let cache = pagecache::PageCache::new(&s, pagecache::PageCacheParams::sparcstation_8mb());
         let (_d, rx) = pagecache::PageoutDaemon::spawn(
             &s,

@@ -66,6 +66,7 @@ fn max(v: &[f64]) -> f64 {
 }
 
 fn main() {
+    simkit::tune_host_allocator();
     // Cargo invokes every `harness = false` bench binary with a trailing
     // `--bench` flag; swallow it alongside our own flags.
     let args: Vec<String> = std::env::args().skip(1).collect();

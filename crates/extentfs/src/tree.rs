@@ -1,0 +1,502 @@
+//! The per-file extent index: a B+-tree over `(logical, physical, len)`
+//! records.
+//!
+//! Real extent file systems (ext4, XFS) index a file's extents in a B+-tree
+//! rooted in the inode: a handful of records live inline, and past that the
+//! index grows levels. This in-core version keeps the same shape — sorted
+//! leaf records, internal nodes of `(min logical key, child)` fan-out
+//! [`NODE_CAP`], split on overflow, merge on underflow — with no cap on the
+//! extent count (the old flat `Vec<Extent>` topped out at 40 and returned
+//! `TooBig`). The node capacity is deliberately small so multi-level trees
+//! appear at test scale; depth grows by one each time the root splits.
+//!
+//! Insert coalesces: a record that is logically and physically adjacent to
+//! its predecessor or successor is merged rather than stored, so a file
+//! grown by repeated goal-directed allocations keeps a one-record tree.
+
+/// Children (or records) per node; splits keep nodes in
+/// `[NODE_CAP/2, NODE_CAP]` except the root.
+pub const NODE_CAP: usize = 8;
+const NODE_MIN: usize = NODE_CAP / 2;
+
+/// One extent record: `len` blocks at physical `pbn`, mapping the logical
+/// block range `[logical, logical + len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtentRec {
+    /// First logical block covered.
+    pub logical: u64,
+    /// First physical block.
+    pub pbn: u32,
+    /// Length in blocks.
+    pub len: u32,
+}
+
+impl ExtentRec {
+    fn end(&self) -> u64 {
+        self.logical + self.len as u64
+    }
+}
+
+enum Node {
+    Leaf(Vec<ExtentRec>),
+    /// `(min logical key of child, child)`, sorted by key.
+    Internal(Vec<(u64, Box<Node>)>),
+}
+
+impl Node {
+    fn min_key(&self) -> u64 {
+        match self {
+            Node::Leaf(recs) => recs[0].logical,
+            Node::Internal(ch) => ch[0].0,
+        }
+    }
+
+    fn entries(&self) -> usize {
+        match self {
+            Node::Leaf(recs) => recs.len(),
+            Node::Internal(ch) => ch.len(),
+        }
+    }
+
+    /// Splits off the upper half, returning the new right sibling.
+    fn split(&mut self) -> Node {
+        match self {
+            Node::Leaf(recs) => Node::Leaf(recs.split_off(recs.len() / 2)),
+            Node::Internal(ch) => Node::Internal(ch.split_off(ch.len() / 2)),
+        }
+    }
+
+    /// Appends all entries of `right` (its keys are all larger).
+    fn absorb(&mut self, right: Node) {
+        match (self, right) {
+            (Node::Leaf(l), Node::Leaf(mut r)) => l.append(&mut r),
+            (Node::Internal(l), Node::Internal(mut r)) => l.append(&mut r),
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+}
+
+/// Child index whose subtree may contain `lbn` (the last child whose min
+/// key is `<= lbn`, clamped to the first).
+fn child_for(ch: &[(u64, Box<Node>)], lbn: u64) -> usize {
+    ch.partition_point(|(k, _)| *k <= lbn).saturating_sub(1)
+}
+
+fn insert_rec(node: &mut Node, rec: ExtentRec) -> Option<Node> {
+    let spilled = match node {
+        Node::Leaf(recs) => {
+            let pos = recs.partition_point(|r| r.logical < rec.logical);
+            recs.insert(pos, rec);
+            recs.len() > NODE_CAP
+        }
+        Node::Internal(ch) => {
+            let pos = child_for(ch, rec.logical);
+            if let Some(right) = insert_rec(&mut ch[pos].1, rec) {
+                ch.insert(pos + 1, (right.min_key(), Box::new(right)));
+            }
+            ch[pos].0 = ch[pos].1.min_key();
+            ch.len() > NODE_CAP
+        }
+    };
+    spilled.then(|| node.split())
+}
+
+fn remove_rec(node: &mut Node, logical: u64) -> Option<ExtentRec> {
+    match node {
+        Node::Leaf(recs) => {
+            let pos = recs.partition_point(|r| r.logical < logical);
+            (pos < recs.len() && recs[pos].logical == logical).then(|| recs.remove(pos))
+        }
+        Node::Internal(ch) => {
+            let pos = child_for(ch, logical);
+            let removed = remove_rec(&mut ch[pos].1, logical)?;
+            if ch[pos].1.entries() < NODE_MIN && ch.len() > 1 {
+                // Merge with a sibling; re-split if the merge overflows
+                // (that is the borrow case).
+                let l = if pos + 1 < ch.len() { pos } else { pos - 1 };
+                let (_, rnode) = ch.remove(l + 1);
+                ch[l].1.absorb(*rnode);
+                if ch[l].1.entries() > NODE_CAP {
+                    let right = ch[l].1.split();
+                    ch.insert(l + 1, (right.min_key(), Box::new(right)));
+                }
+            }
+            for (k, c) in ch.iter_mut() {
+                *k = c.min_key();
+            }
+            Some(removed)
+        }
+    }
+}
+
+/// A file's extent index.
+pub struct ExtentTree {
+    root: Node,
+    depth: u32,
+    nextents: usize,
+    total_blocks: u64,
+}
+
+impl Default for ExtentTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtentTree {
+    /// An empty index.
+    pub fn new() -> ExtentTree {
+        ExtentTree {
+            root: Node::Leaf(Vec::new()),
+            depth: 1,
+            nextents: 0,
+            total_blocks: 0,
+        }
+    }
+
+    /// Number of extent records.
+    pub fn nextents(&self) -> usize {
+        self.nextents
+    }
+
+    /// Total mapped blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Tree levels (a leaf-only root is depth 1).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Maps `lbn` to `(pbn, blocks contiguous from lbn)`.
+    pub fn lookup(&self, lbn: u64) -> Option<(u32, u32)> {
+        self.record_containing(lbn).map(|r| {
+            let off = (lbn - r.logical) as u32;
+            (r.pbn + off, r.len - off)
+        })
+    }
+
+    /// The record whose logical range contains `lbn`.
+    pub fn record_containing(&self, lbn: u64) -> Option<ExtentRec> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal(ch) => node = &ch[child_for(ch, lbn)].1,
+                Node::Leaf(recs) => {
+                    let pos = recs.partition_point(|r| r.logical <= lbn);
+                    let r = recs.get(pos.checked_sub(1)?)?;
+                    return (lbn < r.end()).then_some(*r);
+                }
+            }
+        }
+    }
+
+    /// The record starting exactly at `logical`, if any.
+    fn record_at(&self, logical: u64) -> Option<ExtentRec> {
+        self.record_containing(logical)
+            .filter(|r| r.logical == logical)
+    }
+
+    /// The highest-logical record.
+    pub fn last(&self) -> Option<ExtentRec> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal(ch) => node = &ch.last()?.1,
+                Node::Leaf(recs) => return recs.last().copied(),
+            }
+        }
+    }
+
+    /// Grows the record starting at `logical` by `extra` blocks in place
+    /// (no key changes, so no rebalancing).
+    fn grow(&mut self, logical: u64, extra: u32) {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Internal(ch) => {
+                    let pos = child_for(ch, logical);
+                    node = &mut ch[pos].1;
+                }
+                Node::Leaf(recs) => {
+                    let pos = recs.partition_point(|r| r.logical < logical);
+                    recs[pos].len += extra;
+                    self.total_blocks += extra as u64;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn insert_plain(&mut self, rec: ExtentRec) {
+        if let Some(right) = insert_rec(&mut self.root, rec) {
+            let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            self.root = Node::Internal(vec![
+                (old.min_key(), Box::new(old)),
+                (right.min_key(), Box::new(right)),
+            ]);
+            self.depth += 1;
+        }
+        self.nextents += 1;
+        self.total_blocks += rec.len as u64;
+    }
+
+    fn remove_plain(&mut self, logical: u64) -> Option<ExtentRec> {
+        let removed = remove_rec(&mut self.root, logical)?;
+        while let Node::Internal(ch) = &mut self.root {
+            if ch.len() != 1 {
+                break;
+            }
+            self.root = *ch.pop().unwrap().1;
+            self.depth -= 1;
+        }
+        self.nextents -= 1;
+        self.total_blocks -= removed.len as u64;
+        Some(removed)
+    }
+
+    /// Inserts a record, coalescing with logically *and* physically
+    /// adjacent neighbors. The range must not overlap any mapped range.
+    pub fn insert(&mut self, rec: ExtentRec) {
+        debug_assert!(rec.len > 0);
+        // Merge into the predecessor when contiguous on both axes.
+        if rec.logical > 0 {
+            if let Some(pred) = self.record_containing(rec.logical - 1) {
+                if pred.end() == rec.logical && pred.pbn + pred.len == rec.pbn {
+                    self.grow(pred.logical, rec.len);
+                    // The grown record may now also abut its successor.
+                    if let Some(succ) = self.record_at(rec.end()) {
+                        if rec.pbn + rec.len == succ.pbn {
+                            self.remove_plain(succ.logical);
+                            self.grow(pred.logical, succ.len);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        // No predecessor merge: try the successor alone.
+        if let Some(succ) = self.record_at(rec.end()) {
+            if rec.pbn + rec.len == succ.pbn {
+                self.remove_plain(succ.logical);
+                self.insert_plain(ExtentRec {
+                    logical: rec.logical,
+                    pbn: rec.pbn,
+                    len: rec.len + succ.len,
+                });
+                return;
+            }
+        }
+        self.insert_plain(rec);
+    }
+
+    /// Removes the record starting exactly at `logical`.
+    pub fn remove(&mut self, logical: u64) -> Option<ExtentRec> {
+        self.remove_plain(logical)
+    }
+
+    /// Drops the mapping beyond the first `keep_blocks` logical blocks,
+    /// splitting a straddling record; returns the freed `(pbn, len)` runs.
+    pub fn truncate_to(&mut self, keep_blocks: u64) -> Vec<(u32, u32)> {
+        let mut freed = Vec::new();
+        while let Some(last) = self.last() {
+            if last.end() <= keep_blocks {
+                break;
+            }
+            self.remove_plain(last.logical);
+            if last.logical < keep_blocks {
+                let keep = (keep_blocks - last.logical) as u32;
+                self.insert_plain(ExtentRec {
+                    logical: last.logical,
+                    pbn: last.pbn,
+                    len: keep,
+                });
+                freed.push((last.pbn + keep, last.len - keep));
+            } else {
+                freed.push((last.pbn, last.len));
+            }
+        }
+        freed
+    }
+
+    /// The file's physical run-list from `from_lbn`, up to `max_blocks`
+    /// logical blocks, stopping at the first logical discontinuity. This is
+    /// what the batched read path hands to the I/O executor in one go.
+    pub fn runs(&self, from_lbn: u64, max_blocks: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut lbn = from_lbn;
+        let mut left = max_blocks;
+        while left > 0 {
+            let Some((pbn, contig)) = self.lookup(lbn) else {
+                break;
+            };
+            let n = contig.min(left);
+            out.push((pbn, n));
+            lbn += n as u64;
+            left -= n;
+        }
+        out
+    }
+
+    /// Every record in logical order.
+    pub fn records(&self) -> Vec<ExtentRec> {
+        fn walk(node: &Node, out: &mut Vec<ExtentRec>) {
+            match node {
+                Node::Leaf(recs) => out.extend_from_slice(recs),
+                Node::Internal(ch) => ch.iter().for_each(|(_, c)| walk(c, out)),
+            }
+        }
+        let mut out = Vec::with_capacity(self.nextents);
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Structural audit for tests: ordering, key integrity, fan-out
+    /// bounds, and counter consistency.
+    pub fn check(&self) -> Vec<String> {
+        fn walk(node: &Node, root: bool, depth: u32, errors: &mut Vec<String>) -> u32 {
+            match node {
+                Node::Leaf(recs) => {
+                    if !root && !(NODE_MIN..=NODE_CAP).contains(&recs.len()) {
+                        errors.push(format!("leaf fan-out {} out of bounds", recs.len()));
+                    }
+                    for w in recs.windows(2) {
+                        if w[0].end() > w[1].logical {
+                            errors.push(format!("overlap: {:?} / {:?}", w[0], w[1]));
+                        }
+                    }
+                    depth
+                }
+                Node::Internal(ch) => {
+                    if ch.len() < 2 && root || !root && !(NODE_MIN..=NODE_CAP).contains(&ch.len()) {
+                        errors.push(format!("internal fan-out {} out of bounds", ch.len()));
+                    }
+                    let mut max_depth = 0;
+                    for (k, c) in ch {
+                        if *k != c.min_key() {
+                            errors.push(format!("stale key {k} != child min {}", c.min_key()));
+                        }
+                        max_depth = max_depth.max(walk(c, false, depth + 1, errors));
+                    }
+                    if !ch.windows(2).all(|w| w[0].0 < w[1].0) {
+                        errors.push("internal keys not strictly increasing".into());
+                    }
+                    max_depth
+                }
+            }
+        }
+        let mut errors = Vec::new();
+        let d = walk(&self.root, true, 1, &mut errors);
+        if d != self.depth {
+            errors.push(format!("depth counter {} != actual {d}", self.depth));
+        }
+        let recs = self.records();
+        if recs.len() != self.nextents {
+            errors.push(format!(
+                "nextents {} != record count {}",
+                self.nextents,
+                recs.len()
+            ));
+        }
+        if recs.iter().map(|r| r.len as u64).sum::<u64>() != self.total_blocks {
+            errors.push("total_blocks out of sync".into());
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(logical: u64, pbn: u32, len: u32) -> ExtentRec {
+        ExtentRec { logical, pbn, len }
+    }
+
+    #[test]
+    fn contiguous_growth_stays_one_record() {
+        let mut t = ExtentTree::new();
+        for i in 0..100u64 {
+            t.insert(rec(i * 8, 1000 + i as u32 * 8, 8));
+        }
+        assert_eq!(t.nextents(), 1);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.total_blocks(), 800);
+        assert_eq!(t.lookup(799), Some((1000 + 799, 1)));
+        assert!(t.check().is_empty(), "{:?}", t.check());
+    }
+
+    #[test]
+    fn fragmented_file_grows_a_deep_tree() {
+        let mut t = ExtentTree::new();
+        // Physically scattered runs never merge: one record each.
+        for i in 0..200u64 {
+            t.insert(rec(i * 4, (i as u32 * 1000) % 65521, 4));
+        }
+        assert_eq!(t.nextents(), 200);
+        assert!(
+            t.depth() >= 2,
+            "200 records must split: depth {}",
+            t.depth()
+        );
+        for i in 0..200u64 {
+            let (pbn, contig) = t.lookup(i * 4 + 1).unwrap();
+            assert_eq!(pbn, (i as u32 * 1000) % 65521 + 1);
+            assert_eq!(contig, 3);
+        }
+        assert!(t.check().is_empty(), "{:?}", t.check());
+    }
+
+    #[test]
+    fn successor_merge_fills_gaps() {
+        let mut t = ExtentTree::new();
+        t.insert(rec(10, 110, 5));
+        t.insert(rec(0, 100, 5));
+        assert_eq!(t.nextents(), 2);
+        // [5, 10) at pbn 105 bridges both neighbors into one record.
+        t.insert(rec(5, 105, 5));
+        assert_eq!(t.nextents(), 1);
+        assert_eq!(t.lookup(0), Some((100, 15)));
+        assert!(t.check().is_empty(), "{:?}", t.check());
+    }
+
+    #[test]
+    fn truncate_splits_straddler_and_returns_freed_runs() {
+        let mut t = ExtentTree::new();
+        t.insert(rec(0, 100, 10));
+        t.insert(rec(10, 500, 10));
+        let freed = t.truncate_to(4);
+        assert_eq!(freed, vec![(500, 10), (104, 6)]);
+        assert_eq!(t.total_blocks(), 4);
+        assert_eq!(t.lookup(3), Some((103, 1)));
+        assert_eq!(t.lookup(4), None);
+        assert!(t.check().is_empty(), "{:?}", t.check());
+    }
+
+    #[test]
+    fn deep_tree_shrinks_back_down() {
+        let mut t = ExtentTree::new();
+        for i in 0..300u64 {
+            t.insert(rec(i * 2, i as u32 * 7919 % 99991, 1));
+        }
+        assert!(t.depth() >= 3);
+        for i in (1..300u64).rev() {
+            assert!(t.remove(i * 2).is_some());
+            assert!(t.check().is_empty(), "{:?}", t.check());
+        }
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.nextents(), 1);
+    }
+
+    #[test]
+    fn runs_walk_stops_at_logical_holes() {
+        let mut t = ExtentTree::new();
+        t.insert(rec(0, 100, 4));
+        t.insert(rec(4, 900, 4)); // Physically discontiguous: second run.
+        t.insert(rec(20, 50, 4)); // Logical hole before this one.
+        assert_eq!(t.runs(0, 64), vec![(100, 4), (900, 4)]);
+        assert_eq!(t.runs(2, 3), vec![(102, 2), (900, 1)]);
+        assert_eq!(t.runs(20, 64), vec![(50, 4)]);
+    }
+}

@@ -6,8 +6,10 @@
 //! 13MB file. In the worst case, the average extent size was 62KB in a
 //! 16MB file."
 
+use pagecache::PageCache;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use simkit::Sim;
 use ufs::World;
 use vfs::{AccessMode, FileSystem, FsError, FsResult, Vnode};
 
@@ -27,7 +29,10 @@ pub struct ExtentStats {
 /// Writes a probe file of `bytes` and measures its physical contiguity.
 pub async fn probe_extents(world: &World, path: &str, bytes: u64) -> FsResult<ExtentStats> {
     let io = 8192usize;
-    let payload: Vec<u8> = vec![0xA5; io];
+    // Zero payload: contents are never read back, and the sparse sector
+    // store does not materialize zero chunks, so probe files cost no host
+    // memory no matter how large the partition is.
+    let payload: Vec<u8> = vec![0; io];
     let f = world.fs.create(path).await?;
     let mut written = 0u64;
     while written < bytes {
@@ -83,10 +88,12 @@ pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize
     let mut counter = 0usize;
     world.fs.mkdir("home").await?;
     let capacity = world.fs.capacity_blocks();
-    for round in 0..opts.rounds {
-        // One payload per round, not per file: the fill loop creates
-        // thousands of files and the 8 KB allocation was pure churn.
-        let payload = vec![round as u8; 8192];
+    // One payload for all rounds: the fill loop creates thousands of
+    // files and a per-file 8 KB allocation was pure churn. It is all zeros
+    // so the sparse sector store never materializes the file data (only
+    // metadata blocks occupy host memory).
+    let payload = vec![0u8; 8192];
+    for _round in 0..opts.rounds {
         // Fill toward the target.
         loop {
             let used = capacity - world.fs.free_blocks();
@@ -134,11 +141,280 @@ pub async fn age_filesystem(world: &World, opts: AgingOptions) -> FsResult<usize
     Ok(alive.len())
 }
 
+/// The hooks the clustering-decay study needs beyond [`FileSystem`]:
+/// capacity accounting, extent maps, cache invalidation, and namespace
+/// placement (UFS churns under `home/`, extentfs is flat).
+#[allow(async_fn_in_trait)] // Single-threaded simulation: futures are !Send by design.
+pub trait AgedFs {
+    /// The vnode type the churn drives.
+    type File: Vnode;
+
+    /// One-time setup before churn (UFS: `mkdir home`).
+    async fn prepare(&self) -> FsResult<()> {
+        Ok(())
+    }
+
+    /// Creates (or truncates) the churn file named `stem`.
+    async fn create(&self, stem: &str) -> FsResult<Self::File>;
+
+    /// Removes the churn file named `stem`.
+    async fn remove(&self, stem: &str) -> FsResult<()>;
+
+    /// Total data blocks in the volume.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Free data blocks.
+    fn free_blocks(&self) -> u64;
+
+    /// Drops the file's cached pages so a timed read hits the disk.
+    fn invalidate(&self, f: &Self::File);
+
+    /// The file's physical extent map as `(logical, physical, blocks)`.
+    async fn extent_map(&self, f: &Self::File) -> FsResult<Vec<(u64, u64, u32)>>;
+}
+
+impl AgedFs for World {
+    type File = ufs::UfsFile;
+
+    async fn prepare(&self) -> FsResult<()> {
+        self.fs.mkdir("home").await
+    }
+
+    async fn create(&self, stem: &str) -> FsResult<ufs::UfsFile> {
+        self.fs.create(&format!("home/{stem}")).await
+    }
+
+    async fn remove(&self, stem: &str) -> FsResult<()> {
+        self.fs.remove(&format!("home/{stem}")).await
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.fs.capacity_blocks()
+    }
+
+    fn free_blocks(&self) -> u64 {
+        self.fs.free_blocks()
+    }
+
+    fn invalidate(&self, f: &ufs::UfsFile) {
+        self.cache.invalidate_vnode(f.id(), 0);
+    }
+
+    async fn extent_map(&self, f: &ufs::UfsFile) -> FsResult<Vec<(u64, u64, u32)>> {
+        f.extents().await
+    }
+}
+
+/// An extentfs mount plus the cache handle the decay probe needs.
+pub struct ExtAgedWorld {
+    /// The mounted extent file system.
+    pub fs: extentfs::ExtentFs,
+    /// The page cache it runs on.
+    pub cache: PageCache,
+}
+
+impl AgedFs for ExtAgedWorld {
+    type File = extentfs::ExtFile;
+
+    async fn create(&self, stem: &str) -> FsResult<extentfs::ExtFile> {
+        self.fs.create(stem).await
+    }
+
+    async fn remove(&self, stem: &str) -> FsResult<()> {
+        self.fs.remove(stem).await
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.fs.capacity_blocks()
+    }
+
+    fn free_blocks(&self) -> u64 {
+        self.fs.free_blocks()
+    }
+
+    fn invalidate(&self, f: &extentfs::ExtFile) {
+        self.cache.invalidate_vnode(f.id(), 0);
+    }
+
+    async fn extent_map(&self, f: &extentfs::ExtFile) -> FsResult<Vec<(u64, u64, u32)>> {
+        f.extents().await
+    }
+}
+
+/// Sizing for the clustering-decay study.
+#[derive(Clone, Copy, Debug)]
+pub struct DecayOptions {
+    /// Churn rounds; the study emits `rounds + 1` points (round 0 is the
+    /// fresh file system).
+    pub rounds: usize,
+    /// Target fullness each fill phase churns toward.
+    pub target_fill: f64,
+    /// Cap on file creations per fill phase (the `--age-ops` budget).
+    pub ops_per_round: usize,
+    /// Probe file size.
+    pub probe_bytes: u64,
+    /// Churn RNG seed.
+    pub seed: u64,
+}
+
+/// One measured point of clustering decay: how fragmented a probe file
+/// written at this age comes out, and what that does to sequential reads.
+#[derive(Clone, Copy, Debug)]
+pub struct DecayPoint {
+    /// Churn rounds completed before the probe (0 = fresh).
+    pub round: usize,
+    /// Mean extent length of the probe file, in KB.
+    pub mean_extent_kb: f64,
+    /// Fraction of logically adjacent block pairs that are physically
+    /// adjacent (1.0 = one extent).
+    pub contiguity_fraction: f64,
+    /// Cold sequential re-read throughput of the probe, KB/s.
+    pub seq_read_kb_s: f64,
+}
+
+/// Writes a probe file, measures its extent map and cold sequential-read
+/// throughput, then removes it.
+async fn decay_probe<F: AgedFs>(
+    sim: &Sim,
+    fs: &F,
+    round: usize,
+    probe_bytes: u64,
+) -> FsResult<DecayPoint> {
+    // Zeros: never read for content, never materialized by the store.
+    let payload = vec![0u8; 8192];
+    let f = fs.create("probe.dat").await?;
+    let mut written = 0u64;
+    while written < probe_bytes {
+        match f.write(written, &payload, AccessMode::Copy).await {
+            Ok(()) => written += payload.len() as u64,
+            Err(FsError::NoSpace) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    f.fsync().await?;
+    let extents = fs.extent_map(&f).await?;
+    let blocks: u64 = extents.iter().map(|e| e.2 as u64).sum();
+    let adjacent: u64 = extents.iter().map(|e| e.2 as u64 - 1).sum();
+    let contiguity = if blocks > 1 {
+        adjacent as f64 / (blocks - 1) as f64
+    } else {
+        1.0
+    };
+    let mean_extent_kb = if extents.is_empty() {
+        0.0
+    } else {
+        blocks as f64 * 8.0 / extents.len() as f64
+    };
+    fs.invalidate(&f);
+    let t0 = sim.now();
+    let mut buf = vec![0u8; 8192];
+    let mut off = 0u64;
+    while off < written {
+        let n = f.read_into(off, &mut buf, AccessMode::Copy).await?;
+        if n == 0 {
+            break;
+        }
+        off += n as u64;
+    }
+    let elapsed = sim.now().duration_since(t0);
+    let seq_read_kb_s = if elapsed.is_zero() {
+        0.0
+    } else {
+        off as f64 / 1024.0 / elapsed.as_secs_f64()
+    };
+    fs.remove("probe.dat").await?;
+    Ok(DecayPoint {
+        round,
+        mean_extent_kb,
+        contiguity_fraction: contiguity,
+        seq_read_kb_s,
+    })
+}
+
+/// One churn round: fill toward the target utilization with mixed-size
+/// files (bounded by the op budget), then delete a random 40%.
+async fn churn_round<F: AgedFs>(
+    fs: &F,
+    rng: &mut SmallRng,
+    alive: &mut Vec<String>,
+    counter: &mut usize,
+    opts: &DecayOptions,
+) -> FsResult<()> {
+    let capacity = fs.capacity_blocks();
+    // Zeros: never read for content, never materialized by the store.
+    let payload = vec![0u8; 8192];
+    for _ in 0..opts.ops_per_round {
+        let used = capacity - fs.free_blocks();
+        if used as f64 / capacity as f64 >= opts.target_fill {
+            break;
+        }
+        let name = format!("f{counter}");
+        *counter += 1;
+        let kb = match rng.gen_range(0..10) {
+            0..=5 => rng.gen_range(1..16),
+            6..=8 => rng.gen_range(16..256),
+            _ => rng.gen_range(256..2048),
+        };
+        let f = match fs.create(&name).await {
+            Ok(f) => f,
+            // A full inode table ends the fill phase like a full disk.
+            Err(FsError::NoInodes) => break,
+            Err(e) => return Err(e),
+        };
+        let mut off = 0u64;
+        let mut full = false;
+        while off < kb as u64 * 1024 {
+            match f.write(off, &payload, AccessMode::Copy).await {
+                Ok(()) => off += 8192,
+                Err(FsError::NoSpace) => {
+                    full = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        f.fsync().await?;
+        alive.push(name);
+        if full {
+            break;
+        }
+    }
+    let mut survivors = Vec::new();
+    for name in alive.drain(..) {
+        if rng.gen_bool(0.4) {
+            fs.remove(&name).await?;
+        } else {
+            survivors.push(name);
+        }
+    }
+    *alive = survivors;
+    Ok(())
+}
+
+/// The clustering-decay study: probes a fresh file system, then
+/// alternates churn rounds with probes, tracking how allocator
+/// contiguity (and with it sequential-read throughput) decays with age.
+pub async fn clustering_decay<F: AgedFs>(
+    sim: &Sim,
+    fs: &F,
+    opts: &DecayOptions,
+) -> FsResult<Vec<DecayPoint>> {
+    fs.prepare().await?;
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut alive = Vec::new();
+    let mut counter = 0usize;
+    let mut points = vec![decay_probe(sim, fs, 0, opts.probe_bytes).await?];
+    for round in 1..=opts.rounds {
+        churn_round(fs, &mut rng, &mut alive, &mut counter, opts).await?;
+        points.push(decay_probe(sim, fs, round, opts.probe_bytes).await?);
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::configs::{paper_world, Config, WorldOptions};
-    use simkit::Sim;
 
     #[test]
     fn fresh_fs_probe_is_highly_contiguous() {

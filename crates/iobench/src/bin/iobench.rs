@@ -1,9 +1,10 @@
 //! CLI to regenerate the paper's tables and figures.
 //!
 //! ```text
-//! iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|extentfs|\
+//! iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|extentfs|\
 //!         write-limit|free-behind|streams|volume|all \
 //!         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+//!         [--age-ops N] [--utilization F] [--inline-threshold B] \
 //!         [--stats-json <path>] [--trace <path>]
 //! ```
 //!
@@ -13,7 +14,7 @@
 //! in run order, so stdout, `--stats-json`, and `--trace` are
 //! byte-identical for any jobs count. `--stats-json <path>` writes every
 //! simulated run's full metrics-registry snapshot (schema
-//! `iobench-stats/v4`; see DESIGN.md "Observability") so benchmark
+//! `iobench-stats/v5`; see DESIGN.md "Observability") so benchmark
 //! trajectories can be diffed across changes. `--trace <path>` records
 //! per-request spans through the whole I/O path and writes them as Chrome
 //! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
@@ -23,12 +24,17 @@
 //! to one array — specs are `raid0:<spindles>:<stripe>` (e.g.
 //! `raid0:4:64k`), `raid1:<spindles>` (e.g. `raid1:2`), or
 //! `raid5:<spindles>:<stripe>` (e.g. `raid5:5:64k`) — and selects the
-//! volume experiment when none is named. Unrecognized flags are an error.
+//! volume experiment when none is named. The aging study takes
+//! `--age-ops N` (positive per-round churn budget), `--utilization F`
+//! (target fullness, strictly between 0 and 1), and `--inline-threshold B`
+//! (extentfs inline-file cutoff in bytes, at most one 8 KB block);
+//! malformed values exit 2 with usage, like every other flag.
+//! Unrecognized flags are an error.
 
 use iobench::experiments::{
-    extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table, fig12_run,
-    fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
-    write_limit_sweep_run, RunScale, StatsSink,
+    aging_run, extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table,
+    fig12_run, fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
+    write_limit_sweep_run, AgingParams, RunScale, StatsSink,
 };
 use iobench::runner::Runner;
 use iobench::traceout;
@@ -37,12 +43,16 @@ use volmgr::VolumeSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: iobench fig9|fig10|fig11|fig12|extents|musbus|alternatives|\
+        "usage: iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|\
          extentfs|write-limit|free-behind|streams|volume|all \
          [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+         [--age-ops N] [--utilization F] [--inline-threshold B] \
          [--stats-json <path>] [--trace <path>]\n\
          volume specs: raid0:<spindles>:<stripe> | raid1:<spindles> | \
-         raid5:<spindles>:<stripe>  (e.g. raid0:4:64k, raid1:2, raid5:5:64k)"
+         raid5:<spindles>:<stripe>  (e.g. raid0:4:64k, raid1:2, raid5:5:64k)\n\
+         aging: --age-ops is a positive churn budget per round, \
+         --utilization a target fill in (0, 1), --inline-threshold an \
+         extentfs inline-file cutoff in bytes (0..=8192)"
     );
     std::process::exit(2);
 }
@@ -79,6 +89,7 @@ fn take_count_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
 }
 
 fn main() {
+    simkit::tune_host_allocator();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats_path = take_value_flag(&mut args, "--stats-json");
     let trace_path = take_value_flag(&mut args, "--trace");
@@ -88,6 +99,22 @@ fn main() {
             .unwrap_or(1)
     });
     let nstreams = take_count_flag(&mut args, "--streams").map(|n| n as u32);
+    let age_ops = take_count_flag(&mut args, "--age-ops");
+    let utilization = take_value_flag(&mut args, "--utilization").map(|s| match s.parse::<f64>() {
+        Ok(f) if f > 0.0 && f < 1.0 => f,
+        _ => {
+            eprintln!("--utilization {s}: expected a fraction strictly between 0 and 1");
+            usage();
+        }
+    });
+    let inline_threshold =
+        take_value_flag(&mut args, "--inline-threshold").map(|s| match s.parse::<usize>() {
+            Ok(b) if b <= 8192 => b,
+            _ => {
+                eprintln!("--inline-threshold {s}: expected a byte count of at most 8192");
+                usage();
+            }
+        });
     let volume_spec = take_value_flag(&mut args, "--volume").map(|s| {
         VolumeSpec::parse(&s).unwrap_or_else(|e| {
             eprintln!("--volume {s}: {e}");
@@ -117,16 +144,33 @@ fn main() {
         RunScale::paper()
     };
     // A bare `--streams N` selects the streams experiment; a bare
-    // `--volume <spec>` selects the volume experiment.
+    // `--volume <spec>` selects the volume experiment; a bare aging knob
+    // selects the aging study.
     let default_what = if nstreams.is_some() {
         "streams"
     } else if volume_spec.is_some() {
         "volume"
+    } else if age_ops.is_some() || utilization.is_some() || inline_threshold.is_some() {
+        "aging"
     } else {
         "all"
     };
     let what = args.first().map(|s| s.as_str()).unwrap_or(default_what);
     let nstreams = nstreams.unwrap_or(4);
+    let mut aging_params = if quick {
+        AgingParams::quick()
+    } else {
+        AgingParams::paper()
+    };
+    if let Some(n) = age_ops {
+        aging_params.ops_per_round = n;
+    }
+    if let Some(f) = utilization {
+        aging_params.target_fill = f;
+    }
+    if let Some(b) = inline_threshold {
+        aging_params.inline_max = b;
+    }
 
     let sink = if trace_path.is_some() {
         Some(StatsSink::with_tracing())
@@ -159,6 +203,11 @@ fn main() {
         "extents" => {
             let (table, _, _) = extents_run(quick, &runner);
             println!("Allocator contiguity study (paper: 1.5MB best / 62KB aged)\n");
+            println!("{table}");
+        }
+        "aging" => {
+            let (table, _) = aging_run(aging_params, quick, &runner);
+            println!("Clustering decay under aging (UFS vs extentfs)\n");
             println!("{table}");
         }
         "musbus" => {
@@ -202,6 +251,9 @@ fn main() {
             let (tx, _, _) = extents_run(quick, &runner);
             println!("Allocator contiguity study\n");
             println!("{tx}");
+            let (ta, _) = aging_run(aging_params, quick, &runner);
+            println!("Clustering decay under aging (UFS vs extentfs)\n");
+            println!("{ta}");
             let (tm, r) = musbus_run(&runner);
             println!("MusBus-like timesharing mix\n");
             println!("{tm}");

@@ -10,7 +10,10 @@ use vfs::{FileSystem, Vnode};
 
 use std::cell::RefCell;
 
-use crate::aging::{age_filesystem, probe_extents, AgingOptions};
+use crate::aging::{
+    age_filesystem, clustering_decay, probe_extents, AgingOptions, DecayOptions, DecayPoint,
+    ExtAgedWorld,
+};
 use crate::configs::{paper_world, Config, WorldOptions};
 use crate::cpu_bench::mmap_read_cpu;
 use crate::iobench::{run_iobench, BenchOptions, IoKind, Throughput};
@@ -25,11 +28,14 @@ use crate::streams::{run_streams, StreamsOptions};
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run via [`StatsSink::sim`]; the driver captures
 /// each run's full registry here, and the `--stats-json` flag serializes
-/// the collection as one document (schema `iobench-stats/v4`, documented in
+/// the collection as one document (schema `iobench-stats/v5`, documented in
 /// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
 /// names, v3 added interpolated `p50`/`p95`/`p99` quantiles to histogram
-/// snapshots, v4 adds the `base{spindle=K}` label family emitted by
-/// `volmgr` arrays and the `volume/...` run ids). Snapshots are pure
+/// snapshots, v4 added the `base{spindle=K}` label family emitted by
+/// `volmgr` arrays and the `volume/...` run ids, v5 adds the `extentfs.*`
+/// fragmentation gauges — `short_extents`, `mean_extent_blocks`,
+/// `extents_per_file`, `inline_files` — and the `aging/...` run ids).
+/// Snapshots are pure
 /// functions of the virtual-time simulation, so two identical runs produce
 /// byte-identical documents.
 #[derive(Default)]
@@ -146,7 +152,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v4\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v5\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }
@@ -389,6 +395,133 @@ pub fn extents_run(quick: bool, runner: &Runner) -> (String, f64, f64) {
         ]);
     }
     (t.render(), best.mean_extent_bytes, worst.mean_extent_bytes)
+}
+
+/// Knobs for the clustering-decay (aging) study, settable from the CLI.
+#[derive(Clone, Copy, Debug)]
+pub struct AgingParams {
+    /// Churn rounds (the study emits `rounds + 1` decay points).
+    pub rounds: usize,
+    /// Target utilization each fill phase churns toward (`--utilization`).
+    pub target_fill: f64,
+    /// File-creation budget per churn round (`--age-ops`).
+    pub ops_per_round: usize,
+    /// extentfs inline-file threshold in bytes (`--inline-threshold`).
+    pub inline_max: usize,
+    /// Probe file size.
+    pub probe_bytes: u64,
+}
+
+impl AgingParams {
+    /// Paper-scale aging: the full 400 MB drive, 8 MB probes.
+    pub fn paper() -> AgingParams {
+        AgingParams {
+            rounds: 4,
+            target_fill: 0.85,
+            ops_per_round: 4096,
+            inline_max: 512,
+            probe_bytes: 8 << 20,
+        }
+    }
+
+    /// CI-scale aging: the small test world, 1 MB probes.
+    pub fn quick() -> AgingParams {
+        AgingParams {
+            rounds: 2,
+            target_fill: 0.70,
+            ops_per_round: 512,
+            inline_max: 512,
+            probe_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The fragmentation/aging study: churns a UFS and an extentfs volume
+/// through the same create/delete mix and measures clustering decay —
+/// probe-file mean extent length, contiguity fraction, and cold
+/// sequential-read throughput — after each round. Returns the rendered
+/// side-by-side table plus the raw per-file-system decay curves.
+pub fn aging_run(
+    params: AgingParams,
+    quick: bool,
+    runner: &Runner,
+) -> (String, Vec<(&'static str, Vec<DecayPoint>)>) {
+    let decay_opts = DecayOptions {
+        rounds: params.rounds,
+        target_fill: params.target_fill,
+        ops_per_round: params.ops_per_round,
+        probe_bytes: params.probe_bytes,
+        seed: 0xA6E,
+    };
+    let ufs_plan = RunPlan::new("aging/ufs", move |sim: &Sim| {
+        let s = sim.clone();
+        sim.run_until(async move {
+            let opts = WorldOptions {
+                full_scale: !quick,
+                ..WorldOptions::default()
+            };
+            let w = paper_world(&s, Tuning::config_a(), opts)
+                .await
+                .expect("world");
+            clustering_decay(&s, &w, &decay_opts).await.expect("decay")
+        })
+    });
+    let inline_max = params.inline_max;
+    let ext_plan = RunPlan::new("aging/extentfs", move |sim: &Sim| {
+        let s = sim.clone();
+        sim.run_until(async move {
+            let cpu = Cpu::new(&s);
+            let (disk_params, cache_params, pageout_params, ninodes) = if quick {
+                (
+                    DiskParams::small_test(),
+                    PageCacheParams::small_test(),
+                    PageoutParams::small_test(),
+                    256,
+                )
+            } else {
+                (
+                    DiskParams::sun0424(),
+                    PageCacheParams::sparcstation_8mb(),
+                    PageoutParams::sparcstation(),
+                    2048,
+                )
+            };
+            let disk: diskmodel::SharedDevice = std::rc::Rc::new(Disk::new(&s, disk_params));
+            let cache = PageCache::new(&s, cache_params);
+            let (_daemon, rx) = PageoutDaemon::spawn(&s, &cache, Some(cpu.clone()), pageout_params);
+            std::mem::forget(rx);
+            let mut fs_params = extentfs::ExtentFsParams::with_extent_blocks(15);
+            fs_params.inline_max = inline_max;
+            let fs = extentfs::ExtentFs::format(&s, &cpu, &cache, &disk, ninodes, fs_params)
+                .expect("format");
+            let w = ExtAgedWorld { fs, cache };
+            clustering_decay(&s, &w, &decay_opts).await.expect("decay")
+        })
+    });
+    let mut results = runner.run(vec![ufs_plan, ext_plan]);
+    let ext = results.pop().expect("extentfs decay");
+    let ufs = results.pop().expect("ufs decay");
+    let mut t = Table::new(&[
+        "round",
+        "UFS mean ext",
+        "UFS contig",
+        "UFS seq rd",
+        "extfs mean ext",
+        "extfs contig",
+        "extfs seq rd",
+    ]);
+    for (u, e) in ufs.iter().zip(&ext) {
+        t.row(vec![
+            format!("{}", u.round),
+            format!("{:.0}KB", u.mean_extent_kb),
+            format!("{:.2}", u.contiguity_fraction),
+            kbs(u.seq_read_kb_s),
+            format!("{:.0}KB", e.mean_extent_kb),
+            format!("{:.2}", e.contiguity_fraction),
+            kbs(e.seq_read_kb_s),
+        ]);
+    }
+    (t.render(), vec![("ufs", ufs), ("extentfs", ext)])
 }
 
 /// MusBus comparison (should improve "only slightly"). Returns

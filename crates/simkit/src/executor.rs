@@ -23,7 +23,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -39,6 +39,13 @@ use crate::trace::{Recorder, Tracer};
 pub struct TaskId(u64);
 
 type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A live task: its future plus its waker, created once at spawn so the
+/// per-poll cost is a slab index, not an `Arc` allocation.
+struct Task {
+    fut: BoxedFuture,
+    waker: Waker,
+}
 
 /// The cross-thread-safe half of the wakeup path.
 ///
@@ -108,10 +115,17 @@ struct Inner {
     tracer: Tracer,
     next_task: Cell<u64>,
     next_timer_seq: Cell<u64>,
-    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
+    /// Slab of live tasks indexed by `TaskId` (monotonic, never reused);
+    /// a completed task leaves a `None` slot, which is also how stale
+    /// wakeups are detected.
+    tasks: RefCell<Vec<Option<Task>>>,
+    live: Cell<usize>,
     run_queue: RefCell<VecDeque<TaskId>>,
     timers: RefCell<BinaryHeap<Reverse<(TimerEntry, WakerSlot)>>>,
     wake_queue: Arc<WakeQueue>,
+    /// Drain buffer swapped with the wake queue so neither side
+    /// reallocates in steady state.
+    wake_scratch: RefCell<Vec<TaskId>>,
     polls: Cell<u64>,
     spawned: Cell<u64>,
 }
@@ -166,12 +180,14 @@ impl Sim {
                 tracer,
                 next_task: Cell::new(0),
                 next_timer_seq: Cell::new(0),
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(Vec::new()),
+                live: Cell::new(0),
                 run_queue: RefCell::new(VecDeque::new()),
                 timers: RefCell::new(BinaryHeap::new()),
                 wake_queue: Arc::new(WakeQueue {
                     woken: Mutex::new(Vec::new()),
                 }),
+                wake_scratch: RefCell::new(Vec::new()),
                 polls: Cell::new(0),
                 spawned: Cell::new(0),
             }),
@@ -235,7 +251,18 @@ impl Sim {
         let id = TaskId(self.inner.next_task.get());
         self.inner.next_task.set(id.0 + 1);
         self.inner.spawned.set(self.inner.spawned.get() + 1);
-        self.inner.tasks.borrow_mut().insert(id, Box::pin(fut));
+        self.inner.live.set(self.inner.live.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            queue: Arc::clone(&self.inner.wake_queue),
+        }));
+        let mut tasks = self.inner.tasks.borrow_mut();
+        debug_assert_eq!(tasks.len() as u64, id.0);
+        tasks.push(Some(Task {
+            fut: Box::pin(fut),
+            waker,
+        }));
+        drop(tasks);
         self.inner.run_queue.borrow_mut().push_back(id);
         id
     }
@@ -343,46 +370,80 @@ impl Sim {
 
     /// Number of tasks that have not yet completed.
     pub fn live_tasks(&self) -> usize {
-        self.inner.tasks.borrow().len()
+        self.inner.live.get()
     }
 
     fn drain_wakes(&self) {
-        let woken: Vec<TaskId> = {
+        let mut scratch = self.inner.wake_scratch.borrow_mut();
+        debug_assert!(scratch.is_empty());
+        {
             let mut q = self
                 .inner
                 .wake_queue
                 .woken
                 .lock()
                 .expect("wake queue poisoned");
-            std::mem::take(&mut *q)
-        };
-        if !woken.is_empty() {
-            let mut rq = self.inner.run_queue.borrow_mut();
-            for id in woken {
-                rq.push_back(id);
+            if q.is_empty() {
+                return;
             }
+            // Swap rather than take: after a round trip both buffers keep
+            // their capacity, so steady-state wakes never allocate.
+            std::mem::swap(&mut *q, &mut *scratch);
+        }
+        let mut rq = self.inner.run_queue.borrow_mut();
+        for id in scratch.drain(..) {
+            rq.push_back(id);
         }
     }
 
     fn poll_task(&self, id: TaskId) {
-        // Take the future out of the table so the task body may reentrantly
+        // Take the task out of its slot so the task body may reentrantly
         // spawn tasks or inspect the executor without aliasing the borrow.
-        let fut = self.inner.tasks.borrow_mut().remove(&id);
-        let Some(mut fut) = fut else {
+        let task = self.inner.tasks.borrow_mut()[id.0 as usize].take();
+        let Some(mut task) = task else {
             return; // Stale wakeup for a completed task.
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            queue: Arc::clone(&self.inner.wake_queue),
-        }));
-        let mut cx = Context::from_waker(&waker);
+        let mut cx = Context::from_waker(&task.waker);
         self.inner.polls.set(self.inner.polls.get() + 1);
-        match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
+        match task.fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.live.set(self.inner.live.get() - 1);
+            }
             Poll::Pending => {
-                self.inner.tasks.borrow_mut().insert(id, fut);
+                self.inner.tasks.borrow_mut()[id.0 as usize] = Some(task);
             }
         }
+    }
+
+    /// Fast-forward used by [`Sleep`]: when the sleeping task is the only
+    /// runnable work and no timer fires at or before `at`, advancing the
+    /// clock in place is indistinguishable from suspending on a timer —
+    /// the executor would immediately pop that timer, set the clock, and
+    /// re-poll this task with nothing else observing the interval. Skipping
+    /// the suspend/resume halves the cost of the `Cpu::charge` hot path.
+    pub(crate) fn try_fast_forward(&self, at: SimTime) -> bool {
+        if !self.inner.run_queue.borrow().is_empty() {
+            return false;
+        }
+        if let Some(Reverse((entry, _))) = self.inner.timers.borrow().peek() {
+            // `<=` keeps same-instant ordering: an already-registered timer
+            // due at `at` must fire (and run its task) first.
+            if entry.at <= at {
+                return false;
+            }
+        }
+        if !self
+            .inner
+            .wake_queue
+            .woken
+            .lock()
+            .expect("wake queue poisoned")
+            .is_empty()
+        {
+            return false;
+        }
+        self.inner.now.set(at);
+        true
     }
 
     pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
@@ -396,6 +457,14 @@ impl Sim {
 }
 
 /// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+///
+/// When the sleeper is the only runnable work and no other timer is due
+/// first, the first poll advances the virtual clock to the deadline and
+/// completes immediately (see [`Sim`]'s fast-forward path). This is
+/// invisible to tasks awaiting a `Sleep` directly, but it means racing two
+/// `Sleep`s inside one task with a hand-rolled select would resolve the
+/// first-polled one; run competing timers in separate tasks instead (the
+/// codebase awaits every `Sleep` directly).
 pub struct Sleep {
     sim: Sim,
     at: SimTime,
@@ -412,7 +481,7 @@ impl Future for Sleep {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.sim.now() >= self.at {
+        if self.sim.now() >= self.at || self.sim.try_fast_forward(self.at) {
             Poll::Ready(())
         } else {
             self.sim.register_timer(self.at, cx.waker().clone());
@@ -646,9 +715,20 @@ mod tests {
 
     #[test]
     fn poll_counter_increments() {
+        // A lone sleeper fast-forwards: the clock jumps on the first poll
+        // and the task never suspends.
         let sim = Sim::new();
         let s = sim.clone();
         sim.run_until(async move { s.sleep(SimDuration::from_millis(1)).await });
-        assert!(sim.polls() >= 2, "at least initial poll and wake poll");
+        assert_eq!(sim.polls(), 1, "lone sleep completes on its first poll");
+
+        // With a competing earlier timer the sleeper must suspend and be
+        // re-polled when its own timer fires.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(SimDuration::from_micros(100)).await });
+        let s = sim.clone();
+        sim.run_until(async move { s.sleep(SimDuration::from_millis(1)).await });
+        assert!(sim.polls() >= 3, "suspended sleeps re-poll on wake");
     }
 }

@@ -1,0 +1,35 @@
+//! Host-process tuning for benchmark front ends.
+//!
+//! Nothing here affects simulated behavior — virtual-time trajectories are
+//! a pure function of the workload. These knobs only make the *host*
+//! execute the same simulation faster.
+
+/// Stops glibc from trimming the heap back to the OS between transient
+/// allocations.
+///
+/// The I/O path allocates and frees a cluster-sized payload per write
+/// (tens of KB, thousands of times per run). With the default
+/// `M_TRIM_THRESHOLD` (128 KB), each free at the top of the heap shrinks
+/// the arena and the next allocation grows it again — every round trip
+/// re-faults the pages, and in a VM a page fault costs ~100 µs. Raising
+/// the trim and mmap thresholds keeps that memory in the arena, cutting
+/// wall-clock time of the write-heavy benchmarks by roughly a third.
+///
+/// No-op on non-glibc targets. Call once at process start.
+pub fn tune_host_allocator() {
+    #[cfg(target_env = "gnu")]
+    {
+        // Values from glibc's malloc.h; stable ABI.
+        const M_TRIM_THRESHOLD: i32 = -1;
+        const M_TOP_PAD: i32 = -2;
+        const M_MMAP_THRESHOLD: i32 = -3;
+        extern "C" {
+            fn mallopt(param: i32, value: i32) -> i32;
+        }
+        unsafe {
+            mallopt(M_TRIM_THRESHOLD, 512 << 20);
+            mallopt(M_TOP_PAD, 16 << 20);
+            mallopt(M_MMAP_THRESHOLD, 256 << 20);
+        }
+    }
+}

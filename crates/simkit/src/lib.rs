@@ -34,6 +34,7 @@
 pub mod channel;
 pub mod cpu;
 pub mod executor;
+pub mod host;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -42,6 +43,7 @@ pub mod trace;
 pub use channel::{channel, Receiver, SendError, Sender};
 pub use cpu::{Cpu, TagStat};
 pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
+pub use host::tune_host_allocator;
 pub use stats::{Counter, Gauge, Histogram, NameId, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};

@@ -131,15 +131,7 @@ impl Ufs {
         if cg.free_blocks == 0 {
             return None;
         }
-        let mut found = None;
-        for i in 0..dpcg {
-            let idx = (from + i) % dpcg;
-            if !cg.block_allocated(idx) {
-                found = Some(idx);
-                break;
-            }
-        }
-        let idx = found?;
+        let idx = cg.first_free_block(from % dpcg, dpcg)?;
         assert!(cg.set_block(idx), "bitmap/count disagreement");
         drop(cgs);
         self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
@@ -206,15 +198,13 @@ impl Ufs {
             if cg.free_inodes == 0 {
                 continue;
             }
-            for i in 0..ipcg {
-                if !cg.inode_allocated(i) {
-                    assert!(cg.set_inode(i));
-                    drop(cgs);
-                    self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
-                    self.inner.sb.borrow_mut().free_inodes -= 1;
-                    self.inner.sb_dirty.set(true);
-                    return Ok(cgx * ipcg + i);
-                }
+            if let Some(i) = cg.first_free_inode(ipcg) {
+                assert!(cg.set_inode(i));
+                drop(cgs);
+                self.inner.cgs_dirty.borrow_mut()[cgx as usize] = true;
+                self.inner.sb.borrow_mut().free_inodes -= 1;
+                self.inner.sb_dirty.set(true);
+                return Ok(cgx * ipcg + i);
             }
         }
         Err(FsError::NoInodes)

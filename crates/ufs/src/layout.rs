@@ -320,6 +320,44 @@ impl CgHeader {
         self.free_inodes += 1;
         true
     }
+
+    /// First free data block at or after `from`, wrapping within the
+    /// group's `nbits` valid slots. Picks the same block a bit-by-bit
+    /// probe of `block_allocated` would, but skips fully-allocated bytes
+    /// whole — on a mostly-full group that is the difference between one
+    /// probe per slot and one per eight.
+    pub fn first_free_block(&self, from: u32, nbits: u32) -> Option<u32> {
+        first_zero_bit(&self.block_bitmap, from, nbits)
+            .or_else(|| first_zero_bit(&self.block_bitmap, 0, from))
+    }
+
+    /// First free inode slot among the group's `nbits` slots.
+    pub fn first_free_inode(&self, nbits: u32) -> Option<u32> {
+        first_zero_bit(&self.inode_bitmap, 0, nbits)
+    }
+}
+
+/// Index of the first zero bit in `[lo, hi)`, byte at a time.
+fn first_zero_bit(bitmap: &[u8], lo: u32, hi: u32) -> Option<u32> {
+    if lo >= hi {
+        return None;
+    }
+    let first = (lo / 8) as usize;
+    let last = ((hi - 1) / 8) as usize;
+    for (byte, &bits) in bitmap.iter().enumerate().take(last + 1).skip(first) {
+        let mut free = !bits;
+        if byte == first {
+            free &= 0xFFu8 << (lo % 8);
+        }
+        let valid = hi - byte as u32 * 8; // Bits of this byte below `hi`.
+        if valid < 8 {
+            free &= (1u8 << valid) - 1;
+        }
+        if free != 0 {
+            return Some(byte as u32 * 8 + free.trailing_zeros());
+        }
+    }
+    None
 }
 
 /// File kind stored in the dinode mode field.

@@ -60,6 +60,19 @@ pub struct ReadCluster {
     pub reason: ReadReason,
 }
 
+/// A batched run-list read: up to `len` logical blocks from `lbn`,
+/// resolved through [`BlockMap::runs`] in one pass. Unlike
+/// [`ReadCluster`], the blocks need not be physically contiguous — the
+/// executor pays one setup for the whole batch and issues one transfer
+/// per physical run, back to back (the list-I/O shape: tree walks and
+/// command builds amortize even on a fragmented file).
+#[derive(Clone, Copy, Debug)]
+pub struct ReadRuns {
+    pub lbn: u64,
+    pub len: u32,
+    pub reason: ReadReason,
+}
+
 /// A writeback sweep over `[range)` of dirty pages, one block-map
 /// contiguous cluster at a time. With `free_behind`, pages are freed once
 /// written (pageout-initiated cleaning).
@@ -83,6 +96,7 @@ pub struct FreeBehind {
 #[derive(Clone, Debug)]
 pub enum IoIntent {
     ReadCluster(ReadCluster),
+    ReadRuns(ReadRuns),
     WriteCluster(WriteCluster),
     FreeBehind(FreeBehind),
 }
@@ -91,6 +105,9 @@ pub enum IoIntent {
 pub enum Executed {
     /// A demand read is in flight; wait for it with [`IoPath::finish_read`].
     ReadIssued(ClusterRead),
+    /// A demand run-list batch is in flight; wait for it with
+    /// [`IoPath::finish_batch`].
+    BatchIssued(BatchRead),
     /// A read-ahead was issued; `blocks` pages are being filled
     /// asynchronously by the executor's completion task.
     ReadaheadIssued { blocks: u32 },
@@ -119,6 +136,25 @@ impl ClusterRead {
     }
 }
 
+/// An issued run-list batch: one in-flight transfer per physical run,
+/// each with the busy pages it fills, in block order.
+pub struct BatchRead {
+    parts: Vec<(IoHandle, Vec<(u64, PageId)>)>,
+    span: SpanId,
+}
+
+impl BatchRead {
+    /// Total blocks across all runs in the batch.
+    pub fn blocks(&self) -> u32 {
+        self.parts.iter().map(|(_, p)| p.len() as u32).sum()
+    }
+
+    /// Number of physical transfers the batch was split into.
+    pub fn transfers(&self) -> usize {
+        self.parts.len()
+    }
+}
+
 /// Translation from logical file blocks to physical placement — the one
 /// thing the executor must ask the file system. UFS answers with `bmap`
 /// (indirect-block walks, bmap cache); extentfs with a table lookup.
@@ -127,6 +163,29 @@ pub trait BlockMap {
     /// `(pbn, contiguous_blocks)` at `lbn`, with the run clipped to at
     /// most `cap` blocks; `None` means a hole.
     async fn extent(&self, lbn: u64, cap: u32) -> FsResult<Option<(u32, u32)>>;
+
+    /// The physical run-list covering up to `blocks` logical blocks from
+    /// `lbn`, stopping at the first hole. The default loops [`extent`]
+    /// (one translation per run); tree-indexed file systems override it
+    /// with a single index walk.
+    ///
+    /// [`extent`]: BlockMap::extent
+    async fn runs(&self, lbn: u64, blocks: u32) -> FsResult<Vec<(u32, u32)>> {
+        let mut out = Vec::new();
+        let mut cur = lbn;
+        let mut left = blocks;
+        while left > 0 {
+            match self.extent(cur, left).await? {
+                Some((pbn, n)) => {
+                    out.push((pbn, n));
+                    cur += n as u64;
+                    left -= n;
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
 
     /// The largest blocks-per-transfer this mount allows (UFS: the tuned
     /// I/O cluster size; extentfs: the extent unit).
@@ -335,6 +394,7 @@ impl IoPath {
     ) -> FsResult<Executed> {
         match intent {
             IoIntent::ReadCluster(rc) => self.read_cluster(fstream, rc, parent).await,
+            IoIntent::ReadRuns(rr) => self.read_runs(fstream, map, rr, parent).await,
             IoIntent::WriteCluster(wc) => self.write_clusters(fstream, map, wc).await,
             IoIntent::FreeBehind(fb) => Ok(Executed::Freed(self.free_page(fb))),
         }
@@ -415,6 +475,158 @@ impl IoPath {
                 Ok(Executed::ReadaheadIssued { blocks })
             }
         }
+    }
+
+    /// Resolves the file's run-list once and moves up to `rr.len` blocks
+    /// in one batch — busy pages are created for the absent prefix
+    /// (clipped at the first already-cached page), one `io_setup` is
+    /// charged for the whole batch, and one stream-tagged transfer is
+    /// submitted per physical run. Demand batches return the in-flight
+    /// [`BatchRead`]; read-ahead spawns the fill task and returns.
+    async fn read_runs(
+        &self,
+        fstream: &Rc<FileStream>,
+        map: &impl BlockMap,
+        rr: ReadRuns,
+        parent: SpanId,
+    ) -> FsResult<Executed> {
+        let inner = &*self.inner;
+        if rr.reason == ReadReason::Readahead
+            && inner.cache.lookup(self.key(fstream, rr.lbn)).is_some()
+        {
+            return Ok(Executed::AlreadyCached);
+        }
+        let runs = map.runs(rr.lbn, rr.len.max(1)).await?;
+        let covered: u32 = runs.iter().map(|&(_, n)| n).sum();
+        if covered == 0 {
+            return match rr.reason {
+                // The caller saw the block mapped; an empty run-list here
+                // means the map lost it underneath us.
+                ReadReason::Demand => Err(FsError::Corrupt),
+                ReadReason::Readahead => Ok(Executed::AlreadyCached),
+            };
+        }
+        let stream = fstream.id().as_u32();
+        let span = match rr.reason {
+            ReadReason::Demand => inner.sim.tracer().start("iopath.read_runs", stream, parent),
+            // Read-ahead outlives the faulting operation; see
+            // `execute_traced`.
+            ReadReason::Readahead => {
+                inner
+                    .sim
+                    .tracer()
+                    .start("iopath.readahead", stream, SpanId::NONE)
+            }
+        };
+        inner.sim.tracer().arg(span, "lbn", rr.lbn);
+        let mut pages = Vec::new();
+        for i in 0..covered.min(rr.len.max(1)) {
+            let key = self.key(fstream, rr.lbn + i as u64);
+            if inner.cache.lookup(key).is_some() {
+                break; // Already resident: clip the batch here.
+            }
+            let id = inner.cache.create_traced(key, stream, span).await;
+            // The page identity is fresh; drop any stale read-ahead claim
+            // a recycled predecessor left behind.
+            inner.ra_pending.borrow_mut().remove(&key);
+            pages.push((rr.lbn + i as u64, id));
+        }
+        let n = pages.len() as u32;
+        if n == 0 {
+            // Everything arrived while the run-list resolved (the map's
+            // translation may await, e.g. an indirect-block read).
+            inner.sim.tracer().end(span);
+            return Ok(Executed::AlreadyCached);
+        }
+        inner.sim.tracer().arg(span, "blocks", n as u64);
+        // One setup for the whole batch: this is the amortization a
+        // fragmented file gets from list-style I/O.
+        inner.cpu.charge("io_setup", inner.costs.io_setup).await;
+        self.per_stream(fstream.id()).read_blocks.observe(n as u64);
+        let mut parts = Vec::new();
+        let mut idx = 0usize;
+        for &(pbn, len) in &runs {
+            if idx >= pages.len() {
+                break;
+            }
+            let take = (len as usize).min(pages.len() - idx);
+            let part: Vec<(u64, PageId)> = pages[idx..idx + take].to_vec();
+            let handle = inner.disk.submit_read_for(
+                pbn as u64 * inner.sectors_per_block as u64,
+                take as u32 * inner.sectors_per_block,
+                stream,
+                span,
+            );
+            parts.push((handle, part));
+            idx += take;
+        }
+        inner.sim.tracer().arg(span, "runs", parts.len() as u64);
+        let io = BatchRead { parts, span };
+        match rr.reason {
+            ReadReason::Demand => Ok(Executed::BatchIssued(io)),
+            ReadReason::Readahead => {
+                let blocks = io.blocks();
+                {
+                    let mut ra = inner.ra_pending.borrow_mut();
+                    for (_, part) in &io.parts {
+                        for (run_lbn, _) in part {
+                            ra.insert(self.key(fstream, *run_lbn));
+                        }
+                    }
+                }
+                self.spawn_fill_batch(io);
+                Ok(Executed::ReadaheadIssued { blocks })
+            }
+        }
+    }
+
+    /// Waits out a demand batch part by part, charging one interrupt per
+    /// transfer, fills and releases every page, and returns the page for
+    /// `want_lbn`.
+    pub async fn finish_batch(&self, io: BatchRead, want_lbn: u64) -> PageId {
+        let inner = &*self.inner;
+        let bs = inner.block_size;
+        let mut want = None;
+        for (handle, part) in io.parts {
+            let result = handle.wait().await;
+            inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+            let data = result.data.expect("read returns data");
+            for (i, (run_lbn, id)) in part.iter().enumerate() {
+                inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                if *run_lbn == want_lbn {
+                    // Stays busy until the whole batch lands: a later
+                    // part's await must not let pageout recycle the page
+                    // this batch was issued for.
+                    want = Some(*id);
+                } else {
+                    inner.cache.unbusy(*id);
+                }
+            }
+        }
+        inner.sim.tracer().end(io.span);
+        let want = want.expect("requested page is in the batch");
+        inner.cache.unbusy(want);
+        want
+    }
+
+    /// Asynchronous completion for a read-ahead batch: wait out each
+    /// part, charge the interrupt, fill and release.
+    fn spawn_fill_batch(&self, io: BatchRead) {
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let inner = &*this.inner;
+            let bs = inner.block_size;
+            for (handle, part) in io.parts {
+                let result = handle.wait().await;
+                inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+                let data = result.data.expect("read returns data");
+                for (i, (_lbn, id)) in part.iter().enumerate() {
+                    inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                    inner.cache.unbusy(*id);
+                }
+            }
+            inner.sim.tracer().end(io.span);
+        });
     }
 
     /// Waits out a demand read, charges the interrupt, fills and releases

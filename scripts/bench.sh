@@ -59,6 +59,15 @@ cmp "$TMP/vt1.json" "$TMP/vt4.json"
 grep -q 'disk.busy_ns{spindle=' "$TMP/v1.json"
 echo "volume jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
 
+# Same contract for the aging study (two virtual worlds churned on
+# separate workers must still re-emit deterministically in plan order).
+"$BIN" aging --quick --jobs 1 --stats-json "$TMP/a1.json" >"$TMP/aout1.txt"
+"$BIN" aging --quick --jobs 4 --stats-json "$TMP/a4.json" >"$TMP/aout4.txt"
+cmp "$TMP/aout1.txt" "$TMP/aout4.txt"
+cmp "$TMP/a1.json" "$TMP/a4.json"
+grep -q '"id":"aging/extentfs"' "$TMP/a1.json"
+echo "aging jobs=1 vs jobs=4: stdout and stats JSON are byte-identical"
+
 if [ "$MODE" = smoke ]; then
     cargo bench -p bench --bench wallclock -- --smoke --out "$OUT"
 else

@@ -1,13 +1,17 @@
 //! Wall-clock (host-time) benchmark suite: times canonical `iobench`
 //! experiment runs with `std::time::Instant` and writes the results as
-//! `BENCH_iobench.json` (schema `iobench-bench/v1`, documented in
+//! `BENCH_iobench.json` (schema `iobench-bench/v2`, documented in
 //! DESIGN.md "Wall-clock performance").
 //!
 //! Unlike the criterion benches (virtual-time artifact regeneration), this
 //! harness answers "how long does the simulator take on this machine" —
 //! the number the hot-path optimizations and the `--jobs` fan-out move —
 //! and measures the parallel speedup of the Figure 10 matrix at jobs=1 vs
-//! jobs=N on the current host.
+//! jobs=N on the current host. After the timed loops, one extra
+//! profiler-instrumented pass (`simkit::perfmon`) captures per-worker
+//! busy/idle utilization, so a disappointing speedup arrives with its
+//! diagnosis attached. A speedup below 1.0x raises the document's
+//! `attention` marker, which `scripts/bench.sh` turns into a loud warning.
 //!
 //! ```text
 //! cargo bench -p bench --bench wallclock -- [--smoke] [--jobs N] [--out PATH]
@@ -18,8 +22,15 @@
 use std::time::Instant;
 
 use iobench::experiments::{extents_run, fig10_cell, fig10_run, streams_run, RunScale};
+use iobench::perfout::HostProfile;
 use iobench::runner::Runner;
 use iobench::{Config, IoKind};
+use simkit::perfmon;
+
+/// Counting allocator so the instrumented pass reports allocation churn
+/// alongside utilization. Pass-through (and uncounted) while disabled.
+#[global_allocator]
+static ALLOC: perfmon::CountingAlloc = perfmon::CountingAlloc;
 
 /// Small enough for a CI smoke job.
 fn smoke_scale() -> RunScale {
@@ -144,6 +155,34 @@ fn main() {
         "  fig10 matrix: jobs=1 {jobs1_ms:.0} ms, jobs={jobs} {jobsn_ms:.0} ms, speedup {speedup:.2}x"
     );
 
+    // One instrumented pass at jobs=N for per-worker utilization. Kept
+    // out of the timed loops above so profiling overhead (small as it is)
+    // never touches the published numbers.
+    perfmon::set_enabled(true);
+    let _ = perfmon::take_records();
+    fig10_run(scale, &Runner::new(jobs, None));
+    perfmon::set_enabled(false);
+    let (records, dropped) = perfmon::take_records();
+    let profile = HostProfile::build(&records, dropped);
+    for w in &profile.workers {
+        eprintln!(
+            "  worker {:<3} busy {:>8.1} ms  idle {:>8.1} ms  util {:>5.1}%",
+            w.worker,
+            w.busy_ns as f64 / 1e6,
+            w.idle_ns as f64 / 1e6,
+            w.utilization * 100.0
+        );
+    }
+    // The marker a wrapper can grep without parsing: nonzero means "this
+    // run needs a human's attention" (today: the fan-out made it slower).
+    let attention: u32 = u32::from(speedup < 1.0);
+    if attention != 0 {
+        eprintln!(
+            "  ATTENTION: parallel speedup {speedup:.2}x < 1.0x — the jobs={jobs} \
+             fan-out is slower than serial; see the worker table above"
+        );
+    }
+
     let benches = results
         .iter()
         .map(|s| {
@@ -158,11 +197,27 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let workers = profile
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"worker\":{},\"busy_ms\":{:.3},\"idle_ms\":{:.3},\"utilization\":{:.4}}}",
+                w.worker,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6,
+                w.utilization
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let doc = format!(
-        "{{\"schema\":\"iobench-bench/v1\",\"mode\":\"{mode}\",\"jobs\":{jobs},\
-         \"benches\":[{benches}],\
+        "{{\"schema\":\"iobench-bench/v2\",\"mode\":\"{mode}\",\"jobs\":{jobs},\
+         \"attention\":{attention},\"benches\":[{benches}],\
          \"parallel\":{{\"workload\":\"fig10_matrix\",\"jobs1_ms\":{jobs1_ms:.3},\
-         \"jobsN_ms\":{jobsn_ms:.3},\"speedup\":{speedup:.3}}}}}\n"
+         \"jobsN_ms\":{jobsn_ms:.3},\"speedup\":{speedup:.3},\
+         \"coverage\":{:.4},\"workers\":[{workers}]}}}}\n",
+        profile.coverage
     );
     std::fs::write(&out, doc).expect("write BENCH_iobench.json");
     eprintln!("wrote {out}");

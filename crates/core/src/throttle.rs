@@ -11,7 +11,7 @@
 //! (more than two or three outstanding writes) and to give `disksort`
 //! something to sort — hence the paper's fairly large 240 KB default.
 
-use simkit::stats::Counter;
+use simkit::stats::{Counter, Gauge};
 use simkit::{Semaphore, SimDuration, SpanId, TimeHandle, Tracer};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -30,6 +30,9 @@ struct ThrottleInner {
     /// fairness experiments can attribute stalls to the stream that slept.
     s_stalls: Counter,
     s_stall_ns: Counter,
+    /// Writers currently blocked on the limit across every throttle on the
+    /// `Sim` — the telemetry sampler's live view of throttle pressure.
+    m_waiting: Gauge,
     /// The owning stream, stamped onto `throttle.stall` trace spans.
     stream: u32,
     /// Span tracer (like the counters, holds no `Sim`).
@@ -71,6 +74,7 @@ impl WriteThrottle {
                     m_stall_ns: sim.stats().counter("core.throttle_stall_ns"),
                     s_stalls: sim.stats().stream_counter("core.throttle_stalls", stream),
                     s_stall_ns: sim.stats().stream_counter("core.throttle_stall_ns", stream),
+                    m_waiting: sim.stats().gauge("core.throttle_waiting"),
                     stream,
                     tracer: sim.tracer().clone(),
                 })
@@ -103,7 +107,12 @@ impl WriteThrottle {
             return WriteToken { bytes: 0 };
         }
         let before = self.time.now();
+        // Count this writer as waiting across the acquire; uncontended
+        // acquisitions complete at the same virtual instant, so the gauge
+        // only reads nonzero while someone is genuinely blocked.
+        inner.m_waiting.add(1.0);
         let permit = inner.sem.acquire(ask).await;
+        inner.m_waiting.add(-1.0);
         let after = self.time.now();
         let waited = after.duration_since(before);
         if !waited.is_zero() {

@@ -183,6 +183,10 @@ struct SpindleMetrics {
     busy_ns: Counter,
     sectors_read: Counter,
     sectors_written: Counter,
+    /// Per-leg `disk.queue_depth{spindle=K}`: the shared global gauge
+    /// mixes every spindle of an array together, which hides a single
+    /// hot leg; the telemetry sampler reads this one per drive.
+    queue_depth: TimeWeighted,
 }
 
 impl DiskMetrics {
@@ -195,6 +199,11 @@ impl DiskMetrics {
             busy_ns: s.labelled_counter("disk.busy_ns", "spindle", k),
             sectors_read: s.labelled_counter("disk.sectors_read", "spindle", k),
             sectors_written: s.labelled_counter("disk.sectors_written", "spindle", k),
+            queue_depth: s.time_weighted(&StatsRegistry::labelled_name(
+                "disk.queue_depth",
+                "spindle",
+                k,
+            )),
         });
         DiskMetrics {
             spindle,
@@ -316,6 +325,9 @@ impl Disk {
             match batch {
                 Some(batch) => {
                     self.inner.metrics.queue_depth.add(-(batch.len() as f64));
+                    if let Some(sp) = &self.inner.metrics.spindle {
+                        sp.queue_depth.add(-(batch.len() as f64));
+                    }
                     self.service_batch(batch).await
                 }
                 None => {
@@ -677,6 +689,9 @@ impl BlockDevice for Disk {
             .borrow_mut()
             .push(req, event, slot, self.inner.sim.now());
         self.inner.metrics.queue_depth.add(1.0);
+        if let Some(sp) = &self.inner.metrics.spindle {
+            sp.queue_depth.add(1.0);
+        }
         self.inner.notify.notify_all();
         handle
     }

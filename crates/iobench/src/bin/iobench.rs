@@ -5,7 +5,8 @@
 //!         write-limit|free-behind|streams|volume|all \
 //!         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
 //!         [--age-ops N] [--utilization F] [--inline-threshold B] \
-//!         [--stats-json <path>] [--trace <path>]
+//!         [--stats-json <path>] [--trace <path>] [--perf <path>] \
+//!         [--timeline <path>] [--sample-every <N[us|ms|s]>]
 //! ```
 //!
 //! `--jobs N` fans an experiment's independent simulated runs out across N
@@ -14,7 +15,7 @@
 //! in run order, so stdout, `--stats-json`, and `--trace` are
 //! byte-identical for any jobs count. `--stats-json <path>` writes every
 //! simulated run's full metrics-registry snapshot (schema
-//! `iobench-stats/v5`; see DESIGN.md "Observability") so benchmark
+//! `iobench-stats/v6`; see DESIGN.md "Observability") so benchmark
 //! trajectories can be diffed across changes. `--trace <path>` records
 //! per-request spans through the whole I/O path and writes them as Chrome
 //! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
@@ -30,16 +31,38 @@
 //! (extentfs inline-file cutoff in bytes, at most one 8 KB block);
 //! malformed values exit 2 with usage, like every other flag.
 //! Unrecognized flags are an error.
+//!
+//! `--perf <path>` turns on the host-side wall-clock profiler
+//! (`simkit::perfmon`) and writes a machine-readable profile (schema
+//! `iobench-perf/v1`) naming the top wall-clock sinks, per-worker
+//! utilization, and allocation churn, plus a summary table on stderr.
+//! `--timeline <path>` turns on the virtual-time telemetry sampler and
+//! writes per-run metric time series (schema `iobench-timeline/v1`);
+//! `--sample-every <N[us|ms|s]>` sets the sampling interval (virtual
+//! time; bare numbers are milliseconds; default 10ms) and is only
+//! meaningful alongside `--timeline`. When both `--trace` and
+//! `--timeline` are given, the sampled series are also merged into the
+//! Chrome trace as Perfetto counter tracks. Neither flag perturbs
+//! virtual time: stdout, `--stats-json`, `--trace`, and `--timeline`
+//! stay byte-identical whether or not profiling is enabled.
 
 use iobench::experiments::{
     aging_run, extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table,
     fig12_run, fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
     write_limit_sweep_run, AgingParams, RunScale, StatsSink,
 };
+use iobench::perfout::{self, HostProfile};
 use iobench::runner::Runner;
 use iobench::traceout;
 use iobench::volume::volume_run;
+use simkit::perfmon;
 use volmgr::VolumeSpec;
+
+/// Counting allocator so `--perf` can report allocation churn per phase.
+/// Counting is gated on a relaxed atomic and costs nothing until `--perf`
+/// flips it on; the underlying allocator is still `std::alloc::System`.
+#[global_allocator]
+static ALLOC: perfmon::CountingAlloc = perfmon::CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
@@ -47,12 +70,17 @@ fn usage() -> ! {
          extentfs|write-limit|free-behind|streams|volume|all \
          [--quick] [--jobs N] [--streams N] [--volume <spec>] \
          [--age-ops N] [--utilization F] [--inline-threshold B] \
-         [--stats-json <path>] [--trace <path>]\n\
+         [--stats-json <path>] [--trace <path>] [--perf <path>] \
+         [--timeline <path>] [--sample-every <N[us|ms|s]>]\n\
          volume specs: raid0:<spindles>:<stripe> | raid1:<spindles> | \
          raid5:<spindles>:<stripe>  (e.g. raid0:4:64k, raid1:2, raid5:5:64k)\n\
          aging: --age-ops is a positive churn budget per round, \
          --utilization a target fill in (0, 1), --inline-threshold an \
-         extentfs inline-file cutoff in bytes (0..=8192)"
+         extentfs inline-file cutoff in bytes (0..=8192)\n\
+         profiling: --perf writes an iobench-perf/v1 host profile, \
+         --timeline an iobench-timeline/v1 sampled-metrics document; \
+         --sample-every takes a positive integer with optional us/ms/s \
+         suffix (virtual time, default 10ms) and requires --timeline"
     );
     std::process::exit(2);
 }
@@ -93,6 +121,26 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats_path = take_value_flag(&mut args, "--stats-json");
     let trace_path = take_value_flag(&mut args, "--trace");
+    let perf_path = take_value_flag(&mut args, "--perf");
+    let timeline_path = take_value_flag(&mut args, "--timeline");
+    let sample_every_arg = take_value_flag(&mut args, "--sample-every");
+    if sample_every_arg.is_some() && timeline_path.is_none() {
+        eprintln!("--sample-every requires --timeline (there is nowhere to put samples)");
+        usage();
+    }
+    // Sampling is active iff `--timeline` was given; the interval defaults
+    // to 10ms of virtual time.
+    let sample_every = timeline_path.as_ref().map(|_| {
+        sample_every_arg.as_deref().map_or_else(
+            || simkit::SimDuration::from_millis(10),
+            |s| {
+                perfout::parse_sample_every(s).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                })
+            },
+        )
+    });
     let jobs = take_count_flag(&mut args, "--jobs").unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -172,13 +220,14 @@ fn main() {
         aging_params.inline_max = b;
     }
 
-    let sink = if trace_path.is_some() {
-        Some(StatsSink::with_tracing())
-    } else if stats_path.is_some() {
-        Some(StatsSink::new())
+    let sink = if trace_path.is_some() || stats_path.is_some() || timeline_path.is_some() {
+        Some(StatsSink::with_capture(trace_path.is_some(), sample_every))
     } else {
         None
     };
+    if perf_path.is_some() {
+        perfmon::set_enabled(true);
+    }
     let runner = Runner::new(jobs, sink.as_ref());
 
     let run_fig10 = |runner: &Runner| {
@@ -287,7 +336,23 @@ fn main() {
             }
         }
     }
+    if let (Some(path), Some(sink)) = (&timeline_path, &sink) {
+        match std::fs::write(path, sink.timeline_json(what)) {
+            Ok(()) => eprintln!("wrote {} sampled run timeline(s) to {path}", sink.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let (Some(path), Some(sink)) = (&trace_path, sink) {
+        // With `--timeline` too, the sampled series ride along as Perfetto
+        // counter tracks. Cloned before `into_traces` consumes the sink.
+        let timelines = if timeline_path.is_some() {
+            sink.timelines()
+        } else {
+            Vec::new()
+        };
         // Consuming the sink avoids cloning every span on the emit path.
         let traces = sink.into_traces();
         println!("Per-run latency attribution (from --trace spans)\n");
@@ -299,11 +364,32 @@ fn main() {
             println!("Per-fault action timeline (first tree per root kind, {id})\n");
             println!("{}", traceout::timeline_table(spans, 1));
         }
-        match std::fs::write(path, traceout::chrome_trace_json(&traces)) {
+        match std::fs::write(
+            path,
+            traceout::chrome_trace_json_with_counters(&traces, &timelines),
+        ) {
             Ok(()) => eprintln!(
                 "wrote {} span(s) across {} run(s) to {path}",
                 traces.iter().map(|(_, s)| s.len()).sum::<usize>(),
                 traces.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &perf_path {
+        // Flush the main thread's buffer by hand (worker threads flushed
+        // when they exited), then drain everything into the report.
+        perfmon::flush_thread();
+        let (records, dropped) = perfmon::take_records();
+        let profile = HostProfile::build(&records, dropped);
+        eprint!("{}", profile.summary(what, jobs));
+        match std::fs::write(path, profile.to_json(what, jobs)) {
+            Ok(()) => eprintln!(
+                "wrote host profile ({} phase record(s)) to {path}",
+                records.len()
             ),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

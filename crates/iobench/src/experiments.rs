@@ -28,14 +28,16 @@ use crate::streams::{run_streams, StreamsOptions};
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run via [`StatsSink::sim`]; the driver captures
 /// each run's full registry here, and the `--stats-json` flag serializes
-/// the collection as one document (schema `iobench-stats/v5`, documented in
+/// the collection as one document (schema `iobench-stats/v6`, documented in
 /// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
 /// names, v3 added interpolated `p50`/`p95`/`p99` quantiles to histogram
 /// snapshots, v4 added the `base{spindle=K}` label family emitted by
-/// `volmgr` arrays and the `volume/...` run ids, v5 adds the `extentfs.*`
+/// `volmgr` arrays and the `volume/...` run ids, v5 added the `extentfs.*`
 /// fragmentation gauges — `short_extents`, `mean_extent_blocks`,
-/// `extents_per_file`, `inline_files` — and the `aging/...` run ids).
-/// Snapshots are pure
+/// `extents_per_file`, `inline_files` — and the `aging/...` run ids, v6
+/// adds the telemetry export points: `cache.free_pages`,
+/// `cache.dirty_pages`, `core.throttle_waiting`, and per-spindle
+/// `disk.queue_depth{spindle=K}`). Snapshots are pure
 /// functions of the virtual-time simulation, so two identical runs produce
 /// byte-identical documents.
 #[derive(Default)]
@@ -44,11 +46,21 @@ pub struct StatsSink {
     runs: RefCell<Vec<(String, String)>>,
     /// Whether [`StatsSink::sim`] arms the span tracer on new sims.
     tracing: bool,
+    /// Virtual-time telemetry sampling interval: when set,
+    /// [`StatsSink::sim`] arms the sampler on new sims and the per-run
+    /// series land in `timelines` (behind `--timeline`).
+    sample_every: Option<simkit::SimDuration>,
     /// `(run id, drained spans)` in run order (empty unless tracing).
     traces: RefCell<Vec<(String, Vec<simkit::Span>)>>,
+    /// `(run id, sampled series)` in run order (empty unless sampling).
+    timelines: RefCell<Vec<(String, Vec<simkit::perfmon::Series>)>>,
 }
 
 impl StatsSink {
+    /// Upper bound on sampler ticks per run: bounds the timeline document
+    /// and guarantees the sampler task quiesces even if a run misbehaves.
+    pub const MAX_SAMPLES_PER_RUN: u64 = 200_000;
+
     /// An empty sink.
     pub fn new() -> StatsSink {
         StatsSink::default()
@@ -64,14 +76,30 @@ impl StatsSink {
         }
     }
 
+    /// An empty sink with both capture features selectable: span tracing
+    /// (`--trace`) and virtual-time telemetry sampling at `sample_every`
+    /// (`--timeline`/`--sample-every`). The CLI builds its sink here.
+    pub fn with_capture(tracing: bool, sample_every: Option<simkit::SimDuration>) -> StatsSink {
+        StatsSink {
+            tracing,
+            sample_every,
+            ..StatsSink::default()
+        }
+    }
+
     /// Builds the sim an experiment run should use, with the span tracer
-    /// enabled when this sink traces. Experiments call this (via
-    /// [`sink_sim`]) instead of `Sim::new()` so `--trace` reaches every
-    /// run without per-experiment plumbing.
+    /// enabled when this sink traces and the telemetry sampler armed when
+    /// it samples. Experiments call this (via [`sink_sim`]) instead of
+    /// `Sim::new()` so `--trace`/`--timeline` reach every run without
+    /// per-experiment plumbing.
     pub fn sim(&self) -> Sim {
         let sim = Sim::new();
         if self.tracing {
             sim.tracer().set_enabled(true);
+        }
+        if let Some(every) = self.sample_every {
+            sim.telemetry()
+                .start(&sim, every, Self::MAX_SAMPLES_PER_RUN);
         }
         sim
     }
@@ -81,15 +109,25 @@ impl StatsSink {
         self.tracing
     }
 
+    /// The telemetry sampling interval, when this sink samples.
+    pub fn sample_every(&self) -> Option<simkit::SimDuration> {
+        self.sample_every
+    }
+
     /// Captures `sim`'s entire metrics registry under `id`
     /// (`experiment/run` path style, e.g. `fig10/A/FSR`), draining the
-    /// run's spans alongside when tracing.
+    /// run's spans and sampled timeline alongside when enabled.
     pub fn push(&self, id: impl Into<String>, sim: &Sim) {
         let id = id.into();
         if self.tracing {
             self.traces
                 .borrow_mut()
                 .push((id.clone(), sim.tracer().take_spans()));
+        }
+        if self.sample_every.is_some() {
+            self.timelines
+                .borrow_mut()
+                .push((id.clone(), sim.telemetry().take_series()));
         }
         self.runs.borrow_mut().push((id, sim.stats().to_json()));
     }
@@ -98,9 +136,18 @@ impl StatsSink {
     /// [`Runner`](crate::runner::Runner) re-emits worker results in plan
     /// order: workers serialize on their own thread, the sink only ever
     /// sees main-thread pushes).
-    pub fn push_outcome(&self, id: &str, stats_json: Option<String>, spans: Vec<simkit::Span>) {
+    pub fn push_outcome(
+        &self,
+        id: &str,
+        stats_json: Option<String>,
+        spans: Vec<simkit::Span>,
+        timeline: Vec<simkit::perfmon::Series>,
+    ) {
         if self.tracing {
             self.traces.borrow_mut().push((id.to_string(), spans));
+        }
+        if self.sample_every.is_some() {
+            self.timelines.borrow_mut().push((id.to_string(), timeline));
         }
         if let Some(stats) = stats_json {
             self.runs.borrow_mut().push((id.to_string(), stats));
@@ -142,6 +189,51 @@ impl StatsSink {
         self.traces.into_inner()
     }
 
+    /// The captured `(run id, series)` timelines, in run order (empty
+    /// unless the sink samples).
+    pub fn timelines(&self) -> Vec<(String, Vec<simkit::perfmon::Series>)> {
+        self.timelines.borrow().clone()
+    }
+
+    /// Serializes the sampled timelines as the `--timeline` document
+    /// (schema `iobench-timeline/v1`): per run, per metric, sparse
+    /// `[virtual_ns, value]` points recorded only on change. A pure
+    /// function of the virtual-time runs — byte-identical across
+    /// identical invocations and any `--jobs` value.
+    pub fn timeline_json(&self, experiment: &str) -> String {
+        use std::fmt::Write as _;
+        let every = self.sample_every.map(|d| d.as_nanos()).unwrap_or(0);
+        let mut runs = String::new();
+        for (i, (id, series)) in self.timelines.borrow().iter().enumerate() {
+            if i > 0 {
+                runs.push(',');
+            }
+            let _ = write!(runs, "{{\"id\":\"{id}\",\"series\":[");
+            for (j, (name, points)) in series.iter().enumerate() {
+                if j > 0 {
+                    runs.push(',');
+                }
+                let _ = write!(runs, "{{\"name\":\"{name}\",\"points\":[");
+                for (k, (t, v)) in points.iter().enumerate() {
+                    if k > 0 {
+                        runs.push(',');
+                    }
+                    if v.is_finite() {
+                        let _ = write!(runs, "[{t},{v}]");
+                    } else {
+                        let _ = write!(runs, "[{t},null]");
+                    }
+                }
+                runs.push_str("]}");
+            }
+            runs.push_str("]}");
+        }
+        format!(
+            "{{\"schema\":\"iobench-timeline/v1\",\"experiment\":\"{experiment}\",\
+             \"sample_every_ns\":{every},\"runs\":[{runs}]}}"
+        )
+    }
+
     /// Serializes the collection as the `--stats-json` document.
     pub fn to_json(&self, experiment: &str) -> String {
         let runs = self
@@ -152,7 +244,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v5\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v6\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }

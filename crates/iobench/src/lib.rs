@@ -23,6 +23,9 @@
 //! - [`report`]: fixed-width table rendering for the regenerated figures.
 //! - [`traceout`]: Chrome trace-event export (`iobench --trace`) plus the
 //!   latency-attribution and per-fault timeline tables built from spans.
+//! - [`perfout`]: the host-profile report behind `iobench --perf` — per-
+//!   worker wall-clock utilization, top phase sinks, and allocation churn
+//!   assembled from `simkit::perfmon` records.
 
 pub mod aging;
 pub mod configs;
@@ -30,6 +33,7 @@ pub mod cpu_bench;
 pub mod experiments;
 pub mod iobench;
 pub mod musbus;
+pub mod perfout;
 pub mod report;
 pub mod runner;
 pub mod streams;

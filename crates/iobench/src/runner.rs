@@ -6,15 +6,29 @@
 //! (`iobench --jobs N`). A `Sim` is `Rc`/`RefCell`-based and `!Send`, so
 //! each run is constructed *and* executed entirely on one worker thread;
 //! only the run's plain-data outcome (the experiment's value, the
-//! serialized metrics snapshot, the drained spans) crosses back.
+//! serialized metrics snapshot, the drained spans, the sampled timeline)
+//! crosses back.
 //!
 //! Determinism contract: every run is a pure function of virtual time, and
 //! outcomes are re-emitted to the [`StatsSink`] in plan order on the
-//! calling thread — so stdout, `--stats-json`, and `--trace` are
-//! byte-identical for any `--jobs` value (see DESIGN.md "Wall-clock
+//! calling thread — so stdout, `--stats-json`, `--trace`, and `--timeline`
+//! are byte-identical for any `--jobs` value (see DESIGN.md "Wall-clock
 //! performance").
+//!
+//! The runner is also the primary subject of the wall-clock profiler
+//! (`simkit::perfmon`, behind `iobench --perf`): every stage of a run's
+//! life is a named phase — `worker.lifetime` brackets each worker thread
+//! (and the serial loop), `runner.pickup` the work-stealing claim,
+//! `run.setup`/`run.drive`/`run.capture` the run itself (drive is labeled
+//! with the run id), `runner.fanout_wait` the main thread's join, and
+//! `runner.emit` the plan-order re-emit. Contended acquisitions of the
+//! queue and outcome slots surface as `lock.queue`/`lock.outcome` records,
+//! so cross-thread blocking is measured rather than guessed at. None of
+//! this touches virtual time: profiled runs produce byte-identical
+//! virtual-time outputs.
 
-use simkit::{Sim, Span};
+use simkit::perfmon::{self, Series};
+use simkit::{Sim, SimDuration, Span};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -26,6 +40,8 @@ use crate::experiments::StatsSink;
 struct RunSpec {
     tracing: bool,
     capture: bool,
+    /// Telemetry sampling interval (the sink's), when sampling.
+    sample_every: Option<SimDuration>,
 }
 
 /// A finished run parked in its plan-order slot until the scope joins.
@@ -36,6 +52,7 @@ struct RunOutcome<T> {
     value: T,
     stats_json: Option<String>,
     spans: Vec<Span>,
+    timeline: Vec<Series>,
 }
 
 /// One independent simulated run: an id (`experiment/run` path style, e.g.
@@ -59,14 +76,29 @@ impl<T> RunPlan<T> {
 /// Builds the run's sim, drives the plan, and packages what must cross
 /// back to the calling thread. Runs entirely on one thread.
 fn execute<T>(spec: RunSpec, plan: RunPlan<T>) -> (String, RunOutcome<T>) {
+    let setup = perfmon::phase("run.setup");
     let sim = Sim::new();
     if spec.tracing {
         sim.tracer().set_enabled(true);
     }
-    let value = (plan.body)(&sim);
+    if let Some(every) = spec.sample_every {
+        sim.telemetry()
+            .start(&sim, every, StatsSink::MAX_SAMPLES_PER_RUN);
+    }
+    drop(setup);
+    let value = {
+        let _drive = perfmon::phase_labeled("run.drive", &plan.id);
+        (plan.body)(&sim)
+    };
+    let _capture = perfmon::phase("run.capture");
     let stats_json = spec.capture.then(|| sim.stats().to_json());
     let spans = if spec.tracing {
         sim.tracer().take_spans()
+    } else {
+        Vec::new()
+    };
+    let timeline = if spec.sample_every.is_some() {
+        sim.telemetry().take_series()
     } else {
         Vec::new()
     };
@@ -76,6 +108,7 @@ fn execute<T>(spec: RunSpec, plan: RunPlan<T>) -> (String, RunOutcome<T>) {
             value,
             stats_json,
             spans,
+            timeline,
         },
     )
 }
@@ -116,17 +149,25 @@ impl<'a> Runner<'a> {
 
     /// Executes the plans — concurrently when this runner has more than
     /// one job — and returns their values in plan order. Metrics
-    /// snapshots and spans reach the sink in plan order regardless of
-    /// which worker finished first.
+    /// snapshots, spans, and timelines reach the sink in plan order
+    /// regardless of which worker finished first.
     pub fn run<T: Send>(&self, plans: Vec<RunPlan<T>>) -> Vec<T> {
         let spec = RunSpec {
             tracing: self.sink.is_some_and(|s| s.tracing()),
             capture: self.sink.is_some(),
+            sample_every: self.sink.and_then(|s| s.sample_every()),
         };
         let n = plans.len();
         let workers = self.jobs.min(n);
         let outcomes: Vec<(String, RunOutcome<T>)> = if workers <= 1 {
-            plans.into_iter().map(|p| execute(spec, p)).collect()
+            // The serial loop is "worker 0" in the host profile so serial
+            // and parallel reports share one shape.
+            perfmon::set_worker(0);
+            let lifetime = perfmon::phase("worker.lifetime");
+            let out: Vec<_> = plans.into_iter().map(|p| execute(spec, p)).collect();
+            drop(lifetime);
+            perfmon::set_worker(perfmon::MAIN_THREAD);
+            out
         } else {
             // Work-stealing by atomic index: each worker claims the next
             // unclaimed plan, runs it to completion, and parks the outcome
@@ -136,15 +177,35 @@ impl<'a> Runner<'a> {
                 plans.into_iter().map(|p| Mutex::new(Some(p))).collect();
             let done: Vec<DoneSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
+            let _wait = perfmon::phase("runner.fanout_wait");
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                for w in 0..workers {
+                    let (queue, done, next) = (&queue, &done, &next);
+                    scope.spawn(move || {
+                        perfmon::set_worker(w as u32);
+                        {
+                            let _lifetime = perfmon::phase("worker.lifetime");
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let plan = {
+                                    let _pickup = perfmon::phase("runner.pickup");
+                                    perfmon::timed_lock(&queue[i], "lock.queue")
+                                        .take()
+                                        .expect("plan claimed twice")
+                                };
+                                let outcome = execute(spec, plan);
+                                *perfmon::timed_lock(&done[i], "lock.outcome") = Some(outcome);
+                            }
                         }
-                        let plan = queue[i].lock().unwrap().take().expect("plan claimed twice");
-                        *done[i].lock().unwrap() = Some(execute(spec, plan));
+                        // Flush before the closure returns: `thread::scope`
+                        // unblocks when the closure completes, but TLS
+                        // destructors (the flush-on-exit backstop) run
+                        // afterwards — a `take_records` right after the
+                        // scope would race them and miss this worker.
+                        perfmon::flush_thread();
                     });
                 }
             });
@@ -156,11 +217,12 @@ impl<'a> Runner<'a> {
                 })
                 .collect()
         };
+        let _emit = perfmon::phase("runner.emit");
         outcomes
             .into_iter()
             .map(|(id, out)| {
                 if let Some(sink) = self.sink {
-                    sink.push_outcome(&id, out.stats_json, out.spans);
+                    sink.push_outcome(&id, out.stats_json, out.spans, out.timeline);
                 }
                 out.value
             })
@@ -211,5 +273,33 @@ mod tests {
     fn more_jobs_than_plans_is_fine() {
         let out = Runner::new(16, None).run(plans(2));
         assert_eq!(out, vec![0, 10]);
+    }
+
+    #[test]
+    fn sampling_sink_collects_timelines_in_plan_order() {
+        let sampled = |jobs: usize| {
+            let sink = StatsSink::with_capture(false, Some(simkit::SimDuration::from_millis(1)));
+            let plans: Vec<RunPlan<()>> = (0..4)
+                .map(|i| {
+                    RunPlan::new(format!("test/{i}"), move |sim: &Sim| {
+                        let c = sim.stats().counter("t.work");
+                        let s = sim.clone();
+                        sim.run_until(async move {
+                            for _ in 0..=i {
+                                c.inc();
+                                s.sleep(simkit::SimDuration::from_millis(2)).await;
+                            }
+                        });
+                    })
+                })
+                .collect();
+            Runner::new(jobs, Some(&sink)).run(plans);
+            sink.timeline_json("test")
+        };
+        let serial = sampled(1);
+        let parallel = sampled(4);
+        assert_eq!(serial, parallel, "timelines are jobs-invariant");
+        assert!(serial.contains("\"t.work\""), "{serial}");
+        assert!(serial.contains("iobench-timeline/v1"));
     }
 }

@@ -54,6 +54,25 @@ fn json_escape(s: &str) -> String {
 /// open when the run ended (e.g. a read-ahead the workload never waited
 /// for) are dropped — a complete event needs both bounds.
 pub fn chrome_trace_json(runs: &[(String, Vec<Span>)]) -> String {
+    chrome_trace_json_with_counters(runs, &[])
+}
+
+/// [`chrome_trace_json`], additionally merging sampled telemetry series
+/// (the `--timeline` capture) into the document as Perfetto counter
+/// tracks: each run whose id appears in `timelines` gets one extra
+/// process (`"<run id> telemetry"`) carrying a `"ph":"C"` counter event
+/// per sampled point, so cache occupancy, queue depth, and stall gauges
+/// plot as graphs directly beneath that run's spans. Emitted only when
+/// both `--trace` and `--timeline` are requested; determinism is
+/// inherited (series are virtual-time pure, pids stay allocation-order).
+pub fn chrome_trace_json_with_counters(
+    runs: &[(String, Vec<Span>)],
+    timelines: &[(String, Vec<simkit::perfmon::Series>)],
+) -> String {
+    let by_id: BTreeMap<&str, &Vec<simkit::perfmon::Series>> = timelines
+        .iter()
+        .map(|(id, series)| (id.as_str(), series))
+        .collect();
     let mut events: Vec<String> = Vec::new();
     let mut next_pid = 1u64;
     for (run_id, spans) in runs {
@@ -89,6 +108,30 @@ pub fn chrome_trace_json(runs: &[(String, Vec<Span>)]) -> String {
                 us(s.start.as_nanos()),
                 us(end.duration_since(s.start).as_nanos()),
             ));
+        }
+        if let Some(series) = by_id.get(run_id.as_str()) {
+            let pid = next_pid;
+            next_pid += 1;
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{} telemetry\"}}}}",
+                json_escape(run_id)
+            ));
+            for (name, points) in series.iter() {
+                for (t, v) in points {
+                    let value = if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    };
+                    events.push(format!(
+                        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":0,\
+                         \"args\":{{\"value\":{value}}}}}",
+                        json_escape(name),
+                        us(*t),
+                    ));
+                }
+            }
         }
     }
     format!(
@@ -304,6 +347,29 @@ mod tests {
         // All spans closed → one event per span plus one metadata record.
         assert_eq!(a.matches("\"ph\":\"X\"").count(), 4);
         assert_eq!(a.matches("\"ph\":\"M\"").count(), 1);
+    }
+
+    #[test]
+    fn counter_tracks_merge_behind_span_pids() {
+        let (_sim, spans) = sample_run();
+        let timelines = vec![(
+            "x/y".to_string(),
+            vec![(
+                "disk.queue_depth".to_string(),
+                vec![(0u64, 1.0), (2_000, 0.0)],
+            )],
+        )];
+        let merged = chrome_trace_json_with_counters(&[("x/y".to_string(), spans)], &timelines);
+        assert_eq!(merged.matches("\"ph\":\"C\"").count(), 2);
+        assert!(merged.contains("\"name\":\"x/y telemetry\""));
+        assert!(merged.contains("\"args\":{\"value\":1}"));
+        // Telemetry pid comes after the run's stream pid.
+        assert!(merged.contains("\"ph\":\"X\""));
+        // A run with no matching timeline gets no counter process.
+        let (_sim2, spans2) = sample_run();
+        let plain = chrome_trace_json_with_counters(&[("other".to_string(), spans2)], &timelines);
+        assert_eq!(plain.matches("\"ph\":\"C\"").count(), 0);
+        assert_eq!(plain.matches("\"ph\":\"M\"").count(), 1);
     }
 
     #[test]

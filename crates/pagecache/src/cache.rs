@@ -7,7 +7,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use simkit::stats::{Counter, NameId};
+use simkit::stats::{Counter, Gauge, NameId};
 use simkit::{Notify, Sim, SimDuration, SpanId};
 
 /// Identifies a file for page naming purposes.
@@ -178,6 +178,11 @@ struct CacheMetrics {
     destroys: Counter,
     alloc_stalls: Counter,
     alloc_stall_ns: Counter,
+    /// Occupancy gauges sampled by the telemetry sampler: pages currently
+    /// on the free list and pages currently dirty. Kept in lockstep with
+    /// the free list / dirty index at every mutation site.
+    free_pages: Gauge,
+    dirty_pages: Gauge,
     /// Registry handle for lazily materialized per-stream counters.
     registry: simkit::stats::StatsRegistry,
     /// Interned `cache.hits`/`cache.misses` base names: per-stream lookup
@@ -200,6 +205,8 @@ impl CacheMetrics {
             destroys: s.counter("cache.destroys"),
             alloc_stalls: s.counter("cache.alloc_stalls"),
             alloc_stall_ns: s.counter("cache.alloc_stall_ns"),
+            free_pages: s.gauge("cache.free_pages"),
+            dirty_pages: s.gauge("cache.dirty_pages"),
             hits_id: s.intern("cache.hits"),
             misses_id: s.intern("cache.misses"),
             registry: s.clone(),
@@ -265,7 +272,7 @@ impl PageCache {
         for idx in 0..params.total_pages {
             free.push_back(&mut pages, idx);
         }
-        PageCache {
+        let cache = PageCache {
             inner: Rc::new(CacheInner {
                 sim: sim.clone(),
                 params,
@@ -278,7 +285,23 @@ impl PageCache {
                 stats: RefCell::new(PageCacheStats::default()),
                 metrics: CacheMetrics::new(sim),
             }),
-        }
+        };
+        cache
+            .inner
+            .metrics
+            .free_pages
+            .set(params.total_pages as f64);
+        cache
+    }
+
+    /// Mirrors the free-list length into the `cache.free_pages` gauge;
+    /// called after every free-list mutation so the telemetry sampler
+    /// reads a current value.
+    fn sync_free_gauge(&self) {
+        self.inner
+            .metrics
+            .free_pages
+            .set(self.inner.free.borrow().len as f64);
     }
 
     /// Bytes per page.
@@ -337,6 +360,7 @@ impl PageCache {
                     pages[idx].on_free_list = false;
                     self.inner.stats.borrow_mut().reclaims += 1;
                     self.inner.metrics.reclaims.inc();
+                    self.sync_free_gauge();
                 }
                 pages[idx].referenced = true;
                 let generation = pages[idx].generation;
@@ -416,7 +440,10 @@ impl PageCache {
                 self.inner.free.borrow_mut().pop_front(&mut pages)
             };
             match candidate {
-                Some(idx) => break idx,
+                Some(idx) => {
+                    self.sync_free_gauge();
+                    break idx;
+                }
                 None => {
                     if !stalled {
                         stalled = true;
@@ -532,12 +559,16 @@ impl PageCache {
         }
         page.dirty = true;
         let key = page.key.expect("dirtying a page with no identity");
-        self.inner
+        if self
+            .inner
             .dirty
             .borrow_mut()
             .entry(key.vnode)
             .or_default()
-            .insert(key.offset);
+            .insert(key.offset)
+        {
+            self.inner.metrics.dirty_pages.add(1.0);
+        }
     }
 
     /// Clears the modified flag (after a successful write to backing store).
@@ -558,7 +589,9 @@ impl PageCache {
     fn remove_dirty_entry(&self, key: PageKey) {
         let mut dirty = self.inner.dirty.borrow_mut();
         if let Some(set) = dirty.get_mut(&key.vnode) {
-            set.remove(&key.offset);
+            if set.remove(&key.offset) {
+                self.inner.metrics.dirty_pages.add(-1.0);
+            }
             if set.is_empty() {
                 dirty.remove(&key.vnode);
             }
@@ -629,6 +662,7 @@ impl PageCache {
         pages[id.idx].on_free_list = true;
         self.inner.free.borrow_mut().push_back(&mut pages, id.idx);
         drop(pages);
+        self.sync_free_gauge();
         self.inner.stats.borrow_mut().frees += 1;
         self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
@@ -669,6 +703,7 @@ impl PageCache {
             drop(pages);
             self.inner.hash.borrow_mut().remove(&key);
             if !was_free {
+                self.sync_free_gauge();
                 self.inner.mem_notify.notify_all();
             }
             self.inner.stats.borrow_mut().destroys += 1;
@@ -729,6 +764,7 @@ impl PageCache {
         pages[idx].on_free_list = true;
         self.inner.free.borrow_mut().push_back(&mut pages, idx);
         drop(pages);
+        self.sync_free_gauge();
         self.inner.stats.borrow_mut().frees += 1;
         self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();

@@ -30,6 +30,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::perfmon::Telemetry;
 use crate::stats::StatsRegistry;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Recorder, Tracer};
@@ -113,6 +114,7 @@ struct Inner {
     now: Rc<Cell<SimTime>>,
     stats: StatsRegistry,
     tracer: Tracer,
+    telemetry: Telemetry,
     next_task: Cell<u64>,
     next_timer_seq: Cell<u64>,
     /// Slab of live tasks indexed by `TaskId` (monotonic, never reused);
@@ -178,6 +180,7 @@ impl Sim {
                 now,
                 stats,
                 tracer,
+                telemetry: Telemetry::new(),
                 next_task: Cell::new(0),
                 next_timer_seq: Cell::new(0),
                 tasks: RefCell::new(Vec::new()),
@@ -216,6 +219,13 @@ impl Sim {
     /// [`crate::trace::Tracer`].
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The simulation's telemetry store (inert until
+    /// [`Telemetry::start`] arms the sampling task). See
+    /// [`crate::perfmon`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// The shared event recorder for event type `E`, registered on first

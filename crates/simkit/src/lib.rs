@@ -24,6 +24,9 @@
 //!   disabled), behind `iobench --trace`
 //! - [`stats`] — the per-`Sim` metrics registry (counters, gauges,
 //!   histograms, time-weighted means) with deterministic JSON snapshots
+//! - [`perfmon`] — the host-side observatory: wall-clock phase profiler
+//!   (process-global, off by default) and the per-`Sim` virtual-time
+//!   telemetry sampler ([`Telemetry`], `sim.telemetry()`)
 //!
 //! ## Invariants
 //!
@@ -35,6 +38,7 @@ pub mod channel;
 pub mod cpu;
 pub mod executor;
 pub mod host;
+pub mod perfmon;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -44,6 +48,7 @@ pub use channel::{channel, Receiver, SendError, Sender};
 pub use cpu::{Cpu, TagStat};
 pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
 pub use host::tune_host_allocator;
+pub use perfmon::{PhaseGuard, PhaseRecord, Telemetry};
 pub use stats::{Counter, Gauge, Histogram, NameId, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};

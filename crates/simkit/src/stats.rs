@@ -577,6 +577,24 @@ impl StatsRegistry {
         }
     }
 
+    /// Visits every metric as a single `f64` reading, in sorted-name
+    /// order: counters and histogram counts as totals, gauges and
+    /// time-weighted values as their current reading. This is the
+    /// telemetry sampler's view of the registry — a cheap scalar per
+    /// metric, no JSON, no allocation beyond the callback's own.
+    pub fn for_each_numeric(&self, mut f: impl FnMut(&str, f64)) {
+        let map = self.inner.metrics.borrow();
+        for (name, metric) in map.iter() {
+            let v = match metric {
+                Metric::Counter(c) => c.get() as f64,
+                Metric::Gauge(g) => g.get(),
+                Metric::Histogram(h) => h.count() as f64,
+                Metric::TimeWeighted(t) => t.value(),
+            };
+            f(name, v);
+        }
+    }
+
     /// Serializes every metric to deterministic JSON: object keys are
     /// sorted (BTreeMap order), floats use Rust's shortest-roundtrip
     /// formatting, and nothing wall-clock- or address-derived is

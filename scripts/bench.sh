@@ -4,11 +4,16 @@
 #   scripts/bench.sh [--smoke] [--out PATH]
 #
 # 1. Verifies the `--jobs` contract: `iobench fig10 --quick` must emit
-#    byte-identical stdout, --stats-json, and --trace output at jobs=1
-#    and jobs=4.
+#    byte-identical stdout, --stats-json, --trace, and --timeline output
+#    at jobs=1 and jobs=4 — with the host profiler (--perf) armed, which
+#    must observe without perturbing.
 # 2. Runs the wallclock bench (crates/bench/benches/wallclock.rs) and
-#    writes BENCH_iobench.json (schema iobench-bench/v1; see DESIGN.md
-#    "Wall-clock performance").
+#    writes BENCH_iobench.json (schema iobench-bench/v2; see DESIGN.md
+#    "Wall-clock performance"), attaching the host profile
+#    (BENCH_iobench.perf.json) so a bad parallel speedup arrives with
+#    per-worker utilization to diagnose it. A speedup below 1.0x sets
+#    the document's "attention" marker and prints a loud warning — the
+#    benchmark still exits 0 (slow is a finding, not a failure).
 #
 # --smoke shrinks the workloads for CI.
 set -eu
@@ -40,12 +45,19 @@ cargo build --release -p iobench
 BIN=target/release/iobench
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
-"$BIN" fig10 --quick --jobs 1 --stats-json "$TMP/s1.json" --trace "$TMP/t1.json" >"$TMP/out1.txt"
-"$BIN" fig10 --quick --jobs 4 --stats-json "$TMP/s4.json" --trace "$TMP/t4.json" >"$TMP/out4.txt"
+"$BIN" fig10 --quick --jobs 1 --stats-json "$TMP/s1.json" --trace "$TMP/t1.json" \
+    --timeline "$TMP/l1.json" >"$TMP/out1.txt"
+# The jobs=4 leg also arms the host profiler: profiling must not move a
+# byte of any virtual-time output surface.
+"$BIN" fig10 --quick --jobs 4 --stats-json "$TMP/s4.json" --trace "$TMP/t4.json" \
+    --timeline "$TMP/l4.json" --perf "$TMP/perf.json" >"$TMP/out4.txt" 2>"$TMP/perf.txt"
 cmp "$TMP/out1.txt" "$TMP/out4.txt"
 cmp "$TMP/s1.json" "$TMP/s4.json"
 cmp "$TMP/t1.json" "$TMP/t4.json"
-echo "jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
+cmp "$TMP/l1.json" "$TMP/l4.json"
+grep -q '"schema":"iobench-timeline/v1"' "$TMP/l1.json"
+grep -q '"schema":"iobench-perf/v1"' "$TMP/perf.json"
+echo "jobs=1 vs jobs=4 (profiled): stdout, stats, trace, and timeline are byte-identical"
 
 # Same contract for the RAID volume experiment (fan-out across spindles
 # must not leak scheduling nondeterminism into any output surface).
@@ -72,4 +84,27 @@ if [ "$MODE" = smoke ]; then
     cargo bench -p bench --bench wallclock -- --smoke --out "$OUT"
 else
     cargo bench -p bench --bench wallclock -- --out "$OUT"
+fi
+
+# Attach a host profile of the same parallel workload the bench timed, so
+# the report names where the wall-clock went (per-worker utilization, top
+# phase sinks). Diagnostic only: not part of the byte-identity surface.
+PERF_OUT="${OUT%.json}.perf.json"
+"$BIN" fig10 --quick --perf "$PERF_OUT" >/dev/null
+echo "wrote host profile to $PERF_OUT"
+
+# A parallel "speedup" below 1.0x means the fan-out made things slower;
+# the bench marks the document (attention != 0) and we shout about it
+# here, pointing at the profile that explains it.
+if grep -q '"attention":0' "$OUT"; then
+    echo "parallel speedup OK (attention marker clear)"
+else
+    echo "" >&2
+    echo "##################################################################" >&2
+    echo "# ATTENTION: parallel fig10 ran SLOWER than serial on this host. #" >&2
+    echo "# See \"parallel\" (speedup, per-worker utilization) in:          #" >&2
+    echo "#   $OUT" >&2
+    echo "# and the host profile (top wall-clock sinks) in:                #" >&2
+    echo "#   $PERF_OUT" >&2
+    echo "##################################################################" >&2
 fi

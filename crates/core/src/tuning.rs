@@ -35,6 +35,12 @@ pub struct Tuning {
     /// Further Work: skip the `bmap` call on cache hits for files known to
     /// have no holes.
     pub ufs_hole_opt: bool,
+    /// Device-error retries the I/O path attempts before surfacing
+    /// `FsError::Io` (transient media errors clear under retry; latent
+    /// ones and dead devices do not).
+    pub io_retry_max: u32,
+    /// Base backoff between retries, milliseconds; doubles per attempt.
+    pub io_retry_backoff_ms: u32,
 }
 
 /// File system block size used throughout the reproduction (8 KB).
@@ -57,6 +63,8 @@ impl Tuning {
             bmap_cache: false,
             random_cluster_hint: false,
             ufs_hole_opt: false,
+            io_retry_max: 4,
+            io_retry_backoff_ms: 2,
         }
     }
 
@@ -73,6 +81,8 @@ impl Tuning {
             bmap_cache: false,
             random_cluster_hint: false,
             ufs_hole_opt: false,
+            io_retry_max: 4,
+            io_retry_backoff_ms: 2,
         }
     }
 

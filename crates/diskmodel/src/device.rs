@@ -17,7 +17,7 @@ use std::rc::Rc;
 use simkit::SpanId;
 
 use crate::disk::DiskStats;
-use crate::request::{DiskOp, DiskRequest, IoHandle};
+use crate::request::{DiskOp, DiskRequest, IoHandle, IoStatus};
 
 /// A request-queueing block device: one disk, or a volume composed of
 /// several.
@@ -30,11 +30,10 @@ pub trait BlockDevice {
     /// Submits an arbitrary request (including `ordered` barriers) and
     /// returns the handle to await its completion.
     ///
-    /// # Panics
-    ///
-    /// Implementations panic on zero-length requests, out-of-range
-    /// sectors, or write payload length mismatches — malformed requests
-    /// are bugs in the layer above, not runtime errors.
+    /// Malformed requests (zero length, out of range, payload length
+    /// mismatch) are bugs in the layer above: implementations trip a
+    /// `debug_assert!` and, in release builds, complete the handle with
+    /// [`IoStatus::MediaError`] instead of panicking.
     fn submit(&self, req: DiskRequest) -> IoHandle;
 
     /// Bytes per sector (the transfer alignment unit).
@@ -123,28 +122,93 @@ pub trait BlockDevice {
 /// A shared handle to any block device — the type mounts actually hold.
 pub type SharedDevice = Rc<dyn BlockDevice>;
 
+/// Immediate resubmissions [`BlockDeviceExt::try_read`]/[`try_write`]
+/// attempt on a transient [`IoStatus::MediaError`] before giving up.
+/// Resubmission is free in virtual time (the mechanism still charges
+/// rotation for the retry pass), so there is no backoff here — the
+/// policy-level retry with backoff lives in `vfs::iopath`.
+///
+/// [`try_write`]: BlockDeviceExt::try_write
+pub const EXT_RETRIES: u32 = 4;
+
 /// Await-style convenience over any [`BlockDevice`] (including `dyn`).
 /// Separate from the object-safe trait because async methods would make it
 /// non-dispatchable.
 #[allow(async_fn_in_trait)] // Single-threaded simulation: futures are !Send by design.
 pub trait BlockDeviceExt: BlockDevice {
+    /// Read and wait, resubmitting up to [`EXT_RETRIES`] times on a media
+    /// error (transient faults clear under retry; latent ones do not).
+    async fn try_read(&self, lba: u64, nsect: u32) -> Result<Vec<u8>, IoStatus>;
+
+    /// Write and wait, with the same bounded retry as
+    /// [`BlockDeviceExt::try_read`].
+    async fn try_write(&self, lba: u64, nsect: u32, data: Vec<u8>) -> Result<(), IoStatus>;
+
     /// Read and wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device reports an unrecoverable error — for callers
+    /// (mkfs, tests) that run on devices known to be healthy. Fallible
+    /// paths use [`BlockDeviceExt::try_read`].
     async fn read(&self, lba: u64, nsect: u32) -> Vec<u8>;
 
     /// Write and wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable device errors, like
+    /// [`BlockDeviceExt::read`].
     async fn write(&self, lba: u64, nsect: u32, data: Vec<u8>);
 }
 
 impl<T: BlockDevice + ?Sized> BlockDeviceExt for T {
+    async fn try_read(&self, lba: u64, nsect: u32) -> Result<Vec<u8>, IoStatus> {
+        let mut attempt = 0;
+        loop {
+            let res = self.submit_read(lba, nsect).wait().await;
+            match res.status {
+                IoStatus::Ok => return Ok(res.data.expect("read returns data")),
+                IoStatus::MediaError if attempt < EXT_RETRIES => attempt += 1,
+                status => return Err(status),
+            }
+        }
+    }
+
+    async fn try_write(&self, lba: u64, nsect: u32, data: Vec<u8>) -> Result<(), IoStatus> {
+        let mut attempt = 0;
+        loop {
+            // Submission consumes its payload, so retries need the original
+            // kept here. These wrappers carry metadata traffic (superblock,
+            // group headers, mkfs), not the clustered data path — the extra
+            // clone per write is off the hot path, and the last attempt
+            // moves the buffer instead of copying it.
+            let payload = if attempt < EXT_RETRIES {
+                data.clone()
+            } else {
+                return match self.submit_write(lba, nsect, data).wait().await.status {
+                    IoStatus::Ok => Ok(()),
+                    status => Err(status),
+                };
+            };
+            let res = self.submit_write(lba, nsect, payload).wait().await;
+            match res.status {
+                IoStatus::Ok => return Ok(()),
+                IoStatus::MediaError => attempt += 1,
+                status => return Err(status),
+            }
+        }
+    }
+
     async fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
-        self.submit_read(lba, nsect)
-            .wait()
+        self.try_read(lba, nsect)
             .await
-            .data
-            .expect("read returns data")
+            .expect("unrecoverable device error on read")
     }
 
     async fn write(&self, lba: u64, nsect: u32, data: Vec<u8>) {
-        self.submit_write(lba, nsect, data).wait().await;
+        self.try_write(lba, nsect, data)
+            .await
+            .expect("unrecoverable device error on write");
     }
 }

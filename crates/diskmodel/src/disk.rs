@@ -10,7 +10,7 @@ use simkit::{Notify, Sim, SimDuration, SpanId};
 use crate::device::BlockDevice;
 use crate::geometry::Geometry;
 use crate::queue::{DiskQueue, Queued};
-use crate::request::{new_handle, DiskOp, DiskRequest, IoHandle, IoResult};
+use crate::request::{new_handle, DiskOp, DiskRequest, IoHandle, IoResult, IoStatus};
 use crate::store::SectorStore;
 use crate::trackbuf::{BufProbe, TrackBuf};
 
@@ -404,11 +404,19 @@ impl Disk {
                 Some(data)
             }
             DiskOp::Write => {
-                let mut payload = Vec::with_capacity(
-                    span_sectors as usize * self.inner.params.geometry.sector_size as usize,
-                );
+                let ssz = self.inner.params.geometry.sector_size as usize;
+                let mut payload = Vec::with_capacity(span_sectors as usize * ssz);
                 for q in &batch {
-                    payload.extend_from_slice(q.req.data.as_ref().expect("write payload"));
+                    match q.req.data.as_deref() {
+                        Some(d) => payload.extend_from_slice(d),
+                        None => {
+                            // Upstream bug (submit validates this); the
+                            // debug build trips, the release build writes
+                            // zeros of the right length instead of dying.
+                            debug_assert!(false, "write request without payload");
+                            payload.resize(payload.len() + q.req.nsect as usize * ssz, 0);
+                        }
+                    }
                 }
                 self.media_write(span_lba, span_sectors, &payload).await;
                 None
@@ -481,7 +489,7 @@ impl Disk {
                 let off = (q.req.lba - span_lba) as usize * ssz;
                 d[off..off + q.req.nsect as usize * ssz].to_vec()
             });
-            q.slot.borrow_mut().result = Some(IoResult { data, finished_at });
+            q.slot.borrow_mut().result = Some(IoResult::ok(data, finished_at));
             q.event.signal();
         }
     }
@@ -667,21 +675,41 @@ impl Disk {
     }
 }
 
+impl Disk {
+    /// Rejects a malformed request: the debug build trips an assertion
+    /// (malformed requests are bugs in the layer above), the release build
+    /// completes the handle immediately with [`IoStatus::MediaError`] so
+    /// the error path above gets exercised instead of the process dying.
+    fn reject(&self, why: &'static str) -> IoHandle {
+        debug_assert!(false, "malformed disk request: {why}");
+        let _ = why;
+        let (handle, event, slot) = new_handle();
+        slot.borrow_mut().result =
+            Some(IoResult::error(IoStatus::MediaError, self.inner.sim.now()));
+        event.signal();
+        handle
+    }
+}
+
 impl BlockDevice for Disk {
     fn submit(&self, req: DiskRequest) -> IoHandle {
-        assert!(req.nsect > 0, "zero-length disk request");
-        assert!(
-            req.lba + req.nsect as u64 <= self.inner.params.geometry.total_sectors(),
-            "request beyond end of device"
-        );
-        if let Some(data) = &req.data {
-            assert_eq!(
-                data.len(),
-                req.nsect as usize * self.inner.params.geometry.sector_size as usize,
-                "write payload length mismatch"
-            );
-        } else {
-            assert_eq!(req.op, DiskOp::Read, "write without payload");
+        if req.nsect == 0 {
+            return self.reject("zero-length disk request");
+        }
+        if req.lba + req.nsect as u64 > self.inner.params.geometry.total_sectors() {
+            return self.reject("request beyond end of device");
+        }
+        match &req.data {
+            Some(data)
+                if data.len()
+                    != req.nsect as usize * self.inner.params.geometry.sector_size as usize =>
+            {
+                return self.reject("write payload length mismatch");
+            }
+            None if req.op == DiskOp::Write => {
+                return self.reject("write without payload");
+            }
+            _ => {}
         }
         let (handle, event, slot) = new_handle();
         self.inner

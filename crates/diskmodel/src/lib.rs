@@ -23,16 +23,18 @@
 
 pub mod device;
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 mod queue;
 pub mod request;
 pub mod store;
 mod trackbuf;
 
-pub use device::{BlockDevice, BlockDeviceExt, SharedDevice};
+pub use device::{BlockDevice, BlockDeviceExt, SharedDevice, EXT_RETRIES};
 pub use disk::{Disk, DiskParams, DiskStats, SeekModel};
+pub use fault::{FaultDevice, FaultParseError, FaultPlan, ReplayWrite, SpindleFaults};
 pub use geometry::{Chs, Geometry, Zone};
-pub use request::{handle_pair, DiskOp, DiskRequest, IoCompletion, IoHandle, IoResult};
+pub use request::{handle_pair, DiskOp, DiskRequest, IoCompletion, IoHandle, IoResult, IoStatus};
 pub use store::SectorStore;
 
 use simkit::SimDuration;

@@ -104,15 +104,17 @@ impl DiskQueue {
                 chosen_key = Some(key);
             }
         }
-        match chosen {
-            Some(i) => Some(i),
-            None => {
-                // Everything eligible is gone: the barrier request itself is
-                // next (it exists, because items is non-empty and all items
-                // have seq >= barrier).
-                let b = barrier.expect("no barrier yet nothing eligible");
-                self.items.iter().position(|q| q.seq == b)
-            }
+        if chosen.is_some() {
+            return chosen;
+        }
+        // Everything eligible is gone: the barrier request itself is next
+        // (items is non-empty, so when nothing sorts ahead of the barrier
+        // the barrier exists; the fold below also covers the impossible
+        // no-barrier case gracefully instead of unwrapping).
+        debug_assert!(barrier.is_some(), "no barrier yet nothing eligible");
+        match barrier {
+            Some(b) => self.items.iter().position(|q| q.seq == b),
+            None => Some(0),
         }
     }
 
@@ -155,15 +157,13 @@ impl DiskQueue {
             q.req.op == op && !q.req.ordered && barrier.map(|b| q.seq < b).unwrap_or(true)
         };
         let op = first.req.op;
+        // Track the batch's contiguous span incrementally: the batch is
+        // never empty, so the span needs no unwrap-on-empty bookkeeping.
+        let mut span_start = first.req.lba;
+        let mut span_end = first.req.lba + first.req.nsect as u64;
+        let mut total = first.req.nsect;
         let mut batch = vec![first];
-        let mut total = batch[0].req.nsect;
         loop {
-            let span_start = batch.iter().map(|q| q.req.lba).min().unwrap();
-            let span_end = batch
-                .iter()
-                .map(|q| q.req.lba + q.req.nsect as u64)
-                .max()
-                .unwrap();
             let next = self.items.iter().position(|q| {
                 mergeable(q, op)
                     && (q.req.lba + q.req.nsect as u64 == span_start || q.req.lba == span_end)
@@ -173,6 +173,8 @@ impl DiskQueue {
                 Some(i) => {
                     let q = self.items.swap_remove(i);
                     total += q.req.nsect;
+                    span_start = span_start.min(q.req.lba);
+                    span_end = span_end.max(q.req.lba + q.req.nsect as u64);
                     batch.push(q);
                 }
                 None => break,

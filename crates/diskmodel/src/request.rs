@@ -40,13 +40,61 @@ pub struct DiskRequest {
     pub span: SpanId,
 }
 
+/// How a request finished. Before the fault-injection layer existed every
+/// request succeeded by construction; now completions carry a status and
+/// every consumer must decide whether to retry, reconstruct, or surface
+/// the failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoStatus {
+    /// The transfer completed; reads carry data.
+    Ok,
+    /// An unrecoverable defect under the addressed sectors. Sector-local:
+    /// other ranges of the device still work. Transient errors also report
+    /// this — retrying is the caller's call.
+    MediaError,
+    /// The whole device stopped answering (spindle death, pulled cable).
+    /// Retrying the same device is pointless; redundancy above may still
+    /// recover.
+    DeviceGone,
+}
+
+impl IoStatus {
+    /// True for a successful completion.
+    pub fn is_ok(self) -> bool {
+        self == IoStatus::Ok
+    }
+}
+
 /// Completion record delivered when a request finishes.
 #[derive(Debug)]
 pub struct IoResult {
-    /// Data read from media (reads only).
+    /// Data read from media (successful reads only; `None` on failure).
     pub data: Option<Vec<u8>>,
-    /// Virtual time at which the transfer completed.
+    /// Virtual time at which the transfer completed (or failed).
     pub finished_at: SimTime,
+    /// Outcome of the transfer.
+    pub status: IoStatus,
+}
+
+impl IoResult {
+    /// A successful completion at `finished_at` carrying `data`.
+    pub fn ok(data: Option<Vec<u8>>, finished_at: SimTime) -> IoResult {
+        IoResult {
+            data,
+            finished_at,
+            status: IoStatus::Ok,
+        }
+    }
+
+    /// A failed completion: no data, the given status.
+    pub fn error(status: IoStatus, finished_at: SimTime) -> IoResult {
+        debug_assert!(!status.is_ok(), "error result with Ok status");
+        IoResult {
+            data: None,
+            finished_at,
+            status,
+        }
+    }
 }
 
 #[derive(Default)]

@@ -75,23 +75,30 @@ impl SectorStore {
         self.chunks.len()
     }
 
-    fn check_range(&self, lba: u64, nsect: u32) {
-        assert!(
+    /// Clips `nsect` so `[lba, lba + nsect)` stays within capacity. Out of
+    /// range is an upstream bug (devices validate at submit): the debug
+    /// build trips the assertion, the release build clamps — unreachable
+    /// sectors read as zeros and writes beyond the end are dropped —
+    /// instead of corrupting memory or dying.
+    fn clip_range(&self, lba: u64, nsect: u32) -> u32 {
+        debug_assert!(
             lba + nsect as u64 <= self.total_sectors,
             "sector range {lba}+{nsect} beyond capacity {}",
             self.total_sectors
         );
+        self.total_sectors.saturating_sub(lba).min(nsect as u64) as u32
     }
 
     /// Reads `nsect` sectors starting at `lba`.
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds the device capacity.
+    /// Debug builds panic if the range exceeds the device capacity;
+    /// release builds return zeros for the out-of-range tail.
     pub fn read(&self, lba: u64, nsect: u32) -> Vec<u8> {
-        self.check_range(lba, nsect);
+        let clipped = self.clip_range(lba, nsect);
         let mut out = vec![0u8; nsect as usize * self.sector_size];
-        for (chunk_idx, within, xfer, run) in chunk_runs(lba, nsect, self.sector_size) {
+        for (chunk_idx, within, xfer, run) in chunk_runs(lba, clipped, self.sector_size) {
             // Absent chunks stay zero: `out` is pre-zeroed.
             if let Some(chunk) = self.chunks.get(&chunk_idx) {
                 out[xfer..xfer + run].copy_from_slice(&chunk[within..within + run]);
@@ -104,16 +111,20 @@ impl SectorStore {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds capacity or `data` has the wrong length.
+    /// Debug builds panic if the range exceeds capacity or `data` has the
+    /// wrong length; release builds clip to the sectors actually covered.
     pub fn write(&mut self, lba: u64, nsect: u32, data: &[u8]) {
-        self.check_range(lba, nsect);
-        assert_eq!(
+        let mut clipped = self.clip_range(lba, nsect);
+        debug_assert_eq!(
             data.len(),
             nsect as usize * self.sector_size,
             "write data length mismatch"
         );
+        // A short payload covers fewer sectors than claimed: write what is
+        // actually there rather than reading past the slice.
+        clipped = clipped.min((data.len() / self.sector_size) as u32);
         let sector_size = self.sector_size;
-        for (chunk_idx, within, xfer, run) in chunk_runs(lba, nsect, sector_size) {
+        for (chunk_idx, within, xfer, run) in chunk_runs(lba, clipped, sector_size) {
             let src = &data[xfer..xfer + run];
             // Writing zeros over an absent chunk is a no-op: absent chunks
             // already read back as zeros, and not materializing them keeps

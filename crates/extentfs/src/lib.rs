@@ -559,7 +559,7 @@ impl ExtentFs {
                     None => Box::pin(self.getpage_inner(f, lbn, eof_blocks, span)).await,
                 }
             }
-            (None, Some(io)) => Ok(self.inner.iopath.finish_batch(io, lbn).await),
+            (None, Some(io)) => self.inner.iopath.finish_batch(io, lbn).await,
             (None, None) => unreachable!(),
         }
     }
@@ -694,6 +694,11 @@ impl Vnode for ExtFile {
             self.fs.flush_range(self, range, WriteReason::Fsync).await?;
         }
         self.state.io.quiesce().await;
+        // Deferred writes fail with no caller to tell; the sticky stream
+        // error makes this fsync the one that reports the loss.
+        if self.state.io.take_io_error() {
+            return Err(FsError::Io);
+        }
         Ok(())
     }
 

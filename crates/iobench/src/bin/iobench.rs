@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|extentfs|\
-//!         write-limit|free-behind|streams|volume|all \
+//!         write-limit|free-behind|streams|volume|faults|all \
 //!         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+//!         [--faults <spec>] \
 //!         [--age-ops N] [--utilization F] [--inline-threshold B] \
 //!         [--stats-json <path>] [--trace <path>] [--perf <path>] \
 //!         [--timeline <path>] [--sample-every <N[us|ms|s]>]
@@ -15,7 +16,7 @@
 //! in run order, so stdout, `--stats-json`, and `--trace` are
 //! byte-identical for any jobs count. `--stats-json <path>` writes every
 //! simulated run's full metrics-registry snapshot (schema
-//! `iobench-stats/v6`; see DESIGN.md "Observability") so benchmark
+//! `iobench-stats/v7`; see DESIGN.md "Observability") so benchmark
 //! trajectories can be diffed across changes. `--trace <path>` records
 //! per-request spans through the whole I/O path and writes them as Chrome
 //! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
@@ -25,7 +26,14 @@
 //! to one array — specs are `raid0:<spindles>:<stripe>` (e.g.
 //! `raid0:4:64k`), `raid1:<spindles>` (e.g. `raid1:2`), or
 //! `raid5:<spindles>:<stripe>` (e.g. `raid5:5:64k`) — and selects the
-//! volume experiment when none is named. The aging study takes
+//! volume experiment when none is named. `--faults <spec>` configures the
+//! fault-injection experiment with a deterministic fault plan (grammar:
+//! `seed=N`, `media=<spindle>:<lba>+<nsect>`,
+//! `transient=<spindle>:<lba>+<nsect>x<count>`, `die=<spindle>@<time>`,
+//! `cut=<time>`, comma-separated; see DESIGN.md "Fault injection") applied
+//! to the members of one array (`--volume`, default `raid5:5:64k`), and
+//! selects the faults experiment when none is named; a plan naming a
+//! spindle the target array does not have exits 2. The aging study takes
 //! `--age-ops N` (positive per-round churn budget), `--utilization F`
 //! (target fullness, strictly between 0 and 1), and `--inline-threshold B`
 //! (extentfs inline-file cutoff in bytes, at most one 8 KB block);
@@ -46,11 +54,13 @@
 //! virtual time: stdout, `--stats-json`, `--trace`, and `--timeline`
 //! stay byte-identical whether or not profiling is enabled.
 
+use diskmodel::FaultPlan;
 use iobench::experiments::{
     aging_run, extentfs_comparison_run, extents_run, fig10_run, fig10_table, fig11_table,
     fig12_run, fig9_table, free_behind_run, musbus_run, rejected_alternatives_run, streams_run,
     write_limit_sweep_run, AgingParams, RunScale, StatsSink,
 };
+use iobench::faults::faults_run;
 use iobench::perfout::{self, HostProfile};
 use iobench::runner::Runner;
 use iobench::traceout;
@@ -67,13 +77,18 @@ static ALLOC: perfmon::CountingAlloc = perfmon::CountingAlloc;
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|\
-         extentfs|write-limit|free-behind|streams|volume|all \
+         extentfs|write-limit|free-behind|streams|volume|faults|all \
          [--quick] [--jobs N] [--streams N] [--volume <spec>] \
+         [--faults <spec>] \
          [--age-ops N] [--utilization F] [--inline-threshold B] \
          [--stats-json <path>] [--trace <path>] [--perf <path>] \
          [--timeline <path>] [--sample-every <N[us|ms|s]>]\n\
          volume specs: raid0:<spindles>:<stripe> | raid1:<spindles> | \
          raid5:<spindles>:<stripe>  (e.g. raid0:4:64k, raid1:2, raid5:5:64k)\n\
+         fault plans: comma-separated seed=N | media=<sp>:<lba>+<nsect> | \
+         transient=<sp>:<lba>+<nsect>x<count> | die=<sp>@<time> | \
+         cut=<time>  (e.g. seed=7,transient=0:100+64x2,die=1@2s); applied \
+         to the --volume array (default raid5:5:64k)\n\
          aging: --age-ops is a positive churn budget per round, \
          --utilization a target fill in (0, 1), --inline-threshold an \
          extentfs inline-file cutoff in bytes (0..=8192)\n\
@@ -169,6 +184,27 @@ fn main() {
             usage();
         })
     });
+    let fault_plan = take_value_flag(&mut args, "--faults").map(|s| {
+        let plan = FaultPlan::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--faults {s}: {e}");
+            usage();
+        });
+        // The plan configures the members of the target array; a clause
+        // naming a spindle the array does not have would silently never
+        // fire, so reject it up front.
+        let width = volume_spec.as_ref().map_or(5, |v| v.spindles);
+        if let Some(m) = plan.max_spindle() {
+            if m >= width {
+                eprintln!(
+                    "--faults {s}: plan names spindle {m} but the target \
+                     array has only {width} (0..={})",
+                    width - 1
+                );
+                usage();
+            }
+        }
+        plan
+    });
     let quick = match args.iter().position(|a| a == "--quick") {
         Some(i) => {
             args.remove(i);
@@ -191,10 +227,13 @@ fn main() {
     } else {
         RunScale::paper()
     };
-    // A bare `--streams N` selects the streams experiment; a bare
+    // A bare `--faults <spec>` selects the faults experiment; a bare
+    // `--streams N` selects the streams experiment; a bare
     // `--volume <spec>` selects the volume experiment; a bare aging knob
     // selects the aging study.
-    let default_what = if nstreams.is_some() {
+    let default_what = if fault_plan.is_some() {
+        "faults"
+    } else if nstreams.is_some() {
         "streams"
     } else if volume_spec.is_some() {
         "volume"
@@ -290,6 +329,13 @@ fn main() {
             println!("RAID volumes: cluster size x stripe width x spindle count\n");
             println!("{}", volume_run(volume_spec.as_ref(), scale, &runner));
         }
+        "faults" => {
+            println!("Fault injection: I/O error path, degraded service, and rebuild\n");
+            println!(
+                "{}",
+                faults_run(fault_plan.as_ref(), volume_spec.as_ref(), quick, &runner)
+            );
+        }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
@@ -320,6 +366,11 @@ fn main() {
             println!("{}", streams_run(nstreams, scale, &runner));
             println!("RAID volumes: cluster size x stripe width x spindle count\n");
             println!("{}", volume_run(volume_spec.as_ref(), scale, &runner));
+            println!("Fault injection: I/O error path, degraded service, and rebuild\n");
+            println!(
+                "{}",
+                faults_run(fault_plan.as_ref(), volume_spec.as_ref(), quick, &runner)
+            );
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -28,16 +28,20 @@ use crate::streams::{run_streams, StreamsOptions};
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run via [`StatsSink::sim`]; the driver captures
 /// each run's full registry here, and the `--stats-json` flag serializes
-/// the collection as one document (schema `iobench-stats/v6`, documented in
+/// the collection as one document (schema `iobench-stats/v7`, documented in
 /// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
 /// names, v3 added interpolated `p50`/`p95`/`p99` quantiles to histogram
 /// snapshots, v4 added the `base{spindle=K}` label family emitted by
 /// `volmgr` arrays and the `volume/...` run ids, v5 added the `extentfs.*`
 /// fragmentation gauges — `short_extents`, `mean_extent_blocks`,
 /// `extents_per_file`, `inline_files` — and the `aging/...` run ids, v6
-/// adds the telemetry export points: `cache.free_pages`,
+/// added the telemetry export points: `cache.free_pages`,
 /// `cache.dirty_pages`, `core.throttle_waiting`, and per-spindle
-/// `disk.queue_depth{spindle=K}`). Snapshots are pure
+/// `disk.queue_depth{spindle=K}`, v7 adds the fault-injection and
+/// recovery counters — `fault.injected{kind=media|gone|torn|lost}`,
+/// `io.errors{kind=media|gone}`, `io.retries`, `vol.degraded_reads`,
+/// `vol.rebuild_rows`, `vol.spindle_dead`, the `vol.rebuild_progress`
+/// gauge — and the `faults/...` run ids). Snapshots are pure
 /// functions of the virtual-time simulation, so two identical runs produce
 /// byte-identical documents.
 #[derive(Default)]
@@ -244,7 +248,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v6\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v7\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }

@@ -16,6 +16,9 @@
 //! - [`streams`]: the multi-stream fairness workload — N concurrent tagged
 //!   streams whose per-stream (`…{stream=N}`) metrics attribute disk
 //!   bandwidth and throttle stalls to each competitor.
+//! - [`faults`]: the fault-injection experiment (`iobench faults`) —
+//!   throughput and p99 read latency across spindle failure, degraded
+//!   service, and online rebuild on arrays of fault-wrapped members.
 //! - [`runner`]: the parallel run fan-out behind `iobench --jobs N` —
 //!   experiments describe independent simulated runs as [`RunPlan`]s and a
 //!   [`Runner`] executes them across worker threads with byte-identical
@@ -31,6 +34,7 @@ pub mod aging;
 pub mod configs;
 pub mod cpu_bench;
 pub mod experiments;
+pub mod faults;
 pub mod iobench;
 pub mod musbus;
 pub mod perfout;
@@ -41,6 +45,7 @@ pub mod traceout;
 pub mod volume;
 
 pub use configs::{paper_world, Config, WorldOptions};
+pub use faults::{faults_data, faults_run, FaultCell, PhaseStats};
 pub use iobench::{run_iobench, IoKind, Throughput};
 pub use runner::{RunPlan, Runner};
 pub use streams::{run_streams, StreamRole, StreamRun, StreamsOptions};

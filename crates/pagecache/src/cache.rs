@@ -553,10 +553,21 @@ impl PageCache {
     pub fn mark_dirty(&self, id: PageId) {
         self.check(id);
         let mut pages = self.inner.pages.borrow_mut();
-        let page = &mut pages[id.idx];
-        if page.dirty {
+        if pages[id.idx].dirty {
             return;
         }
+        // The page may have drifted onto the free list (e.g. a concurrent
+        // cleaner wrote it out and freed it while this writer held no busy
+        // lock). A dirty page must never be reusable, so reclaim it here —
+        // otherwise a later allocation would pop it and discard the update.
+        if pages[id.idx].on_free_list {
+            self.inner.free.borrow_mut().unlink(&mut pages, id.idx);
+            pages[id.idx].on_free_list = false;
+            self.inner.stats.borrow_mut().reclaims += 1;
+            self.inner.metrics.reclaims.inc();
+            self.sync_free_gauge();
+        }
+        let page = &mut pages[id.idx];
         page.dirty = true;
         let key = page.key.expect("dirtying a page with no identity");
         if self
@@ -666,6 +677,45 @@ impl PageCache {
         self.inner.stats.borrow_mut().frees += 1;
         self.inner.metrics.frees.inc();
         self.inner.mem_notify.notify_all();
+    }
+
+    /// Destroys one page's identity — the failed-read path. The page was
+    /// created busy for a transfer that never delivered data, so its
+    /// contents are garbage and no later lookup may find it. Unlike
+    /// [`PageCache::invalidate_vnode`] the page may be busy (it usually
+    /// is): busy is cleared and waiters woken — they observe the recycled
+    /// generation and re-fault.
+    pub fn invalidate_page(&self, id: PageId) {
+        self.check(id);
+        let mut pages = self.inner.pages.borrow_mut();
+        let key = pages[id.idx].key.take();
+        if pages[id.idx].dirty {
+            pages[id.idx].dirty = false;
+            if let Some(k) = key {
+                self.remove_dirty_entry(k);
+            }
+        }
+        pages[id.idx].generation += 1;
+        pages[id.idx].referenced = false;
+        pages[id.idx].busy = false;
+        for w in pages[id.idx].waiters.drain(..).collect::<Vec<_>>() {
+            w.wake();
+        }
+        let was_free = pages[id.idx].on_free_list;
+        pages[id.idx].on_free_list = true;
+        if !was_free {
+            self.inner.free.borrow_mut().push_back(&mut pages, id.idx);
+        }
+        drop(pages);
+        if let Some(k) = key {
+            self.inner.hash.borrow_mut().remove(&k);
+        }
+        if !was_free {
+            self.sync_free_gauge();
+            self.inner.mem_notify.notify_all();
+        }
+        self.inner.stats.borrow_mut().destroys += 1;
+        self.inner.metrics.destroys.inc();
     }
 
     /// Destroys the identity of every page of `vnode` with offset ≥ `from`
@@ -940,6 +990,35 @@ mod tests {
             let back = pc2.lookup(key(1, 0)).expect("reclaimable");
             pc2.with_data(back, |d| assert_eq!(&d[..4], b"data"));
             assert_eq!(pc2.free_count(), 31);
+            pc2.assert_consistent();
+        });
+        assert_eq!(pc.stats().reclaims, 1);
+    }
+
+    #[test]
+    fn mark_dirty_reclaims_from_free_list() {
+        let sim = Sim::new();
+        let pc = cache(&sim);
+        let pc2 = pc.clone();
+        sim.run_until(async move {
+            let id = pc2.create(key(1, 0)).await;
+            pc2.write_at(id, 0, b"v1");
+            pc2.unbusy(id);
+            // A cleaner wrote the page out and freed it...
+            pc2.free_page(id);
+            assert_eq!(pc2.free_count(), 32);
+            // ...then a writer who still held the PageId re-dirties it.
+            // The page must come back off the free list, or a later
+            // allocation would pop it dirty and discard the update.
+            pc2.mark_dirty(id);
+            assert_eq!(pc2.free_count(), 31);
+            assert_eq!(pc2.dirty_offsets(1), vec![0]);
+            // Churn through every free page: none may come up dirty.
+            for i in 0..31u64 {
+                let n = pc2.create(key(2, i * 8192)).await;
+                pc2.unbusy(n);
+            }
+            assert!(pc2.is_current(id), "dirty page must not be recycled");
             pc2.assert_consistent();
         });
         assert_eq!(pc.stats().reclaims, 1);

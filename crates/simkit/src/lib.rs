@@ -39,6 +39,7 @@ pub mod cpu;
 pub mod executor;
 pub mod host;
 pub mod perfmon;
+pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -49,6 +50,7 @@ pub use cpu::{Cpu, TagStat};
 pub use executor::{JoinHandle, Sim, Sleep, TaskId, TimeHandle, YieldNow};
 pub use host::tune_host_allocator;
 pub use perfmon::{PhaseGuard, PhaseRecord, Telemetry};
+pub use rng::SimRng;
 pub use stats::{Counter, Gauge, Histogram, NameId, StatsRegistry, TimeWeighted};
 pub use sync::{Event, Notify, SemPermit, Semaphore};
 pub use time::{SimDuration, SimTime};

@@ -296,6 +296,10 @@ impl Ufs {
                 io_intr: params.costs.io_intr,
             },
         );
+        iopath.set_retry(
+            params.tuning.io_retry_max,
+            params.tuning.io_retry_backoff_ms,
+        );
         let ufs = Ufs {
             inner: Rc::new(UfsInner {
                 sim: sim.clone(),

@@ -8,19 +8,27 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use diskmodel::{BlockDevice, BlockDeviceExt};
-use vfs::{FsError, FsResult};
+use vfs::FsResult;
 
 use crate::layout::{
     CgHeader, Dinode, FileKind, Superblock, BLOCK_SIZE, DINODE_SIZE, NDADDR, PTRS_PER_BLOCK,
     ROOT_INO, SB_BLOCK, SECTORS_PER_BLOCK,
 };
 
-/// Outcome of a check.
+/// Outcome of a check or repair.
 #[derive(Debug, Default)]
 pub struct FsckReport {
     /// Human-readable inconsistencies; empty means the file system is
     /// consistent.
     pub errors: Vec<String>,
+    /// Objects examined: cylinder groups, inode slots, and data blocks
+    /// cross-checked against the bitmaps.
+    pub checked: u64,
+    /// Repairs applied ([`fsck_repair`] only; plain [`fsck`] never writes).
+    pub repaired: Vec<String>,
+    /// Damage found that cannot be repaired from on-disk state alone
+    /// (restore from backup territory, e.g. an unreadable superblock).
+    pub unfixable: Vec<String>,
     /// Regular files found.
     pub files: u32,
     /// Directories found.
@@ -32,9 +40,10 @@ pub struct FsckReport {
 }
 
 impl FsckReport {
-    /// True when no inconsistencies were found.
+    /// True when no inconsistencies were found (repairs already applied do
+    /// not count against cleanliness; unrepairable damage does).
     pub fn is_clean(&self) -> bool {
-        self.errors.is_empty()
+        self.errors.is_empty() && self.unfixable.is_empty()
     }
 }
 
@@ -48,16 +57,25 @@ fn read_ptr(block: &[u8], idx: usize) -> u32 {
     u32::from_le_bytes(block[off..off + 4].try_into().unwrap())
 }
 
-/// Checks the file system on `disk`.
+/// Checks the file system on `disk`. Damage is reported, never repaired;
+/// an undecodable superblock comes back as an `unfixable` finding rather
+/// than an error return, so callers can print one structured report for
+/// any state of the disk.
 pub async fn fsck(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
     let mut report = FsckReport::default();
     let raw = read_block(disk, SB_BLOCK).await;
-    let sb = Superblock::decode(&raw).ok_or(FsError::Corrupt)?;
+    let Some(sb) = Superblock::decode(&raw) else {
+        report
+            .unfixable
+            .push("superblock: bad magic; restore from backup".to_string());
+        return Ok(report);
+    };
     report.was_clean = sb.clean;
 
     // Group headers.
     let mut cgs = Vec::new();
     for cgx in 0..sb.ncg {
+        report.checked += 1;
         let raw = read_block(disk, sb.cg_start(cgx)).await;
         match CgHeader::decode(&raw) {
             Some(cg) if cg.cgx == cgx => cgs.push(cg),
@@ -98,6 +116,7 @@ pub async fn fsck(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
         if ino < 2 {
             continue; // Reserved.
         }
+        report.checked += 1;
         let (pbn, idx) = sb.inode_location(ino);
         let block = read_block(disk, pbn).await;
         let din = match Dinode::decode(&block[idx * DINODE_SIZE..(idx + 1) * DINODE_SIZE]) {
@@ -259,6 +278,7 @@ pub async fn fsck(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
     for (cgx, cg) in cgs.iter().enumerate() {
         let mut cg_used = 0u32;
         for i in 0..sb.data_blocks_per_cg() {
+            report.checked += 1;
             let pbn = sb.cg_data_start(cgx as u32) + i as u64;
             let bit = cg.block_allocated(i);
             let claimed = claims.contains_key(&pbn) || (cgx == 0 && i == 0);
@@ -301,5 +321,441 @@ pub async fn fsck(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
             sb.free_inodes
         ));
     }
+    Ok(report)
+}
+
+async fn write_block(disk: &dyn BlockDevice, pbn: u64, data: Vec<u8>) {
+    disk.write(pbn * SECTORS_PER_BLOCK as u64, SECTORS_PER_BLOCK, data)
+        .await;
+}
+
+/// Repairs the file system on `disk` by rebuilding the maps from what the
+/// inodes and directories actually reference — the classic fsck recipe,
+/// in the order the passes depend on each other:
+///
+/// 1. Walk every dinode, dropping invalid block pointers (out of range, or
+///    already claimed by an earlier inode — first claimant wins) and
+///    recomputing each inode's block count.
+/// 2. Walk the directory tree from the root: zero entries that point at
+///    unallocated inodes, free inodes no directory references (orphans),
+///    and reset regular files' link counts to the observed reference
+///    count.
+/// 3. Rebuild every cylinder group's bitmaps and free counters from the
+///    surviving claims, recompute the superblock summaries, and set the
+///    clean flag.
+///
+/// Every change lands in `report.repaired`. Damage with no on-disk
+/// recovery (an undecodable superblock) is reported `unfixable` and the
+/// disk is left untouched. A [`fsck`] run after a successful repair
+/// reports clean.
+pub async fn fsck_repair(disk: &dyn BlockDevice) -> FsResult<FsckReport> {
+    let mut report = FsckReport::default();
+    let raw = read_block(disk, SB_BLOCK).await;
+    let Some(mut sb) = Superblock::decode(&raw) else {
+        report
+            .unfixable
+            .push("superblock: bad magic; restore from backup".to_string());
+        return Ok(report);
+    };
+    report.was_clean = sb.clean;
+
+    // Group headers; an undecodable header is rebuilt from scratch (its
+    // bitmaps are fully reconstructed in pass 3 anyway).
+    let mut cgs = Vec::new();
+    for cgx in 0..sb.ncg {
+        report.checked += 1;
+        let raw = read_block(disk, sb.cg_start(cgx)).await;
+        match CgHeader::decode(&raw) {
+            Some(mut cg) => {
+                if cg.cgx != cgx {
+                    report
+                        .repaired
+                        .push(format!("cg {cgx}: corrected header index {}", cg.cgx));
+                    cg.cgx = cgx;
+                }
+                cgs.push(cg);
+            }
+            None => {
+                report
+                    .repaired
+                    .push(format!("cg {cgx}: rebuilt undecodable header"));
+                cgs.push(CgHeader::empty(&sb, cgx));
+            }
+        }
+    }
+
+    // Pass 1: walk inodes; sanitize pointers; collect claims.
+    let mut claims: HashMap<u64, u32> = HashMap::new(); // pbn -> claiming ino
+    let mut dinodes: HashMap<u32, Dinode> = HashMap::new();
+    let mut dirty_inos: HashSet<u32> = HashSet::new();
+    // Indirect blocks whose pointer arrays were sanitized, by pbn.
+    let mut dirty_indirects: HashMap<u64, Vec<u8>> = HashMap::new();
+
+    for ino in 2..sb.total_inodes() {
+        report.checked += 1;
+        let (pbn, idx) = sb.inode_location(ino);
+        let block = read_block(disk, pbn).await;
+        let cgx = (ino / sb.inodes_per_cg) as usize;
+        let bit = ino % sb.inodes_per_cg;
+        let mut din = match Dinode::decode(&block[idx * DINODE_SIZE..(idx + 1) * DINODE_SIZE]) {
+            Some(d) => d,
+            None => {
+                // Nothing recoverable in the slot: free it.
+                report
+                    .repaired
+                    .push(format!("ino {ino}: cleared undecodable dinode"));
+                if cgs[cgx].clear_inode(bit) {
+                    cgs[cgx].free_inodes += 1;
+                }
+                dinodes.insert(ino, Dinode::free());
+                dirty_inos.insert(ino);
+                continue;
+            }
+        };
+        if din.kind == FileKind::Free {
+            if cgs[cgx].clear_inode(bit) {
+                report
+                    .repaired
+                    .push(format!("ino {ino}: freed in bitmap to match free dinode"));
+                cgs[cgx].free_inodes += 1;
+            }
+            continue;
+        }
+        if cgs[cgx].set_inode(bit) {
+            report
+                .repaired
+                .push(format!("ino {ino}: marked allocated in bitmap"));
+            cgs[cgx].free_inodes = cgs[cgx].free_inodes.saturating_sub(1);
+        }
+        match din.kind {
+            FileKind::Regular | FileKind::Symlink => report.files += 1,
+            FileKind::Directory => report.dirs += 1,
+            FileKind::Free => unreachable!(),
+        }
+        if din.inline.is_some() {
+            if din.blocks != 0 {
+                report
+                    .repaired
+                    .push(format!("ino {ino}: zeroed block count of inline file"));
+                din.blocks = 0;
+                dirty_inos.insert(ino);
+            }
+            dinodes.insert(ino, din);
+            continue;
+        }
+        // Sanitize a pointer slot in place: invalid or double-claimed
+        // pointers are zeroed (first claimant keeps the block).
+        let mut claim = |report: &mut FsckReport, p: &mut u32, what: &str| -> bool {
+            if *p == 0 {
+                return false;
+            }
+            let pbn = *p as u64;
+            if !sb.is_data_block(pbn) {
+                report.repaired.push(format!(
+                    "ino {ino}: dropped {what} pointer to invalid block {pbn}"
+                ));
+                *p = 0;
+                return false;
+            }
+            if let Some(&prev) = claims.get(&pbn) {
+                report.repaired.push(format!(
+                    "ino {ino}: dropped {what} pointer to block {pbn} (kept by ino {prev})"
+                ));
+                *p = 0;
+                return false;
+            }
+            claims.insert(pbn, ino);
+            true
+        };
+        let mut counted = 0u32;
+        let nblocks = din.size.div_ceil(BLOCK_SIZE as u64);
+        let mut direct = din.direct;
+        for (i, p) in direct
+            .iter_mut()
+            .enumerate()
+            .take(NDADDR.min(nblocks as usize))
+        {
+            let _ = i;
+            if claim(&mut report, p, "direct") {
+                counted += 1;
+            }
+        }
+        if direct != din.direct {
+            din.direct = direct;
+            dirty_inos.insert(ino);
+        }
+        let mut indirect = din.indirect;
+        if claim(&mut report, &mut indirect, "indirect") {
+            counted += 1;
+            let mut ind = read_block(disk, indirect as u64).await;
+            let covered = nblocks
+                .saturating_sub(NDADDR as u64)
+                .min(PTRS_PER_BLOCK as u64);
+            let mut changed = false;
+            for i in 0..covered as usize {
+                let mut p = read_ptr(&ind, i);
+                if claim(&mut report, &mut p, "indirect data") {
+                    counted += 1;
+                } else if read_ptr(&ind, i) != 0 {
+                    ind[i * 4..i * 4 + 4].copy_from_slice(&0u32.to_le_bytes());
+                    changed = true;
+                }
+            }
+            if changed {
+                dirty_indirects.insert(indirect as u64, ind);
+            }
+        }
+        if indirect != din.indirect {
+            din.indirect = indirect;
+            dirty_inos.insert(ino);
+        }
+        let mut double = din.double;
+        if claim(&mut report, &mut double, "double-indirect") {
+            counted += 1;
+            let mut l1 = read_block(disk, double as u64).await;
+            let mut l1_changed = false;
+            for i in 0..PTRS_PER_BLOCK {
+                let mut mid = read_ptr(&l1, i);
+                if mid == 0 {
+                    continue;
+                }
+                if claim(&mut report, &mut mid, "double-indirect map") {
+                    counted += 1;
+                    let mut l2 = read_block(disk, mid as u64).await;
+                    let mut l2_changed = false;
+                    for j in 0..PTRS_PER_BLOCK {
+                        let mut p = read_ptr(&l2, j);
+                        if p == 0 {
+                            continue;
+                        }
+                        if claim(&mut report, &mut p, "double-indirect data") {
+                            counted += 1;
+                        } else {
+                            l2[j * 4..j * 4 + 4].copy_from_slice(&0u32.to_le_bytes());
+                            l2_changed = true;
+                        }
+                    }
+                    if l2_changed {
+                        dirty_indirects.insert(mid as u64, l2);
+                    }
+                } else {
+                    l1[i * 4..i * 4 + 4].copy_from_slice(&0u32.to_le_bytes());
+                    l1_changed = true;
+                }
+            }
+            if l1_changed {
+                dirty_indirects.insert(double as u64, l1);
+            }
+        }
+        if double != din.double {
+            din.double = double;
+            dirty_inos.insert(ino);
+        }
+        if counted != din.blocks {
+            report.repaired.push(format!(
+                "ino {ino}: corrected block count {} -> {counted}",
+                din.blocks
+            ));
+            din.blocks = counted;
+            dirty_inos.insert(ino);
+        }
+        dinodes.insert(ino, din);
+    }
+
+    // Pass 2: reachability from the root. Directory blocks with entries
+    // pointing at unallocated inodes are rewritten with those entries
+    // zeroed; everything never reached is an orphan and gets freed.
+    let mut link_refs: HashMap<u32, u16> = HashMap::new();
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut queue = VecDeque::new();
+    match dinodes.get(&ROOT_INO) {
+        Some(d) if d.kind == FileKind::Directory => {
+            queue.push_back(ROOT_INO);
+            visited.insert(ROOT_INO);
+        }
+        _ => {
+            report
+                .unfixable
+                .push("root directory missing or not a directory".to_string());
+            return Ok(report);
+        }
+    }
+    while let Some(dir_ino) = queue.pop_front() {
+        let din = dinodes[&dir_ino].clone();
+        let nblocks = din.size.div_ceil(BLOCK_SIZE as u64);
+        for lbn in 0..nblocks.min(NDADDR as u64) {
+            let p = din.direct[lbn as usize];
+            if p == 0 {
+                continue;
+            }
+            let mut data = read_block(disk, p as u64).await;
+            let mut changed = false;
+            let mut pos = 0usize;
+            while pos + 5 <= BLOCK_SIZE {
+                let ino = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+                let namelen = data[pos + 4] as usize;
+                if ino == 0 && namelen == 0 {
+                    break;
+                }
+                let entry = pos;
+                pos += 5 + namelen;
+                if ino == 0 {
+                    continue;
+                }
+                match dinodes.get(&ino) {
+                    None
+                    | Some(Dinode {
+                        kind: FileKind::Free,
+                        ..
+                    }) => {
+                        report.repaired.push(format!(
+                            "dir {dir_ino}: zeroed entry referencing unallocated ino {ino}"
+                        ));
+                        data[entry..entry + 4].copy_from_slice(&0u32.to_le_bytes());
+                        changed = true;
+                    }
+                    Some(d) => {
+                        *link_refs.entry(ino).or_insert(0) += 1;
+                        if d.kind == FileKind::Directory && visited.insert(ino) {
+                            queue.push_back(ino);
+                        }
+                    }
+                }
+            }
+            if changed {
+                write_block(disk, p as u64, data).await;
+            }
+        }
+    }
+    let inos: Vec<u32> = {
+        let mut v: Vec<u32> = dinodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for ino in inos {
+        if ino == ROOT_INO || dinodes[&ino].kind == FileKind::Free {
+            continue;
+        }
+        let refs = link_refs.get(&ino).copied().unwrap_or(0);
+        if refs == 0 {
+            // Orphan: free the inode and release its blocks.
+            report
+                .repaired
+                .push(format!("ino {ino}: cleared unreachable inode"));
+            claims.retain(|_, &mut owner| owner != ino);
+            let cgx = (ino / sb.inodes_per_cg) as usize;
+            if cgs[cgx].clear_inode(ino % sb.inodes_per_cg) {
+                cgs[cgx].free_inodes += 1;
+            }
+            match dinodes[&ino].kind {
+                FileKind::Directory => report.dirs -= 1,
+                _ => report.files -= 1,
+            }
+            dinodes.insert(ino, Dinode::free());
+            dirty_inos.insert(ino);
+        } else {
+            let din = dinodes.get_mut(&ino).unwrap();
+            if din.kind == FileKind::Regular && refs != din.nlink {
+                report.repaired.push(format!(
+                    "ino {ino}: corrected nlink {} -> {refs}",
+                    din.nlink
+                ));
+                din.nlink = refs;
+                dirty_inos.insert(ino);
+            }
+        }
+    }
+    report.used_blocks = claims.len() as u64;
+
+    // Pass 3: rebuild the block bitmaps and free counters from the claims
+    // that survived, and refresh the superblock summaries.
+    let mut free_blocks_total = 0u64;
+    let mut free_inodes_total = 0u64;
+    for (cgx, cg) in cgs.iter_mut().enumerate() {
+        let mut flipped = 0u32;
+        let mut used = 0u32;
+        for i in 0..sb.data_blocks_per_cg() {
+            report.checked += 1;
+            let pbn = sb.cg_data_start(cgx as u32) + i as u64;
+            // cg 0 data block 0 is the root directory's block even on a
+            // freshly formatted image.
+            let should = claims.contains_key(&pbn) || (cgx == 0 && i == 0);
+            let changed = if should {
+                cg.set_block(i)
+            } else {
+                cg.clear_block(i)
+            };
+            if changed {
+                flipped += 1;
+            }
+            if should {
+                used += 1;
+            }
+        }
+        if flipped > 0 {
+            report
+                .repaired
+                .push(format!("cg {cgx}: rebuilt block bitmap ({flipped} bits)"));
+        }
+        let expect_free = sb.data_blocks_per_cg() - used;
+        if cg.free_blocks != expect_free {
+            report.repaired.push(format!(
+                "cg {cgx}: corrected free_blocks {} -> {expect_free}",
+                cg.free_blocks
+            ));
+            cg.free_blocks = expect_free;
+        }
+        free_blocks_total += cg.free_blocks as u64;
+        free_inodes_total += cg.free_inodes as u64;
+    }
+    if sb.free_blocks != free_blocks_total {
+        report.repaired.push(format!(
+            "superblock: corrected free_blocks {} -> {free_blocks_total}",
+            sb.free_blocks
+        ));
+        sb.free_blocks = free_blocks_total;
+    }
+    if sb.free_inodes != free_inodes_total {
+        report.repaired.push(format!(
+            "superblock: corrected free_inodes {} -> {free_inodes_total}",
+            sb.free_inodes
+        ));
+        sb.free_inodes = free_inodes_total;
+    }
+    if !sb.clean {
+        report
+            .repaired
+            .push("superblock: set clean after repair".to_string());
+        sb.clean = true;
+    }
+
+    // Write back everything that changed: sanitized indirect blocks,
+    // dirty dinodes (grouped per inode-table block), every group header,
+    // and the superblock last.
+    for (pbn, data) in dirty_indirects {
+        write_block(disk, pbn, data).await;
+    }
+    let mut by_block: HashMap<u64, Vec<u32>> = HashMap::new();
+    for &ino in &dirty_inos {
+        by_block
+            .entry(sb.inode_location(ino).0)
+            .or_default()
+            .push(ino);
+    }
+    let mut blocks: Vec<u64> = by_block.keys().copied().collect();
+    blocks.sort_unstable();
+    for pbn in blocks {
+        let mut data = read_block(disk, pbn).await;
+        for &ino in &by_block[&pbn] {
+            let idx = sb.inode_location(ino).1;
+            data[idx * DINODE_SIZE..(idx + 1) * DINODE_SIZE]
+                .copy_from_slice(&dinodes[&ino].encode());
+        }
+        write_block(disk, pbn, data).await;
+    }
+    for (cgx, cg) in cgs.iter().enumerate() {
+        write_block(disk, sb.cg_start(cgx as u32), cg.encode()).await;
+    }
+    write_block(disk, SB_BLOCK, sb.encode()).await;
     Ok(report)
 }

@@ -28,7 +28,7 @@ pub mod vnops;
 
 pub use costs::CpuCosts;
 pub use fs::{Incore, Ufs, UfsParams, UfsStats};
-pub use fsck::{fsck, FsckReport};
+pub use fsck::{fsck, fsck_repair, FsckReport};
 pub use layout::{Dinode, FileKind, Superblock, BLOCK_SIZE};
 pub use mkfs::{mkfs, MkfsOptions};
 pub use vnops::UfsFile;

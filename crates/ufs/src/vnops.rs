@@ -319,7 +319,7 @@ impl Ufs {
                     None => Box::pin(self.getpage_traced(ip, lbn, hint_blocks, span)).await,
                 }
             }
-            (None, Some(io)) => Ok(self.inner.iopath.finish_read(io, lbn).await),
+            (None, Some(io)) => self.inner.iopath.finish_read(io, lbn).await,
             (None, None) => unreachable!("uncached access either holes or reads"),
         }
     }
@@ -398,6 +398,11 @@ impl Ufs {
                 .await?;
         }
         ip.io.quiesce().await;
+        // Deferred writes fail with no caller to tell; the sticky stream
+        // error makes this fsync the one that reports the loss.
+        if ip.io.take_io_error() {
+            return Err(FsError::Io);
+        }
         if ip.dirty.get() {
             self.iflush(ip, true).await;
         }

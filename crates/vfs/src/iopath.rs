@@ -22,7 +22,7 @@ use std::ops::Range;
 use std::rc::Rc;
 
 use clufs::WriteThrottle;
-use diskmodel::{IoHandle, SharedDevice};
+use diskmodel::{IoHandle, IoStatus, SharedDevice};
 use pagecache::{PageCache, PageId, PageKey};
 use simkit::stats::Histogram;
 use simkit::{Cpu, Notify, Sim, SimDuration, SpanId};
@@ -122,9 +122,15 @@ pub enum Executed {
 }
 
 /// An issued cluster read: the disk handle plus the busy pages created for
-/// it, in block order.
+/// it, in block order. Carries enough of the original request (device
+/// range, stream, owning vnode) to resubmit the transfer on a transient
+/// device error and to tear the pages back down on a permanent one.
 pub struct ClusterRead {
     handle: IoHandle,
+    lba: u64,
+    nsect: u32,
+    stream: u32,
+    vnode: VnodeId,
     pages: Vec<(u64, PageId)>,
     span: SpanId,
 }
@@ -136,17 +142,27 @@ impl ClusterRead {
     }
 }
 
-/// An issued run-list batch: one in-flight transfer per physical run,
-/// each with the busy pages it fills, in block order.
+/// One in-flight transfer of a [`BatchRead`]: the handle, the device range
+/// it covers (for retry), and the busy pages it fills, in block order.
+struct BatchPart {
+    handle: IoHandle,
+    lba: u64,
+    nsect: u32,
+    pages: Vec<(u64, PageId)>,
+}
+
+/// An issued run-list batch: one in-flight transfer per physical run.
 pub struct BatchRead {
-    parts: Vec<(IoHandle, Vec<(u64, PageId)>)>,
+    parts: Vec<BatchPart>,
+    stream: u32,
+    vnode: VnodeId,
     span: SpanId,
 }
 
 impl BatchRead {
     /// Total blocks across all runs in the batch.
     pub fn blocks(&self) -> u32 {
-        self.parts.iter().map(|(_, p)| p.len() as u32).sum()
+        self.parts.iter().map(|p| p.pages.len() as u32).sum()
     }
 
     /// Number of physical transfers the batch was split into.
@@ -201,6 +217,10 @@ pub struct FileStream {
     throttle: WriteThrottle,
     pending_io: Cell<u32>,
     quiesce: Notify,
+    /// Sticky deferred-write failure: asynchronous writeback has no caller
+    /// to fail, so a terminal device error lands here and the next fsync
+    /// reports it — the UNIX contract for delayed writes.
+    io_error: Cell<bool>,
 }
 
 impl FileStream {
@@ -214,6 +234,7 @@ impl FileStream {
             throttle: WriteThrottle::for_stream(sim, write_limit, stream.as_u32()),
             pending_io: Cell::new(0),
             quiesce: Notify::new(),
+            io_error: Cell::new(false),
         })
     }
 
@@ -257,6 +278,19 @@ impl FileStream {
             self.quiesce.wait().await;
         }
     }
+
+    /// Records a terminal asynchronous-write failure (see
+    /// [`FileStream::take_io_error`]).
+    pub fn set_io_error(&self) {
+        self.io_error.set(true);
+    }
+
+    /// Consumes the sticky write-failure flag. fsync calls this after
+    /// quiescing: `true` means some deferred write was lost since the last
+    /// check and the sync must fail with `FsError::Io`.
+    pub fn take_io_error(&self) -> bool {
+        self.io_error.replace(false)
+    }
 }
 
 /// CPU charges the executor pays on behalf of the file system.
@@ -287,7 +321,19 @@ struct IoPathInner {
     /// (feeds the "readahead used" accounting in the caller).
     ra_pending: RefCell<HashSet<PageKey>>,
     streams: RefCell<HashMap<u32, PerStream>>,
+    /// Device-error retries before a transfer fails with `FsError::Io`
+    /// (see `Tuning::io_retry_max`).
+    retry_max: Cell<u32>,
+    /// Base virtual-time backoff between retries; doubles per attempt.
+    retry_backoff: Cell<SimDuration>,
 }
+
+/// Default retry budget when the mount does not call
+/// [`IoPath::set_retry`] (matches `Tuning::io_retry_max`).
+const DEFAULT_RETRY_MAX: u32 = 4;
+
+/// Default base backoff (matches `Tuning::io_retry_backoff_ms`).
+const DEFAULT_RETRY_BACKOFF_MS: u64 = 2;
 
 /// The per-mount I/O executor. Clones share the engine.
 #[derive(Clone)]
@@ -322,7 +368,85 @@ impl IoPath {
                 sectors_per_block: (block_size / sector) as u32,
                 ra_pending: RefCell::new(HashSet::new()),
                 streams: RefCell::new(HashMap::new()),
+                retry_max: Cell::new(DEFAULT_RETRY_MAX),
+                retry_backoff: Cell::new(SimDuration::from_millis(DEFAULT_RETRY_BACKOFF_MS)),
             }),
+        }
+    }
+
+    /// Tunes the bounded-retry policy: up to `max` resubmissions per
+    /// transfer, sleeping `backoff_ms * 2^attempt` virtual milliseconds
+    /// between them.
+    pub fn set_retry(&self, max: u32, backoff_ms: u32) {
+        self.inner.retry_max.set(max);
+        self.inner
+            .retry_backoff
+            .set(SimDuration::from_millis(backoff_ms as u64));
+    }
+
+    /// Exponential backoff for retry `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let base = self.inner.retry_backoff.get().as_nanos();
+        SimDuration::from_nanos(base.saturating_mul(1u64 << attempt.min(16)))
+    }
+
+    /// Awaits a read, absorbing transient device errors: on `MediaError`
+    /// the transfer is resubmitted up to the tuned budget with exponential
+    /// virtual-time backoff (under an `iopath.retry` span); `DeviceGone`
+    /// fails fast — the device will not answer, only redundancy below or
+    /// the caller above can help. Terminal failures return `FsError::Io`.
+    async fn await_read(
+        &self,
+        mut handle: IoHandle,
+        lba: u64,
+        nsect: u32,
+        stream: u32,
+        parent: SpanId,
+    ) -> FsResult<Vec<u8>> {
+        let inner = &*self.inner;
+        let mut attempt = 0u32;
+        loop {
+            let res = handle.wait().await;
+            match res.status {
+                IoStatus::Ok => return Ok(res.data.expect("read returns data")),
+                IoStatus::MediaError if attempt < inner.retry_max.get() => {
+                    let s = inner.sim.stats();
+                    s.counter("io.errors{kind=media}").inc();
+                    s.counter("io.retries").inc();
+                    let rs = inner.sim.tracer().start("iopath.retry", stream, parent);
+                    inner.sim.tracer().arg(rs, "attempt", attempt as u64 + 1);
+                    inner.sim.sleep(self.backoff(attempt)).await;
+                    handle = inner.disk.submit_read_for(lba, nsect, stream, parent);
+                    inner.sim.tracer().end(rs);
+                    attempt += 1;
+                }
+                status => {
+                    inner
+                        .sim
+                        .stats()
+                        .counter(if status == IoStatus::DeviceGone {
+                            "io.errors{kind=gone}"
+                        } else {
+                            "io.errors{kind=media}"
+                        })
+                        .inc();
+                    return Err(FsError::Io);
+                }
+            }
+        }
+    }
+
+    /// Tears down the busy pages of a failed fill: each page's identity is
+    /// destroyed (waiters re-fault) and any read-ahead claim is dropped.
+    fn drop_failed_pages(&self, vnode: VnodeId, pages: &[(u64, PageId)]) {
+        let inner = &*self.inner;
+        for &(lbn, id) in pages {
+            let key = PageKey {
+                vnode,
+                offset: lbn * inner.block_size as u64,
+            };
+            inner.ra_pending.borrow_mut().remove(&key);
+            inner.cache.invalidate_page(id);
         }
     }
 
@@ -450,14 +574,15 @@ impl IoPath {
         inner.sim.tracer().arg(span, "blocks", n as u64);
         inner.cpu.charge("io_setup", inner.costs.io_setup).await;
         self.per_stream(fstream.id()).read_blocks.observe(n as u64);
-        let handle = inner.disk.submit_read_for(
-            rc.pbn as u64 * inner.sectors_per_block as u64,
-            n * inner.sectors_per_block,
-            stream,
-            span,
-        );
+        let lba = rc.pbn as u64 * inner.sectors_per_block as u64;
+        let nsect = n * inner.sectors_per_block;
+        let handle = inner.disk.submit_read_for(lba, nsect, stream, span);
         let io = ClusterRead {
             handle,
+            lba,
+            nsect,
+            stream,
+            vnode: fstream.vnode,
             pages,
             span,
         };
@@ -551,25 +676,32 @@ impl IoPath {
             }
             let take = (len as usize).min(pages.len() - idx);
             let part: Vec<(u64, PageId)> = pages[idx..idx + take].to_vec();
-            let handle = inner.disk.submit_read_for(
-                pbn as u64 * inner.sectors_per_block as u64,
-                take as u32 * inner.sectors_per_block,
-                stream,
-                span,
-            );
-            parts.push((handle, part));
+            let lba = pbn as u64 * inner.sectors_per_block as u64;
+            let nsect = take as u32 * inner.sectors_per_block;
+            let handle = inner.disk.submit_read_for(lba, nsect, stream, span);
+            parts.push(BatchPart {
+                handle,
+                lba,
+                nsect,
+                pages: part,
+            });
             idx += take;
         }
         inner.sim.tracer().arg(span, "runs", parts.len() as u64);
-        let io = BatchRead { parts, span };
+        let io = BatchRead {
+            parts,
+            stream,
+            vnode: fstream.vnode,
+            span,
+        };
         match rr.reason {
             ReadReason::Demand => Ok(Executed::BatchIssued(io)),
             ReadReason::Readahead => {
                 let blocks = io.blocks();
                 {
                     let mut ra = inner.ra_pending.borrow_mut();
-                    for (_, part) in &io.parts {
-                        for (run_lbn, _) in part {
+                    for part in &io.parts {
+                        for (run_lbn, _) in &part.pages {
                             ra.insert(self.key(fstream, *run_lbn));
                         }
                     }
@@ -583,46 +715,77 @@ impl IoPath {
     /// Waits out a demand batch part by part, charging one interrupt per
     /// transfer, fills and releases every page, and returns the page for
     /// `want_lbn`.
-    pub async fn finish_batch(&self, io: BatchRead, want_lbn: u64) -> PageId {
+    ///
+    /// Transient device errors are retried per part (see
+    /// [`IoPath::set_retry`]); a part that fails terminally has its pages
+    /// invalidated, and the whole call fails with `FsError::Io` if the
+    /// failed part was the one carrying `want_lbn`. Other parts still
+    /// complete — their handles are in flight and their busy pages must be
+    /// resolved either way.
+    pub async fn finish_batch(&self, io: BatchRead, want_lbn: u64) -> FsResult<PageId> {
         let inner = &*self.inner;
         let bs = inner.block_size;
         let mut want = None;
-        for (handle, part) in io.parts {
-            let result = handle.wait().await;
+        let mut want_failed = false;
+        for part in io.parts {
+            let res = self
+                .await_read(part.handle, part.lba, part.nsect, io.stream, io.span)
+                .await;
             inner.cpu.charge("io_intr", inner.costs.io_intr).await;
-            let data = result.data.expect("read returns data");
-            for (i, (run_lbn, id)) in part.iter().enumerate() {
-                inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
-                if *run_lbn == want_lbn {
-                    // Stays busy until the whole batch lands: a later
-                    // part's await must not let pageout recycle the page
-                    // this batch was issued for.
-                    want = Some(*id);
-                } else {
-                    inner.cache.unbusy(*id);
+            match res {
+                Ok(data) => {
+                    for (i, (run_lbn, id)) in part.pages.iter().enumerate() {
+                        inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                        if *run_lbn == want_lbn {
+                            // Stays busy until the whole batch lands: a later
+                            // part's await must not let pageout recycle the page
+                            // this batch was issued for.
+                            want = Some(*id);
+                        } else {
+                            inner.cache.unbusy(*id);
+                        }
+                    }
+                }
+                Err(_) => {
+                    if part.pages.iter().any(|&(l, _)| l == want_lbn) {
+                        want_failed = true;
+                    }
+                    self.drop_failed_pages(io.vnode, &part.pages);
                 }
             }
         }
         inner.sim.tracer().end(io.span);
+        if want_failed {
+            return Err(FsError::Io);
+        }
         let want = want.expect("requested page is in the batch");
         inner.cache.unbusy(want);
-        want
+        Ok(want)
     }
 
     /// Asynchronous completion for a read-ahead batch: wait out each
-    /// part, charge the interrupt, fill and release.
+    /// part, charge the interrupt, fill and release. A part that fails
+    /// terminally has its pages invalidated — the read was speculative,
+    /// so there is nobody to tell; a later demand access re-faults and
+    /// takes the error itself if the fault persists.
     fn spawn_fill_batch(&self, io: BatchRead) {
         let this = self.clone();
         self.inner.sim.spawn(async move {
             let inner = &*this.inner;
             let bs = inner.block_size;
-            for (handle, part) in io.parts {
-                let result = handle.wait().await;
+            for part in io.parts {
+                let res = this
+                    .await_read(part.handle, part.lba, part.nsect, io.stream, io.span)
+                    .await;
                 inner.cpu.charge("io_intr", inner.costs.io_intr).await;
-                let data = result.data.expect("read returns data");
-                for (i, (_lbn, id)) in part.iter().enumerate() {
-                    inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
-                    inner.cache.unbusy(*id);
+                match res {
+                    Ok(data) => {
+                        for (i, (_lbn, id)) in part.pages.iter().enumerate() {
+                            inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                            inner.cache.unbusy(*id);
+                        }
+                    }
+                    Err(_) => this.drop_failed_pages(io.vnode, &part.pages),
                 }
             }
             inner.sim.tracer().end(io.span);
@@ -631,11 +794,24 @@ impl IoPath {
 
     /// Waits out a demand read, charges the interrupt, fills and releases
     /// every page of the run, and returns the page for `want_lbn`.
-    pub async fn finish_read(&self, io: ClusterRead, want_lbn: u64) -> PageId {
+    ///
+    /// Transient device errors are retried (see [`IoPath::set_retry`]); a
+    /// terminal failure invalidates the run's pages and surfaces
+    /// `FsError::Io`.
+    pub async fn finish_read(&self, io: ClusterRead, want_lbn: u64) -> FsResult<PageId> {
         let inner = &*self.inner;
-        let result = io.handle.wait().await;
+        let res = self
+            .await_read(io.handle, io.lba, io.nsect, io.stream, io.span)
+            .await;
         inner.cpu.charge("io_intr", inner.costs.io_intr).await;
-        let data = result.data.expect("read returns data");
+        let data = match res {
+            Ok(data) => data,
+            Err(e) => {
+                self.drop_failed_pages(io.vnode, &io.pages);
+                inner.sim.tracer().end(io.span);
+                return Err(e);
+            }
+        };
         let bs = inner.block_size;
         let mut want = None;
         for (i, (run_lbn, id)) in io.pages.iter().enumerate() {
@@ -646,22 +822,29 @@ impl IoPath {
             }
         }
         inner.sim.tracer().end(io.span);
-        want.expect("requested page is in the run")
+        Ok(want.expect("requested page is in the run"))
     }
 
     /// Asynchronous completion for read-ahead: wait, charge the interrupt,
-    /// fill and release.
+    /// fill and release. Terminal failures invalidate the speculative
+    /// pages (see [`IoPath::spawn_fill_batch`] for the rationale).
     fn spawn_fill(&self, io: ClusterRead) {
         let this = self.clone();
         self.inner.sim.spawn(async move {
             let inner = &*this.inner;
-            let result = io.handle.wait().await;
+            let res = this
+                .await_read(io.handle, io.lba, io.nsect, io.stream, io.span)
+                .await;
             inner.cpu.charge("io_intr", inner.costs.io_intr).await;
-            let data = result.data.expect("read returns data");
-            let bs = inner.block_size;
-            for (i, (_lbn, id)) in io.pages.iter().enumerate() {
-                inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
-                inner.cache.unbusy(*id);
+            match res {
+                Ok(data) => {
+                    let bs = inner.block_size;
+                    for (i, (_lbn, id)) in io.pages.iter().enumerate() {
+                        inner.cache.write_at(*id, 0, &data[i * bs..(i + 1) * bs]);
+                        inner.cache.unbusy(*id);
+                    }
+                }
+                Err(_) => this.drop_failed_pages(io.vnode, &io.pages),
             }
             inner.sim.tracer().end(io.span);
         });
@@ -758,20 +941,64 @@ impl IoPath {
             inner.cpu.charge("io_setup", inner.costs.io_setup).await;
             self.per_stream(fstream.id()).write_blocks.observe(n as u64);
             fstream.io_started();
-            let handle = inner.disk.submit_write_for(
-                pbn as u64 * inner.sectors_per_block as u64,
-                n * inner.sectors_per_block,
-                payload,
-                fstream.id().as_u32(),
-                span,
-            );
+            let lba = pbn as u64 * inner.sectors_per_block as u64;
+            let nsect = n * inner.sectors_per_block;
+            let stream = fstream.id().as_u32();
+            let mut handle = inner
+                .disk
+                .submit_write_for(lba, nsect, payload, stream, span);
             let this = self.clone();
             let fstream2 = Rc::clone(fstream);
             let free_after = wc.free_behind;
             inner.sim.spawn(async move {
-                handle.wait().await;
                 let inner = &*this.inner;
-                inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+                let mut attempt = 0u32;
+                let status = loop {
+                    let res = handle.wait().await;
+                    inner.cpu.charge("io_intr", inner.costs.io_intr).await;
+                    match res.status {
+                        IoStatus::MediaError if attempt < inner.retry_max.get() => {
+                            let s = inner.sim.stats();
+                            s.counter("io.errors{kind=media}").inc();
+                            s.counter("io.retries").inc();
+                            let rs = inner.sim.tracer().start("iopath.retry", stream, span);
+                            inner.sim.tracer().arg(rs, "attempt", attempt as u64 + 1);
+                            inner.sim.sleep(this.backoff(attempt)).await;
+                            // Re-snapshot the payload: the run's pages are
+                            // still locked busy by this writeback, so their
+                            // contents are stable and current.
+                            let bs = inner.block_size;
+                            let mut payload = Vec::with_capacity(run.len() * bs);
+                            for pid in &run {
+                                inner
+                                    .cache
+                                    .with_page(*pid, |d| payload.extend_from_slice(d));
+                            }
+                            handle = inner
+                                .disk
+                                .submit_write_for(lba, nsect, payload, stream, span);
+                            inner.sim.tracer().end(rs);
+                            attempt += 1;
+                        }
+                        status => break status,
+                    }
+                };
+                if !status.is_ok() {
+                    inner
+                        .sim
+                        .stats()
+                        .counter(if status == IoStatus::DeviceGone {
+                            "io.errors{kind=gone}"
+                        } else {
+                            "io.errors{kind=media}"
+                        })
+                        .inc();
+                    // The data is lost; there is no caller to fail. Record
+                    // the sticky error for the next fsync and release the
+                    // pages anyway — leaving them dirty would wedge the
+                    // throttle and every quiescer forever.
+                    fstream2.set_io_error();
+                }
                 for pid in &run {
                     inner.cache.clear_dirty(*pid);
                     inner.cache.unbusy(*pid);

@@ -87,6 +87,9 @@ pub enum FsError {
     Invalid,
     /// Corrupt on-disk structure detected.
     Corrupt,
+    /// The device failed the transfer and bounded retry did not recover
+    /// it (media defect past the retry budget, or the whole device gone).
+    Io,
 }
 
 impl fmt::Display for FsError {
@@ -102,6 +105,7 @@ impl fmt::Display for FsError {
             FsError::TooBig => "file too large",
             FsError::Invalid => "invalid argument",
             FsError::Corrupt => "file system corrupted",
+            FsError::Io => "I/O error",
         };
         f.write_str(msg)
     }

@@ -15,6 +15,12 @@
 //!   parity, XOR, write back) — the interaction the cluster-size sweep in
 //!   `iobench volume` exists to measure.
 //!
+//! Redundant levels keep serving through member failure: a spindle that
+//! answers [`diskmodel::IoStatus::DeviceGone`] is marked dead, reads fall
+//! back to the surviving mirror leg or to parity reconstruction, and
+//! [`Volume::rebuild`] resynchronizes a replacement online (see
+//! [`volume`] for the degraded-write and stale-snapshot protocols).
+//!
 //! Observability: member drives are labelled, so the registry carries
 //! `disk.busy_ns{spindle=K}` per leg, and every child request runs under a
 //! `vol.spindle` span parented to the volume's `vol.read`/`vol.write`
@@ -24,7 +30,7 @@ pub mod spec;
 pub mod volume;
 
 pub use spec::{RaidLevel, SpecError, VolumeSpec};
-pub use volume::{raid0_map, raid0_unmap, raid5_map, raid5_parity_spindle, Volume};
+pub use volume::{raid0_map, raid0_unmap, raid5_map, raid5_parity_spindle, SpindleState, Volume};
 
 use diskmodel::{DiskParams, SharedDevice};
 use simkit::Sim;

@@ -71,6 +71,21 @@ cmp "$TMP/vt1.json" "$TMP/vt4.json"
 grep -q 'disk.busy_ns{spindle=' "$TMP/v1.json"
 echo "volume jobs=1 vs jobs=4: stdout, stats JSON, and trace are byte-identical"
 
+# Same contract for the fault-injection experiment (injected faults,
+# degraded service, and the online rebuild are all seeded virtual-time
+# events; a custom plan must replay byte-identically too).
+"$BIN" faults --quick --jobs 1 --stats-json "$TMP/f1.json" >"$TMP/fout1.txt"
+"$BIN" faults --quick --jobs 4 --stats-json "$TMP/f4.json" >"$TMP/fout4.txt"
+cmp "$TMP/fout1.txt" "$TMP/fout4.txt"
+cmp "$TMP/f1.json" "$TMP/f4.json"
+grep -q 'fault.injected' "$TMP/f1.json"
+"$BIN" --faults 'seed=7,transient=0:100+64x2,die=1@2s' --volume raid5:4:16k \
+    --quick --jobs 1 >"$TMP/fpout1.txt"
+"$BIN" --faults 'seed=7,transient=0:100+64x2,die=1@2s' --volume raid5:4:16k \
+    --quick --jobs 4 >"$TMP/fpout4.txt"
+cmp "$TMP/fpout1.txt" "$TMP/fpout4.txt"
+echo "faults jobs=1 vs jobs=4: stdout and stats JSON are byte-identical"
+
 # Same contract for the aging study (two virtual worlds churned on
 # separate workers must still re-emit deterministically in plan order).
 "$BIN" aging --quick --jobs 1 --stats-json "$TMP/a1.json" >"$TMP/aout1.txt"

@@ -1,6 +1,6 @@
 //! Wall-clock (host-time) benchmark suite: times canonical `iobench`
 //! experiment runs with `std::time::Instant` and writes the results as
-//! `BENCH_iobench.json` (schema `iobench-bench/v2`, documented in
+//! `BENCH_iobench.json` (schema `iobench-bench/v3`, documented in
 //! DESIGN.md "Wall-clock performance").
 //!
 //! Unlike the criterion benches (virtual-time artifact regeneration), this
@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use iobench::experiments::{extents_run, fig10_cell, fig10_run, streams_run, RunScale};
 use iobench::perfout::HostProfile;
+use iobench::readahead::readahead_run;
 use iobench::runner::Runner;
 use iobench::{Config, IoKind};
 use simkit::perfmon;
@@ -133,6 +134,9 @@ fn main() {
         sample("aging_extents", samples, || {
             extents_run(true, &serial);
         }),
+        sample("readahead_sweep", samples, || {
+            readahead_run(scale, &serial);
+        }),
     ];
 
     // Parallel fan-out: the full Figure 10 matrix, serial vs all cores.
@@ -175,7 +179,12 @@ fn main() {
     }
     // The marker a wrapper can grep without parsing: nonzero means "this
     // run needs a human's attention" (today: the fan-out made it slower).
-    let attention: u32 = u32::from(speedup < 1.0);
+    // On a single-core host no speedup is possible, so the marker would
+    // only ever cry wolf — suppress it there.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let attention: u32 = u32::from(speedup < 1.0 && host_cores > 1);
     if attention != 0 {
         eprintln!(
             "  ATTENTION: parallel speedup {speedup:.2}x < 1.0x — the jobs={jobs} \
@@ -212,8 +221,8 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     let doc = format!(
-        "{{\"schema\":\"iobench-bench/v2\",\"mode\":\"{mode}\",\"jobs\":{jobs},\
-         \"attention\":{attention},\"benches\":[{benches}],\
+        "{{\"schema\":\"iobench-bench/v3\",\"mode\":\"{mode}\",\"jobs\":{jobs},\
+         \"host_cores\":{host_cores},\"attention\":{attention},\"benches\":[{benches}],\
          \"parallel\":{{\"workload\":\"fig10_matrix\",\"jobs1_ms\":{jobs1_ms:.3},\
          \"jobsN_ms\":{jobsn_ms:.3},\"speedup\":{speedup:.3},\
          \"coverage\":{:.4},\"workers\":[{workers}]}}}}\n",

@@ -18,12 +18,16 @@
 //!   reads (the "page thrashing" fix).
 //! - [`WriteThrottle`] — the per-file counting semaphore limiting dirty
 //!   data in the disk queue (the fairness fix; 240 KB default).
+//! - [`Prefetcher`] — the adaptive-readahead generalization: policy
+//!   selector over the paper's engine and [`AdaptiveRa`], the
+//!   distance-adaptive, stride-aware, pressure-coupled planner.
 //! - [`Tuning`] — the knobs, with Figure 9's A/B/C/D presets.
 //! - [`BmapCache`] — Further Work: cached `<lbn, pbn, len>` extent tuples.
 
 pub mod bmap_cache;
 pub mod delayed_write;
 pub mod free_behind;
+pub mod prefetch;
 pub mod readahead;
 pub mod throttle;
 pub mod tuning;
@@ -31,6 +35,9 @@ pub mod tuning;
 pub use bmap_cache::{BmapCache, ExtentTuple};
 pub use delayed_write::{DelayedWrite, WriteAction};
 pub use free_behind::FreeBehindPolicy;
+pub use prefetch::{
+    AdaptiveRa, PrefetchPlan, PrefetchPolicy, PrefetchRun, Prefetcher, MAX_DISTANCE,
+};
 pub use readahead::{ReadAhead, ReadPlan, ReadRun};
 pub use throttle::{WriteThrottle, WriteToken};
 pub use tuning::{Tuning, BLOCK_SIZE, WRITE_LIMIT_BYTES};

@@ -1,5 +1,7 @@
 //! File system tuning parameters and the paper's Figure 9 configurations.
 
+use crate::prefetch::PrefetchPolicy;
+
 /// Tunable parameters controlling placement and I/O policy.
 ///
 /// These correspond to the knobs discussed throughout the paper:
@@ -41,6 +43,9 @@ pub struct Tuning {
     pub io_retry_max: u32,
     /// Base backoff between retries, milliseconds; doubles per attempt.
     pub io_retry_backoff_ms: u32,
+    /// Which prefetch engine the read path runs (only meaningful while
+    /// `readahead` is true; `Fixed` is the paper's predictor).
+    pub prefetch: PrefetchPolicy,
 }
 
 /// File system block size used throughout the reproduction (8 KB).
@@ -65,6 +70,7 @@ impl Tuning {
             ufs_hole_opt: false,
             io_retry_max: 4,
             io_retry_backoff_ms: 2,
+            prefetch: PrefetchPolicy::Fixed,
         }
     }
 
@@ -83,6 +89,7 @@ impl Tuning {
             ufs_hole_opt: false,
             io_retry_max: 4,
             io_retry_backoff_ms: 2,
+            prefetch: PrefetchPolicy::Fixed,
         }
     }
 

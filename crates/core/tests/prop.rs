@@ -1,8 +1,8 @@
 //! Property-based tests for the clustering policy engines.
 
-use clufs::{DelayedWrite, ReadAhead, WriteAction};
+use clufs::{AdaptiveRa, DelayedWrite, ReadAhead, WriteAction, MAX_DISTANCE};
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Drives a full sequential scan of an `eof`-block file through the
 /// read-ahead engine and returns every block read (sync or async) and how
@@ -183,5 +183,112 @@ proptest! {
             }
         }
         prop_assert_eq!(pushes.len() as u64, pages / maxcontig as u64);
+    }
+
+    /// For ANY access pattern and ANY cache-pressure trajectory, the
+    /// adaptive engine keeps its distance within [1, MAX_DISTANCE] and
+    /// its speculative plans never spend a page the reserve could not
+    /// cover: total planned blocks ≤ free − reserve, and at or below
+    /// the reserve prefetch goes completely quiet.
+    #[test]
+    fn adaptive_distance_bounded_and_reserve_respected(
+        lbns in proptest::collection::vec(0u64..5_000, 1..200),
+        cluster in 1u32..16,
+        free in 0u64..64,
+        reserve in 0u64..32,
+    ) {
+        let mut ra = AdaptiveRa::new(cluster);
+        for &lbn in &lbns {
+            let plan = ra.on_access(lbn, false, |_| cluster, 0, free, reserve);
+            prop_assert!(
+                (1..=MAX_DISTANCE).contains(&ra.distance()),
+                "distance {} out of [1, {}]", ra.distance(), MAX_DISTANCE
+            );
+            prop_assert_eq!(plan.distance, ra.distance());
+            let speculative: u64 = plan.runs.iter().map(|r| u64::from(r.blocks)).sum();
+            prop_assert!(
+                speculative <= free.saturating_sub(reserve),
+                "planned {} speculative blocks with only {} above the reserve",
+                speculative, free.saturating_sub(reserve)
+            );
+            if free <= reserve {
+                prop_assert!(plan.runs.is_empty(), "prefetched below the reserve");
+            }
+        }
+    }
+
+    /// The ramp is monotone on a hit streak (never shrinks while every
+    /// access is sequential, reaches the cap on a long enough streak)
+    /// and any miss halves it.
+    #[test]
+    fn adaptive_ramp_monotone_on_hits_and_halved_on_miss(
+        start in 1u64..1_000,
+        streak in 2u64..40,
+        cluster in 1u32..16,
+    ) {
+        let mut ra = AdaptiveRa::new(cluster);
+        let plenty = 1u64 << 20;
+        let _ = ra.on_access(start, false, |_| cluster, 0, plenty, 0);
+        let mut prev = ra.distance();
+        for i in 1..streak {
+            let _ = ra.on_access(start + i, false, |_| cluster, 0, plenty, 0);
+            let d = ra.distance();
+            prop_assert!(d >= prev, "distance shrank {prev} -> {d} on a sequential hit");
+            prop_assert!(d <= prev * 2, "distance grew faster than geometric");
+            prev = d;
+        }
+        if streak > 4 {
+            prop_assert_eq!(prev, MAX_DISTANCE, "long streak should reach the cap");
+        }
+        // A miss (unpredicted forward jump) halves the trust.
+        let before = ra.distance();
+        let _ = ra.on_access(start + streak + 100, false, |_| cluster, 0, plenty, 0);
+        prop_assert_eq!(ra.distance(), (before / 2).max(1));
+        // And a backward seek halves it again.
+        let before = ra.distance();
+        let _ = ra.on_access(start.saturating_sub(1), false, |_| cluster, 0, plenty, 0);
+        prop_assert_eq!(ra.distance(), (before / 2).max(1));
+    }
+
+    /// BTreeMap oracle: on a PURE sequential stream the stride detector
+    /// must never kick in. Every access is judged sequential, no plan
+    /// carries a sieve pattern, speculation stays strictly ahead of the
+    /// reader and inside EOF, no block is ever read twice, and the
+    /// resident set ends up gap-free — i.e. the adaptive engine degrades
+    /// to (deep) sequential read-ahead, never to a mispredicted stride.
+    #[test]
+    fn adaptive_pure_sequential_never_mispredicted(
+        eof in 1u64..400,
+        cluster in 1u32..16,
+    ) {
+        let mut ra = AdaptiveRa::new(cluster);
+        let cluster_len = |lbn: u64| -> u32 {
+            if lbn >= eof { 0 } else { cluster.min((eof - lbn) as u32) }
+        };
+        // Oracle: block -> how it became resident ("sync" | "prefetch").
+        let mut oracle: BTreeMap<u64, &'static str> = BTreeMap::new();
+        for lbn in 0..eof {
+            let cached = oracle.contains_key(&lbn);
+            let plan = ra.on_access(lbn, cached, cluster_len, 0, 1 << 20, 0);
+            prop_assert!(plan.sequential, "sequential access at {lbn} judged a seek");
+            if let Some(run) = plan.sync {
+                prop_assert_eq!(run.lbn, lbn);
+                for b in run.lbn..run.lbn + u64::from(run.blocks) {
+                    prop_assert!(b < eof, "sync read past EOF at {b}");
+                    prop_assert_eq!(oracle.insert(b, "sync"), None, "block {} read twice", b);
+                }
+            }
+            for run in &plan.runs {
+                prop_assert!(run.sieve.is_none(), "data sieving on a pure-sequential stream");
+                for b in run.lbn..run.lbn + u64::from(run.blocks) {
+                    prop_assert!(b < eof, "speculation past EOF at {b}");
+                    prop_assert!(b > lbn, "speculation at {b} behind the reader at {lbn}");
+                    prop_assert_eq!(oracle.insert(b, "prefetch"), None, "block {} read twice", b);
+                }
+            }
+            prop_assert!(oracle.contains_key(&lbn), "block {lbn} not resident after its fault");
+        }
+        let top = *oracle.keys().next_back().unwrap();
+        prop_assert_eq!(oracle.len() as u64, top + 1, "gap in sequential coverage");
     }
 }

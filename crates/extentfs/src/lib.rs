@@ -33,7 +33,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use clufs::{DelayedWrite, ReadAhead, WriteAction};
+use clufs::{DelayedWrite, PrefetchPolicy, WriteAction};
 use diskmodel::{BlockDeviceExt, SharedDevice};
 use pagecache::{PageCache, PageId, PageKey};
 use simkit::stats::{Counter, Gauge};
@@ -71,6 +71,9 @@ pub struct ExtentFsParams {
     pub costs: CpuCosts,
     /// Sequential read-ahead of the next I/O unit.
     pub readahead: bool,
+    /// Which prefetch engine the read path runs (only meaningful while
+    /// `readahead` is true; `Fixed` is the paper's predictor).
+    pub prefetch: PrefetchPolicy,
     /// Page-cache identity namespace.
     pub mount_id: u64,
 }
@@ -83,6 +86,7 @@ impl ExtentFsParams {
             inline_max: 512,
             costs: CpuCosts::sparcstation_1(),
             readahead: true,
+            prefetch: PrefetchPolicy::Fixed,
             mount_id: 0x0e,
         }
     }
@@ -103,7 +107,6 @@ struct ExtInode {
 }
 
 struct OpenState {
-    ra: RefCell<ReadAhead>,
     dw: RefCell<DelayedWrite>,
     /// Stream identity + pending-write quiesce (extentfs has no write
     /// limit, so the stream's throttle is unlimited).
@@ -272,6 +275,14 @@ impl ExtentFs {
                 io_intr: params.costs.io_intr,
             },
         );
+        iopath.set_prefetch(
+            if params.readahead {
+                params.prefetch
+            } else {
+                PrefetchPolicy::Off
+            },
+            params.extent_blocks,
+        );
         Ok(ExtentFs {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
@@ -416,11 +427,6 @@ impl ExtentFs {
         let mut open = self.inner.open.borrow_mut();
         Rc::clone(open.entry(ino).or_insert_with(|| {
             Rc::new(OpenState {
-                ra: RefCell::new(if self.inner.params.readahead {
-                    ReadAhead::new()
-                } else {
-                    ReadAhead::disabled()
-                }),
                 dw: RefCell::new(DelayedWrite::new()),
                 io: FileStream::new(&self.inner.sim, self.vid(ino), None),
             })
@@ -460,6 +466,9 @@ impl ExtentFs {
             .inner
             .cache
             .lookup_traced(key, f.state.io.id().as_u32(), span);
+        if cached.is_some() {
+            self.inner.iopath.take_ra_pending(key);
+        }
         self.charge(
             "fault",
             if cached.is_some() {
@@ -484,10 +493,12 @@ impl ExtentFs {
                 (eof_blocks - probe).min(unit as u64) as u32
             }
         };
-        let plan = {
-            let mut ra = f.state.ra.borrow_mut();
-            ra.on_access(lbn, cached.is_some(), avail, 0)
-        };
+        // Extent lookups are synchronous here, so the plan commits in one
+        // call (no lazy-probe dry run as in UFS).
+        let plan =
+            self.inner
+                .iopath
+                .prefetch_commit(f.state.io.id(), lbn, cached.is_some(), avail, 0);
         let map = ExtMap {
             fs: self,
             ino: f.ino,
@@ -500,6 +511,7 @@ impl ExtentFs {
                 lbn: run.lbn,
                 len: run.blocks,
                 reason: ReadReason::Demand,
+                sieve: None,
             });
             let io = match self
                 .inner
@@ -517,13 +529,20 @@ impl ExtentFs {
             }
             sync_io = Some(io);
         }
-        if let Some(run) = plan.readahead {
-            let n = run.blocks.min(avail(run.lbn));
+        for run in &plan.runs {
+            // Sieving runs already chose their span; exact runs are
+            // re-clipped by EOF/mapping availability.
+            let n = if run.sieve.is_some() {
+                run.blocks
+            } else {
+                run.blocks.min(avail(run.lbn))
+            };
             if n > 0 {
                 let intent = IoIntent::ReadRuns(ReadRuns {
                     lbn: run.lbn,
                     len: n,
                     reason: ReadReason::Readahead,
+                    sieve: run.sieve,
                 });
                 if let Executed::ReadaheadIssued { blocks } =
                     self.inner.iopath.execute(&f.state.io, &map, intent).await?

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|extentfs|\
-//!         write-limit|free-behind|streams|volume|faults|all \
+//!         write-limit|free-behind|streams|volume|faults|readahead|all \
 //!         [--quick] [--jobs N] [--streams N] [--volume <spec>] \
 //!         [--faults <spec>] \
+//!         [--readahead fixed|adaptive|off] [--stride <bytes>] \
+//!         [--record-size <bytes>] \
 //!         [--age-ops N] [--utilization F] [--inline-threshold B] \
 //!         [--stats-json <path>] [--trace <path>] [--perf <path>] \
 //!         [--timeline <path>] [--sample-every <N[us|ms|s]>]
@@ -16,7 +18,7 @@
 //! in run order, so stdout, `--stats-json`, and `--trace` are
 //! byte-identical for any jobs count. `--stats-json <path>` writes every
 //! simulated run's full metrics-registry snapshot (schema
-//! `iobench-stats/v7`; see DESIGN.md "Observability") so benchmark
+//! `iobench-stats/v8`; see DESIGN.md "Observability") so benchmark
 //! trajectories can be diffed across changes. `--trace <path>` records
 //! per-request spans through the whole I/O path and writes them as Chrome
 //! trace-event JSON (open in `chrome://tracing` or Perfetto), and prints
@@ -38,6 +40,13 @@
 //! (target fullness, strictly between 0 and 1), and `--inline-threshold B`
 //! (extentfs inline-file cutoff in bytes, at most one 8 KB block);
 //! malformed values exit 2 with usage, like every other flag.
+//! The readahead experiment sweeps stride × record size × prefetch policy
+//! by default; `--readahead fixed|adaptive|off`, `--stride <bytes>`, and
+//! `--record-size <bytes>` (positive multiples of 8192, `k`/`m` suffixes
+//! accepted, stride ≥ record) instead run the one selected cell — and any
+//! of them selects the readahead experiment when none is named. Anything
+//! else (an unknown policy, a size that is not a positive block multiple,
+//! a stride smaller than the record) exits 2 with usage.
 //! Unrecognized flags are an error.
 //!
 //! `--perf <path>` turns on the host-side wall-clock profiler
@@ -62,6 +71,7 @@ use iobench::experiments::{
 };
 use iobench::faults::faults_run;
 use iobench::perfout::{self, HostProfile};
+use iobench::readahead::{readahead_cell_run, readahead_run};
 use iobench::runner::Runner;
 use iobench::traceout;
 use iobench::volume::volume_run;
@@ -77,9 +87,11 @@ static ALLOC: perfmon::CountingAlloc = perfmon::CountingAlloc;
 fn usage() -> ! {
     eprintln!(
         "usage: iobench fig9|fig10|fig11|fig12|extents|aging|musbus|alternatives|\
-         extentfs|write-limit|free-behind|streams|volume|faults|all \
+         extentfs|write-limit|free-behind|streams|volume|faults|readahead|all \
          [--quick] [--jobs N] [--streams N] [--volume <spec>] \
          [--faults <spec>] \
+         [--readahead fixed|adaptive|off] [--stride <bytes>] \
+         [--record-size <bytes>] \
          [--age-ops N] [--utilization F] [--inline-threshold B] \
          [--stats-json <path>] [--trace <path>] [--perf <path>] \
          [--timeline <path>] [--sample-every <N[us|ms|s]>]\n\
@@ -89,6 +101,10 @@ fn usage() -> ! {
          transient=<sp>:<lba>+<nsect>x<count> | die=<sp>@<time> | \
          cut=<time>  (e.g. seed=7,transient=0:100+64x2,die=1@2s); applied \
          to the --volume array (default raid5:5:64k)\n\
+         readahead: --readahead is one of fixed|adaptive|off, --stride and \
+         --record-size are positive multiples of 8192 bytes (k/m suffixes \
+         accepted) with stride >= record; given any of them the experiment \
+         runs that one cell instead of the sweep\n\
          aging: --age-ops is a positive churn budget per round, \
          --utilization a target fill in (0, 1), --inline-threshold an \
          extentfs inline-file cutoff in bytes (0..=8192)\n\
@@ -178,6 +194,52 @@ fn main() {
                 usage();
             }
         });
+    let ra_policy = take_value_flag(&mut args, "--readahead").map(|s| {
+        clufs::PrefetchPolicy::parse(&s).unwrap_or_else(|| {
+            eprintln!("--readahead {s}: expected one of fixed|adaptive|off");
+            usage();
+        })
+    });
+    // `--stride`/`--record-size` take byte counts that must be positive
+    // multiples of the 8192-byte block (k/m suffixes accepted).
+    let block_multiple = |flag: &str, s: &str| -> u64 {
+        let (digits, mult) = match s.strip_suffix(['k', 'K']) {
+            Some(d) => (d, 1024u64),
+            None => match s.strip_suffix(['m', 'M']) {
+                Some(d) => (d, 1024 * 1024),
+                None => (s, 1),
+            },
+        };
+        match digits.parse::<u64>() {
+            Ok(n) if n > 0 && (n * mult) % 8192 == 0 => n * mult,
+            _ => {
+                eprintln!("{flag} {s}: expected a positive multiple of 8192 bytes");
+                usage();
+            }
+        }
+    };
+    let stride_bytes =
+        take_value_flag(&mut args, "--stride").map(|s| block_multiple("--stride", &s));
+    let record_bytes =
+        take_value_flag(&mut args, "--record-size").map(|s| block_multiple("--record-size", &s));
+    let ra_cell = if ra_policy.is_some() || stride_bytes.is_some() || record_bytes.is_some() {
+        let stride = stride_bytes.unwrap_or(256 * 1024);
+        let record = record_bytes.unwrap_or(8192);
+        if stride < record {
+            eprintln!(
+                "--stride {stride} is smaller than --record-size {record}; \
+                 records may not overlap"
+            );
+            usage();
+        }
+        Some((
+            ra_policy.unwrap_or(clufs::PrefetchPolicy::Adaptive),
+            stride / 1024,
+            record / 1024,
+        ))
+    } else {
+        None
+    };
     let volume_spec = take_value_flag(&mut args, "--volume").map(|s| {
         VolumeSpec::parse(&s).unwrap_or_else(|e| {
             eprintln!("--volume {s}: {e}");
@@ -231,7 +293,9 @@ fn main() {
     // `--streams N` selects the streams experiment; a bare
     // `--volume <spec>` selects the volume experiment; a bare aging knob
     // selects the aging study.
-    let default_what = if fault_plan.is_some() {
+    let default_what = if ra_cell.is_some() {
+        "readahead"
+    } else if fault_plan.is_some() {
         "faults"
     } else if nstreams.is_some() {
         "streams"
@@ -336,6 +400,16 @@ fn main() {
                 faults_run(fault_plan.as_ref(), volume_spec.as_ref(), quick, &runner)
             );
         }
+        "readahead" => {
+            println!("Adaptive readahead: strided reads vs prefetch policy\n");
+            match ra_cell {
+                Some((policy, stride_kb, record_kb)) => println!(
+                    "{}",
+                    readahead_cell_run(policy, stride_kb, record_kb, scale, &runner)
+                ),
+                None => println!("{}", readahead_run(scale, &runner)),
+            }
+        }
         "all" => {
             println!("Figure 9: IObench run descriptions\n");
             println!("{}", fig9_table());
@@ -371,6 +445,8 @@ fn main() {
                 "{}",
                 faults_run(fault_plan.as_ref(), volume_spec.as_ref(), quick, &runner)
             );
+            println!("Adaptive readahead: strided reads vs prefetch policy\n");
+            println!("{}", readahead_run(scale, &runner));
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -28,7 +28,7 @@ use crate::streams::{run_streams, StreamsOptions};
 /// Every experiment builds a fresh [`Sim`] (and therefore a fresh metrics
 /// registry) per simulated run via [`StatsSink::sim`]; the driver captures
 /// each run's full registry here, and the `--stats-json` flag serializes
-/// the collection as one document (schema `iobench-stats/v7`, documented in
+/// the collection as one document (schema `iobench-stats/v8`, documented in
 /// DESIGN.md "Observability"; v2 added the labelled `base{stream=N}` metric
 /// names, v3 added interpolated `p50`/`p95`/`p99` quantiles to histogram
 /// snapshots, v4 added the `base{spindle=K}` label family emitted by
@@ -41,7 +41,10 @@ use crate::streams::{run_streams, StreamsOptions};
 /// recovery counters — `fault.injected{kind=media|gone|torn|lost}`,
 /// `io.errors{kind=media|gone}`, `io.retries`, `vol.degraded_reads`,
 /// `vol.rebuild_rows`, `vol.spindle_dead`, the `vol.rebuild_progress`
-/// gauge — and the `faults/...` run ids). Snapshots are pure
+/// gauge — and the `faults/...` run ids, v8 adds the prefetch-engine
+/// instrumentation — `io.prefetch_issued`, `io.prefetch_hits`,
+/// `io.prefetch_wasted_bytes`, the `io.prefetch_distance` histogram —
+/// and the `readahead/...` run ids). Snapshots are pure
 /// functions of the virtual-time simulation, so two identical runs produce
 /// byte-identical documents.
 #[derive(Default)]
@@ -248,7 +251,7 @@ impl StatsSink {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"iobench-stats/v7\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
+            "{{\"schema\":\"iobench-stats/v8\",\"experiment\":\"{experiment}\",\"runs\":[{runs}]}}"
         )
     }
 }

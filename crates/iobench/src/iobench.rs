@@ -188,6 +188,73 @@ pub async fn run_iobench<F: FileSystem>(
     Ok(Throughput { bytes, elapsed })
 }
 
+/// Sizing for the strided-read workload (`iobench readahead`).
+#[derive(Clone, Copy, Debug)]
+pub struct StrideOptions {
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Bytes read at each record start.
+    pub record_bytes: u64,
+    /// Distance between successive record starts; `record_bytes` means a
+    /// plain sequential scan.
+    pub stride_bytes: u64,
+    /// Per-call transfer size within a record.
+    pub io_bytes: usize,
+}
+
+/// Runs a strided read against `path` on `fs`: `record_bytes` are read at
+/// every `stride_bytes` boundary (the fixed access pattern of scientific
+/// codes and column scans that defeats a sequential-only predictor). The
+/// file is written and evicted first; preparation is excluded from the
+/// measurement. The cache is invalidated again after the measured phase so
+/// speculative reads that never got used are charged to
+/// `io.prefetch_wasted_bytes` before the run's registry is snapshotted.
+pub async fn run_strided_read<F: FileSystem>(
+    sim: &Sim,
+    fs: &F,
+    invalidate: impl Fn(&F::File),
+    path: &str,
+    opts: StrideOptions,
+) -> FsResult<Throughput> {
+    assert!(opts.record_bytes >= opts.io_bytes as u64);
+    assert!(opts.stride_bytes >= opts.record_bytes);
+    let payload: Vec<u8> = (0..opts.io_bytes).map(|i| (i % 251) as u8).collect();
+    let nio = (opts.file_bytes / opts.io_bytes as u64) as usize;
+
+    // ---- preparation (unmeasured) ----
+    let file = fs.create(path).await?;
+    for i in 0..nio {
+        file.write(i as u64 * opts.io_bytes as u64, &payload, AccessMode::Copy)
+            .await?;
+    }
+    file.fsync().await?;
+    invalidate(&file);
+
+    // ---- measured phase ----
+    let mut buf = vec![0u8; opts.io_bytes];
+    let t0 = sim.now();
+    let mut total = 0u64;
+    let mut start = 0u64;
+    while start + opts.record_bytes <= opts.file_bytes {
+        let mut off = start;
+        while off < start + opts.record_bytes {
+            let got = file.read_into(off, &mut buf, AccessMode::Copy).await?;
+            total += got as u64;
+            off += opts.io_bytes as u64;
+        }
+        start += opts.stride_bytes;
+    }
+    let elapsed = sim.now().duration_since(t0);
+    // Let in-flight speculative fills complete (virtual time) so the final
+    // invalidate never meets a busy page, then retire the stragglers.
+    sim.sleep(SimDuration::from_secs(2)).await;
+    invalidate(&file);
+    Ok(Throughput {
+        bytes: total,
+        elapsed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

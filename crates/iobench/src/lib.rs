@@ -16,6 +16,9 @@
 //! - [`streams`]: the multi-stream fairness workload — N concurrent tagged
 //!   streams whose per-stream (`…{stream=N}`) metrics attribute disk
 //!   bandwidth and throttle stalls to each competitor.
+//! - [`readahead`]: the strided-read prefetch sweep (`iobench readahead`) —
+//!   stride × record size × policy (off / fixed-1 / adaptive) with
+//!   throughput, prefetch-accuracy, and wasted-read tables.
 //! - [`faults`]: the fault-injection experiment (`iobench faults`) —
 //!   throughput and p99 read latency across spindle failure, degraded
 //!   service, and online rebuild on arrays of fault-wrapped members.
@@ -38,6 +41,7 @@ pub mod faults;
 pub mod iobench;
 pub mod musbus;
 pub mod perfout;
+pub mod readahead;
 pub mod report;
 pub mod runner;
 pub mod streams;
@@ -46,7 +50,8 @@ pub mod volume;
 
 pub use configs::{paper_world, Config, WorldOptions};
 pub use faults::{faults_data, faults_run, FaultCell, PhaseStats};
-pub use iobench::{run_iobench, IoKind, Throughput};
+pub use iobench::{run_iobench, run_strided_read, IoKind, StrideOptions, Throughput};
+pub use readahead::{readahead_data, readahead_run, RaCell, RaData};
 pub use runner::{RunPlan, Runner};
 pub use streams::{run_streams, StreamRole, StreamRun, StreamsOptions};
 pub use volume::{volume_data, volume_run, VolumeData, VolumeSweep};

@@ -1,5 +1,5 @@
 //! Experiment-level assertions on the metrics-registry snapshots exported
-//! by `iobench --stats-json` (schema `iobench-stats/v7`).
+//! by `iobench --stats-json` (schema `iobench-stats/v8`).
 //!
 //! These pin the paper's mechanisms to observable counters: clustering
 //! shrinks the number of disk requests, free-behind takes page freeing away

@@ -26,7 +26,7 @@ fn streams_stats_json_is_deterministic() {
     let (t2, j2) = export();
     assert_eq!(t1, t2, "rendered fairness table must be identical");
     assert_eq!(j1, j2, "--stats-json document must be byte-identical");
-    assert!(j1.contains("\"schema\":\"iobench-stats/v7\""));
+    assert!(j1.contains("\"schema\":\"iobench-stats/v8\""));
     assert!(
         j1.contains("{stream="),
         "labelled per-stream metrics must be exported"

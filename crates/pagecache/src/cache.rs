@@ -237,7 +237,15 @@ struct CacheInner {
     pressure_notify: Notify,
     stats: RefCell<PageCacheStats>,
     metrics: CacheMetrics,
+    /// Observers of identity destruction (reuse, invalidation): each is
+    /// called with the key a page *stopped* naming. The I/O path uses
+    /// this to notice prefetched-but-never-consumed pages leaving the
+    /// cache (wasted-read accounting).
+    recycle_hooks: RefCell<Vec<RecycleHook>>,
 }
+
+/// An identity-destruction observer (see `CacheInner::recycle_hooks`).
+type RecycleHook = Box<dyn Fn(PageKey)>;
 
 /// The unified page cache. Clones share the same memory.
 #[derive(Clone)]
@@ -284,6 +292,7 @@ impl PageCache {
                 pressure_notify: Notify::new(),
                 stats: RefCell::new(PageCacheStats::default()),
                 metrics: CacheMetrics::new(sim),
+                recycle_hooks: RefCell::new(Vec::new()),
             }),
         };
         cache
@@ -302,6 +311,21 @@ impl PageCache {
             .metrics
             .free_pages
             .set(self.inner.free.borrow().len as f64);
+    }
+
+    /// Registers an observer of page-identity destruction: `hook(key)`
+    /// runs synchronously whenever a page stops naming `key` (free-list
+    /// reuse, [`PageCache::invalidate_page`],
+    /// [`PageCache::invalidate_vnode`]). Hooks must not call back into
+    /// the cache.
+    pub fn add_recycle_hook(&self, hook: impl Fn(PageKey) + 'static) {
+        self.inner.recycle_hooks.borrow_mut().push(Box::new(hook));
+    }
+
+    fn fire_recycle(&self, key: PageKey) {
+        for hook in self.inner.recycle_hooks.borrow().iter() {
+            hook(key);
+        }
     }
 
     /// Bytes per page.
@@ -472,7 +496,8 @@ impl PageCache {
             debug_assert!(!page.busy, "free page cannot be busy");
             debug_assert!(!page.dirty, "free page cannot be dirty");
             // Destroy the old identity (the reuse that ends reclaimability).
-            if let Some(old) = page.key.take() {
+            let recycled = page.key.take();
+            if let Some(old) = recycled {
                 self.inner.hash.borrow_mut().remove(&old);
                 self.inner.stats.borrow_mut().destroys += 1;
                 self.inner.metrics.destroys.inc();
@@ -489,6 +514,9 @@ impl PageCache {
             self.inner.metrics.creates.inc();
             let generation = page.generation;
             drop(pages);
+            if let Some(old) = recycled {
+                self.fire_recycle(old);
+            }
             self.maybe_signal_pressure();
             PageId { idx, generation }
         }
@@ -709,6 +737,7 @@ impl PageCache {
         drop(pages);
         if let Some(k) = key {
             self.inner.hash.borrow_mut().remove(&k);
+            self.fire_recycle(k);
         }
         if !was_free {
             self.sync_free_gauge();
@@ -752,6 +781,7 @@ impl PageCache {
             }
             drop(pages);
             self.inner.hash.borrow_mut().remove(&key);
+            self.fire_recycle(key);
             if !was_free {
                 self.sync_free_gauge();
                 self.inner.mem_notify.notify_all();

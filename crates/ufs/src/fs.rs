@@ -5,7 +5,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, ReadAhead, Tuning};
+use clufs::{BmapCache, DelayedWrite, FreeBehindPolicy, PrefetchPolicy, Tuning};
 use diskmodel::{BlockDeviceExt, DiskOp, DiskRequest, SharedDevice};
 use pagecache::{CleanRequest, PageCache, VnodeId};
 use simkit::stats::{Counter, Histogram};
@@ -160,8 +160,6 @@ pub struct Incore {
     pub din: RefCell<Dinode>,
     /// Needs writing back.
     pub dirty: Cell<bool>,
-    /// Read-ahead predictor (`nextr`/`nextrio`).
-    pub ra: RefCell<ReadAhead>,
     /// Delayed-write accumulator (`delayoff`/`delaylen`), in page units.
     pub dw: RefCell<DelayedWrite>,
     /// Per-open-file I/O identity: the stream label every request this
@@ -195,11 +193,6 @@ impl Incore {
             ino,
             din: RefCell::new(din),
             dirty: Cell::new(false),
-            ra: RefCell::new(if tuning.readahead {
-                ReadAhead::new()
-            } else {
-                ReadAhead::disabled()
-            }),
             dw: RefCell::new(DelayedWrite::new()),
             io: FileStream::new(sim, vid, tuning.write_limit),
             bmap_cache: RefCell::new(BmapCache::new(8)),
@@ -299,6 +292,16 @@ impl Ufs {
         iopath.set_retry(
             params.tuning.io_retry_max,
             params.tuning.io_retry_backoff_ms,
+        );
+        // The per-stream prefetch engines live in the executor; the
+        // `readahead` ablation switch overrides the policy to Off.
+        iopath.set_prefetch(
+            if params.tuning.readahead {
+                params.tuning.prefetch
+            } else {
+                PrefetchPolicy::Off
+            },
+            params.tuning.io_cluster_blocks(),
         );
         let ufs = Ufs {
             inner: Rc::new(UfsInner {

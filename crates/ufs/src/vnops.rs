@@ -4,11 +4,12 @@
 
 use std::rc::Rc;
 
-use clufs::WriteAction;
+use clufs::{PrefetchPolicy, WriteAction};
 use pagecache::{PageId, PageKey};
 use simkit::SpanId;
 use vfs::iopath::{
-    BlockMap, Executed, FreeBehind, IoIntent, ReadCluster, ReadReason, WriteCluster, WriteReason,
+    BlockMap, Executed, FreeBehind, IoIntent, ReadCluster, ReadReason, ReadRuns, WriteCluster,
+    WriteReason,
 };
 use vfs::{AccessMode, FileSystem, FsError, FsResult, StreamId, Vnode, VnodeId};
 
@@ -169,11 +170,12 @@ impl Ufs {
             }
         }
 
-        // Plan I/O through the read-ahead engine. Cluster lengths are
+        // Plan I/O through the prefetch engine. Cluster lengths are
         // resolved lazily: the engine is dry-run on a clone until every
-        // probe it makes is known (at most two — the faulting block's
-        // cluster and the read-ahead cluster), then committed. Quiet
-        // cached faults therefore cost no extra bmap work.
+        // probe it makes is known (the paper's predictor makes at most
+        // two — the faulting block's cluster and the read-ahead cluster;
+        // the adaptive one probes each predicted start), then committed.
+        // Quiet cached faults therefore cost no extra bmap work.
         let plan = loop {
             let missing = std::cell::Cell::new(None);
             let dry = {
@@ -186,8 +188,13 @@ impl Ufs {
                         }
                     }
                 };
-                let mut clone = ip.ra.borrow().clone();
-                clone.on_access(lbn, cached.is_some(), lookup, hint_blocks)
+                self.inner.iopath.prefetch_dry(
+                    ip.io.id(),
+                    lbn,
+                    cached.is_some(),
+                    lookup,
+                    hint_blocks,
+                )
             };
             match missing.get() {
                 Some(probe) => {
@@ -203,10 +210,13 @@ impl Ufs {
                             .and_then(|(_, v)| v.map(|(_, l)| l))
                             .unwrap_or(0)
                     };
-                    let committed =
-                        ip.ra
-                            .borrow_mut()
-                            .on_access(lbn, cached.is_some(), lookup, hint_blocks);
+                    let committed = self.inner.iopath.prefetch_commit(
+                        ip.io.id(),
+                        lbn,
+                        cached.is_some(),
+                        lookup,
+                        hint_blocks,
+                    );
                     debug_assert_eq!(committed, dry);
                     break committed;
                 }
@@ -214,7 +224,8 @@ impl Ufs {
         };
         let req_cluster = known.iter().find(|(p, _)| *p == lbn).and_then(|(_, v)| *v);
         let next_cluster = plan
-            .readahead
+            .runs
+            .first()
             .and_then(|run| known.iter().find(|(p, _)| *p == run.lbn))
             .and_then(|(_, v)| *v);
 
@@ -266,7 +277,36 @@ impl Ufs {
                 }
             }
         }
-        if let Some(run) = plan.readahead {
+        let adaptive = self.inner.params.tuning.readahead
+            && self.inner.params.tuning.prefetch == PrefetchPolicy::Adaptive;
+        if adaptive {
+            // Adaptive runs carry no physical address; `ReadRuns` resolves
+            // extents itself (and applies the data-sieving pattern, if any).
+            for run in &plan.runs {
+                let intent = IoIntent::ReadRuns(ReadRuns {
+                    lbn: run.lbn,
+                    len: run.blocks,
+                    reason: ReadReason::Readahead,
+                    sieve: run.sieve,
+                });
+                if let Executed::ReadaheadIssued { blocks } =
+                    self.inner.iopath.execute(&ip.io, &map, intent).await?
+                {
+                    {
+                        let mut stats = self.inner.stats.borrow_mut();
+                        stats.readaheads += 1;
+                        stats.blocks_read += blocks as u64;
+                    }
+                    self.inner.metrics.readaheads.inc();
+                    self.inner.metrics.readahead_blocks.add(blocks as u64);
+                    self.inner.metrics.blocks_read.add(blocks as u64);
+                    self.inner
+                        .metrics
+                        .cluster_read_blocks
+                        .observe(blocks as u64);
+                }
+            }
+        } else if let Some(run) = plan.runs.first() {
             if let Some((ra_pbn, _)) = next_cluster {
                 let intent = IoIntent::ReadCluster(ReadCluster {
                     lbn: run.lbn,

@@ -21,10 +21,10 @@ use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::rc::Rc;
 
-use clufs::WriteThrottle;
+use clufs::{PrefetchPlan, PrefetchPolicy, Prefetcher, WriteThrottle};
 use diskmodel::{IoHandle, IoStatus, SharedDevice};
 use pagecache::{PageCache, PageId, PageKey};
-use simkit::stats::Histogram;
+use simkit::stats::{Counter, Histogram};
 use simkit::{Cpu, Notify, Sim, SimDuration, SpanId};
 
 use crate::{FsError, FsResult, StreamId, VnodeId};
@@ -71,6 +71,13 @@ pub struct ReadRuns {
     pub lbn: u64,
     pub len: u32,
     pub reason: ReadReason,
+    /// Data-sieving pattern for a speculative batch: `Some((keep,
+    /// period))` marks the block at offset `o` from `lbn` as wanted iff
+    /// `o % period < keep`; the rest is gap filler, read only to keep
+    /// the transfer contiguous and accounted as
+    /// `io.prefetch_wasted_bytes` at issue. `None` = every block is
+    /// wanted. Ignored for demand reads.
+    pub sieve: Option<(u32, u32)>,
 }
 
 /// A writeback sweep over `[range)` of dirty pages, one block-map
@@ -309,6 +316,18 @@ struct PerStream {
     write_blocks: Histogram,
 }
 
+/// Prefetch instrumentation (`io.prefetch_*`): issued blocks, blocks a
+/// demand access later claimed (accuracy = hits / issued), bytes read
+/// speculatively but recycled unconsumed (plus sieve gap filler), and
+/// the distance each issuing plan ran at.
+#[derive(Clone)]
+struct PrefetchMetrics {
+    issued: Counter,
+    hits: Counter,
+    wasted: Counter,
+    distance: Histogram,
+}
+
 struct IoPathInner {
     sim: Sim,
     cpu: Cpu,
@@ -318,9 +337,20 @@ struct IoPathInner {
     block_size: usize,
     sectors_per_block: u32,
     /// Pages created by read-ahead and not yet claimed by a demand access
-    /// (feeds the "readahead used" accounting in the caller).
-    ra_pending: RefCell<HashSet<PageKey>>,
+    /// (feeds the "readahead used" accounting in the caller). Shared with
+    /// the page cache's recycle hook, which counts unclaimed prefetched
+    /// pages as wasted when their identity is destroyed.
+    ra_pending: Rc<RefCell<HashSet<PageKey>>>,
     streams: RefCell<HashMap<u32, PerStream>>,
+    /// Per-stream prefetch engines (the adaptive-readahead state the
+    /// mounts used to keep in their in-core inodes).
+    prefetchers: RefCell<HashMap<u32, Prefetcher>>,
+    /// Policy new streams start under (set once at mount).
+    prefetch_policy: Cell<PrefetchPolicy>,
+    /// The mount's I/O unit in blocks — the adaptive engine's distance
+    /// quantum.
+    prefetch_unit: Cell<u32>,
+    pf: PrefetchMetrics,
     /// Device-error retries before a transfer fails with `FsError::Io`
     /// (see `Tuning::io_retry_max`).
     retry_max: Cell<u32>,
@@ -357,6 +387,27 @@ impl IoPath {
         let block_size = cache.page_size();
         let sector = disk.sector_size() as usize;
         assert_eq!(block_size % sector, 0, "page size must be whole sectors");
+        let s = sim.stats();
+        let pf = PrefetchMetrics {
+            issued: s.counter("io.prefetch_issued"),
+            hits: s.counter("io.prefetch_hits"),
+            wasted: s.counter("io.prefetch_wasted_bytes"),
+            distance: s.histogram("io.prefetch_distance", &Self::LEN_EDGES),
+        };
+        let ra_pending: Rc<RefCell<HashSet<PageKey>>> = Rc::new(RefCell::new(HashSet::new()));
+        // Wasted-prefetch accounting: a page read ahead but never claimed
+        // by a demand access still holds its claim when the cache recycles
+        // its identity — those bytes moved for nothing.
+        {
+            let pending = Rc::clone(&ra_pending);
+            let wasted = pf.wasted.clone();
+            let bytes = block_size as u64;
+            cache.add_recycle_hook(move |key| {
+                if pending.borrow_mut().remove(&key) {
+                    wasted.add(bytes);
+                }
+            });
+        }
         IoPath {
             inner: Rc::new(IoPathInner {
                 sim: sim.clone(),
@@ -366,12 +417,92 @@ impl IoPath {
                 costs,
                 block_size,
                 sectors_per_block: (block_size / sector) as u32,
-                ra_pending: RefCell::new(HashSet::new()),
+                ra_pending,
                 streams: RefCell::new(HashMap::new()),
+                prefetchers: RefCell::new(HashMap::new()),
+                prefetch_policy: Cell::new(PrefetchPolicy::Fixed),
+                prefetch_unit: Cell::new(1),
+                pf,
                 retry_max: Cell::new(DEFAULT_RETRY_MAX),
                 retry_backoff: Cell::new(SimDuration::from_millis(DEFAULT_RETRY_BACKOFF_MS)),
             }),
         }
+    }
+
+    /// Selects the prefetch engine new streams run (set once at mount)
+    /// and the mount's I/O unit in blocks — the quantum the adaptive
+    /// engine measures distance in.
+    pub fn set_prefetch(&self, policy: PrefetchPolicy, unit_blocks: u32) {
+        self.inner.prefetch_policy.set(policy);
+        self.inner.prefetch_unit.set(unit_blocks.max(1));
+    }
+
+    /// Dry-runs the stream's prefetch engine for an access to `lbn`
+    /// without committing the state transition. Callers whose
+    /// `cluster_len` probes resolve lazily (UFS `bmap` awaits) loop on
+    /// this until every probe is known, then call
+    /// [`IoPath::prefetch_commit`] with identical inputs.
+    pub fn prefetch_dry(
+        &self,
+        stream: StreamId,
+        lbn: u64,
+        cached: bool,
+        cluster_len: impl FnMut(u64) -> u32,
+        size_hint_blocks: u32,
+    ) -> PrefetchPlan {
+        let mut engine = self.engine(stream);
+        engine.on_access(
+            lbn,
+            cached,
+            cluster_len,
+            size_hint_blocks,
+            self.inner.cache.free_count() as u64,
+            self.inner.cache.lotsfree() as u64,
+        )
+    }
+
+    /// Runs the stream's prefetch engine for an access to `lbn`,
+    /// committing the state transition, and returns the plan. Pressure
+    /// (`cache.free_pages` vs the pageout reserve) is read here, so a
+    /// dry run and a commit in the same synchronous stretch agree.
+    pub fn prefetch_commit(
+        &self,
+        stream: StreamId,
+        lbn: u64,
+        cached: bool,
+        cluster_len: impl FnMut(u64) -> u32,
+        size_hint_blocks: u32,
+    ) -> PrefetchPlan {
+        let free = self.inner.cache.free_count() as u64;
+        let reserve = self.inner.cache.lotsfree() as u64;
+        let mut engines = self.inner.prefetchers.borrow_mut();
+        let engine = engines.entry(stream.as_u32()).or_insert_with(|| {
+            Prefetcher::new(
+                self.inner.prefetch_policy.get(),
+                self.inner.prefetch_unit.get(),
+            )
+        });
+        let plan = engine.on_access(lbn, cached, cluster_len, size_hint_blocks, free, reserve);
+        drop(engines);
+        if !plan.runs.is_empty() {
+            self.inner.pf.distance.observe(plan.distance.max(1) as u64);
+        }
+        plan
+    }
+
+    /// A clone of the stream's engine (creating it on first use).
+    fn engine(&self, stream: StreamId) -> Prefetcher {
+        self.inner
+            .prefetchers
+            .borrow_mut()
+            .entry(stream.as_u32())
+            .or_insert_with(|| {
+                Prefetcher::new(
+                    self.inner.prefetch_policy.get(),
+                    self.inner.prefetch_unit.get(),
+                )
+            })
+            .clone()
     }
 
     /// Tunes the bounded-retry policy: up to `max` resubmissions per
@@ -486,9 +617,14 @@ impl IoPath {
     }
 
     /// True if `key` was produced by read-ahead and not yet claimed;
-    /// claims it. Call on a demand hit to account read-ahead usefulness.
+    /// claims it and counts an `io.prefetch_hits` block. Call on a
+    /// demand hit to account read-ahead usefulness.
     pub fn take_ra_pending(&self, key: PageKey) -> bool {
-        self.inner.ra_pending.borrow_mut().remove(&key)
+        let hit = self.inner.ra_pending.borrow_mut().remove(&key);
+        if hit {
+            self.inner.pf.hits.inc();
+        }
+        hit
     }
 
     /// Resolves one typed intent against the cache and the disk.
@@ -590,6 +726,7 @@ impl IoPath {
             ReadReason::Demand => Ok(Executed::ReadIssued(io)),
             ReadReason::Readahead => {
                 let blocks = io.blocks();
+                inner.pf.issued.add(blocks as u64);
                 {
                     let mut ra = inner.ra_pending.borrow_mut();
                     for (run_lbn, _) in &io.pages {
@@ -698,13 +835,30 @@ impl IoPath {
             ReadReason::Demand => Ok(Executed::BatchIssued(io)),
             ReadReason::Readahead => {
                 let blocks = io.blocks();
+                inner.pf.issued.add(blocks as u64);
+                // Claim every wanted page; sieve gap filler is known
+                // wasted the moment it is issued.
+                let mut gap_blocks = 0u64;
                 {
                     let mut ra = inner.ra_pending.borrow_mut();
                     for part in &io.parts {
                         for (run_lbn, _) in &part.pages {
-                            ra.insert(self.key(fstream, *run_lbn));
+                            let wanted = match rr.sieve {
+                                Some((keep, period)) if period > 0 => {
+                                    ((run_lbn - rr.lbn) % period as u64) < keep as u64
+                                }
+                                _ => true,
+                            };
+                            if wanted {
+                                ra.insert(self.key(fstream, *run_lbn));
+                            } else {
+                                gap_blocks += 1;
+                            }
                         }
                     }
+                }
+                if gap_blocks > 0 {
+                    inner.pf.wasted.add(gap_blocks * inner.block_size as u64);
                 }
                 self.spawn_fill_batch(io);
                 Ok(Executed::ReadaheadIssued { blocks })
@@ -774,6 +928,18 @@ impl IoPath {
             let inner = &*this.inner;
             let bs = inner.block_size;
             for part in io.parts {
+                // One child span per physical transfer, under the batch's
+                // `iopath.readahead` root: the trace shows how the
+                // speculative window split across the disk.
+                let ps = inner
+                    .sim
+                    .tracer()
+                    .start("iopath.readahead.part", io.stream, io.span);
+                inner.sim.tracer().arg(ps, "lba", part.lba);
+                inner
+                    .sim
+                    .tracer()
+                    .arg(ps, "blocks", part.pages.len() as u64);
                 let res = this
                     .await_read(part.handle, part.lba, part.nsect, io.stream, io.span)
                     .await;
@@ -787,6 +953,7 @@ impl IoPath {
                     }
                     Err(_) => this.drop_failed_pages(io.vnode, &part.pages),
                 }
+                inner.sim.tracer().end(ps);
             }
             inner.sim.tracer().end(io.span);
         });

@@ -8,7 +8,7 @@
 #    at jobs=1 and jobs=4 — with the host profiler (--perf) armed, which
 #    must observe without perturbing.
 # 2. Runs the wallclock bench (crates/bench/benches/wallclock.rs) and
-#    writes BENCH_iobench.json (schema iobench-bench/v2; see DESIGN.md
+#    writes BENCH_iobench.json (schema iobench-bench/v3; see DESIGN.md
 #    "Wall-clock performance"), attaching the host profile
 #    (BENCH_iobench.perf.json) so a bad parallel speedup arrives with
 #    per-worker utilization to diagnose it. A speedup below 1.0x sets
@@ -94,6 +94,17 @@ cmp "$TMP/aout1.txt" "$TMP/aout4.txt"
 cmp "$TMP/a1.json" "$TMP/a4.json"
 grep -q '"id":"aging/extentfs"' "$TMP/a1.json"
 echo "aging jobs=1 vs jobs=4: stdout and stats JSON are byte-identical"
+
+# Same contract for the adaptive-readahead sweep (30 runs across two file
+# systems and three prefetch policies; the prefetch counters in the stats
+# document are part of the byte-identity surface).
+"$BIN" readahead --quick --jobs 1 --stats-json "$TMP/r1.json" >"$TMP/rout1.txt"
+"$BIN" readahead --quick --jobs 4 --stats-json "$TMP/r4.json" >"$TMP/rout4.txt"
+cmp "$TMP/rout1.txt" "$TMP/rout4.txt"
+cmp "$TMP/r1.json" "$TMP/r4.json"
+grep -q 'io.prefetch_issued' "$TMP/r1.json"
+grep -q '"id":"readahead/ufs-A/adaptive/s256/r8"' "$TMP/r1.json"
+echo "readahead jobs=1 vs jobs=4: stdout and stats JSON are byte-identical"
 
 if [ "$MODE" = smoke ]; then
     cargo bench -p bench --bench wallclock -- --smoke --out "$OUT"
